@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks: compression and decompression throughput of
+//! every codec on every corpus class — the raw speed/ratio trade-off the
+//! adaptive scheme navigates.
+
+use adcomp_codecs::{codec_for, CodecId};
+use adcomp_corpus::{generate, Class};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const SAMPLE_LEN: usize = 512 * 1024;
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(SAMPLE_LEN as u64));
+    for class in Class::ALL {
+        let data = generate(class, SAMPLE_LEN, 42);
+        for id in CodecId::ALL {
+            if id == CodecId::Raw {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(id.level_name(), class.name()),
+                &data,
+                |b, data| {
+                    let codec = codec_for(id);
+                    let mut out = Vec::with_capacity(SAMPLE_LEN * 2);
+                    b.iter(|| {
+                        out.clear();
+                        codec.compress(data, &mut out);
+                        out.len()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(SAMPLE_LEN as u64));
+    for class in Class::ALL {
+        let data = generate(class, SAMPLE_LEN, 42);
+        for id in CodecId::ALL {
+            if id == CodecId::Raw {
+                continue;
+            }
+            let codec = codec_for(id);
+            let mut wire = Vec::new();
+            codec.compress(&data, &mut wire);
+            group.bench_with_input(
+                BenchmarkId::new(id.level_name(), class.name()),
+                &wire,
+                |b, wire| {
+                    let mut out = Vec::with_capacity(SAMPLE_LEN);
+                    b.iter(|| {
+                        out.clear();
+                        codec.decompress(wire, SAMPLE_LEN, &mut out).unwrap();
+                        out.len()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compress, bench_decompress
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks: block-frame encode/decode overhead (header,
+//! CRC-32, raw fallback) on the paper's 128 KiB block size.
+
+use adcomp_codecs::frame::{decode_block, encode_block, DEFAULT_BLOCK_LEN};
+use adcomp_codecs::{codec_for, CodecId};
+use adcomp_corpus::{generate, Class};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_frame_raw_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame");
+    group.throughput(Throughput::Bytes(DEFAULT_BLOCK_LEN as u64));
+    let codec = codec_for(CodecId::Raw);
+    let data = generate(Class::Moderate, DEFAULT_BLOCK_LEN, 42);
+    group.bench_function("encode_raw_block", |b| {
+        let mut out = Vec::with_capacity(DEFAULT_BLOCK_LEN + 64);
+        b.iter(|| {
+            out.clear();
+            encode_block(codec, &data, &mut out);
+            out.len()
+        });
+    });
+    let mut wire = Vec::new();
+    encode_block(codec, &data, &mut wire);
+    group.bench_function("decode_raw_block", |b| {
+        let mut out = Vec::with_capacity(DEFAULT_BLOCK_LEN);
+        b.iter(|| {
+            out.clear();
+            decode_block(&wire, &mut out).unwrap().1
+        });
+    });
+    group.finish();
+}
+
+fn bench_fallback_path(c: &mut Criterion) {
+    // Incompressible block: the codec runs, expands, and the frame layer
+    // falls back to raw — the worst-case overhead on LOW data.
+    let mut group = c.benchmark_group("frame_fallback");
+    group.throughput(Throughput::Bytes(DEFAULT_BLOCK_LEN as u64));
+    let data = generate(Class::Low, DEFAULT_BLOCK_LEN, 42);
+    for id in [CodecId::QlzLight, CodecId::QlzMedium] {
+        group.bench_with_input(BenchmarkId::from_parameter(id.level_name()), &data, |b, data| {
+            let codec = codec_for(id);
+            let mut out = Vec::with_capacity(DEFAULT_BLOCK_LEN * 2);
+            b.iter(|| {
+                out.clear();
+                let info = encode_block(codec, data, &mut out);
+                assert!(info.raw_fallback || info.codec != CodecId::Raw);
+                out.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_frame_raw_path, bench_fallback_path
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmark of the virtual-time simulator itself: simulated
+//! gigabytes per host-second. Documents that a full Table II sweep (sixty
+//! 50 GB runs) is minutes of host time, which is what makes the
+//! reproduction practical.
+
+use adcomp_core::model::{RateBasedModel, StaticModel};
+use adcomp_corpus::Class;
+use adcomp_vcloud::{run_transfer, ConstantClass, SpeedModel, TransferConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const SIM_BYTES: u64 = 1_000_000_000;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let speed = SpeedModel::paper_fit();
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Bytes(SIM_BYTES));
+    group.bench_function("static_light_1GB", |b| {
+        b.iter(|| {
+            let cfg = TransferConfig {
+                total_bytes: SIM_BYTES,
+                deterministic: true,
+                cpu_jitter: 0.0,
+                ..TransferConfig::paper_default()
+            };
+            run_transfer(
+                &cfg,
+                &speed,
+                &mut ConstantClass(Class::High),
+                Box::new(StaticModel::new(1, 4)),
+            )
+            .completion_secs
+        });
+    });
+    group.bench_function("dynamic_contended_1GB", |b| {
+        b.iter(|| {
+            let cfg = TransferConfig {
+                total_bytes: SIM_BYTES,
+                background_flows: 2,
+                seed: 9,
+                ..TransferConfig::paper_default()
+            };
+            run_transfer(
+                &cfg,
+                &speed,
+                &mut ConstantClass(Class::Moderate),
+                Box::new(RateBasedModel::paper_default()),
+            )
+            .completion_secs
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

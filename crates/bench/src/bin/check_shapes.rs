@@ -1,0 +1,220 @@
+//! CHECK — self-verification of DESIGN.md's result-shape acceptance
+//! criteria. Runs fast, deterministic versions of every experiment and
+//! prints PASS/FAIL per criterion; exits non-zero if anything fails.
+//!
+//! Run: `cargo run --release -p adcomp-bench --bin check_shapes`
+
+use adcomp_core::model::{DecisionModel, RateBasedModel, StaticModel};
+use adcomp_corpus::Class;
+use adcomp_metrics::Table;
+use adcomp_vcloud::experiments::{fig1_cpu_accuracy, fig2_net_throughput, fig3_file_write};
+use adcomp_vcloud::platform::IoOp;
+use adcomp_vcloud::{
+    run_transfer, AlternatingClass, ConstantClass, Platform, SpeedModel, TransferConfig,
+};
+
+const GB: u64 = 1_000_000_000;
+
+struct Checker {
+    table: Table,
+    failures: u32,
+}
+
+impl Checker {
+    fn new() -> Self {
+        Checker { table: Table::new(vec!["criterion", "observed", "verdict"]), failures: 0 }
+    }
+
+    fn check(&mut self, name: &str, observed: String, pass: bool) {
+        if !pass {
+            self.failures += 1;
+        }
+        self.table.row(vec![
+            name.to_string(),
+            observed,
+            if pass { "PASS".to_string() } else { "FAIL".to_string() },
+        ]);
+    }
+}
+
+fn static_secs(speed: &SpeedModel, class: Class, flows: usize, level: usize) -> f64 {
+    let cfg = TransferConfig {
+        total_bytes: 2 * GB,
+        background_flows: flows,
+        deterministic: true,
+        cpu_jitter: 0.0,
+        ..TransferConfig::paper_default()
+    };
+    run_transfer(&cfg, speed, &mut ConstantClass(class), Box::new(StaticModel::new(level, 4)))
+        .completion_secs
+}
+
+fn dynamic_secs(speed: &SpeedModel, class: Class, flows: usize) -> f64 {
+    let cfg = TransferConfig {
+        total_bytes: 2 * GB,
+        background_flows: flows,
+        deterministic: true,
+        cpu_jitter: 0.0,
+        ..TransferConfig::paper_default()
+    };
+    run_transfer(
+        &cfg,
+        speed,
+        &mut ConstantClass(class),
+        Box::new(RateBasedModel::paper_default()) as Box<dyn DecisionModel>,
+    )
+    .completion_secs
+}
+
+fn main() -> std::process::ExitCode {
+    let speed = SpeedModel::paper_fit();
+    let mut c = Checker::new();
+
+    // TAB2 shapes.
+    for flows in 0..4 {
+        let times: Vec<f64> = (0..4).map(|l| static_secs(&speed, Class::High, flows, l)).collect();
+        let best = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        c.check(
+            &format!("TAB2: LIGHT fastest on HIGH, {flows} conn"),
+            format!("best level = {best}"),
+            best == 1,
+        );
+    }
+    {
+        let times: Vec<f64> = (0..4).map(|l| static_secs(&speed, Class::Low, 0, l)).collect();
+        let best = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        c.check("TAB2: NO fastest on LOW, 0 conn", format!("best level = {best}"), best == 0);
+    }
+    {
+        let mut worst_margin = f64::INFINITY;
+        for class in Class::ALL {
+            let heavy = static_secs(&speed, class, 0, 3);
+            let others =
+                (0..3).map(|l| static_secs(&speed, class, 0, l)).fold(f64::INFINITY, f64::min);
+            worst_margin = worst_margin.min(heavy / others);
+        }
+        c.check(
+            "TAB2: HEAVY worst by >= 3x (vs best)",
+            format!("min margin {worst_margin:.1}x"),
+            worst_margin >= 3.0,
+        );
+    }
+    {
+        let mut worst = 0.0f64;
+        for class in Class::ALL {
+            for flows in [0usize, 2] {
+                let best =
+                    (0..4).map(|l| static_secs(&speed, class, flows, l)).fold(f64::INFINITY, f64::min);
+                let dynamic = dynamic_secs(&speed, class, flows);
+                worst = worst.max(dynamic / best - 1.0);
+            }
+        }
+        c.check(
+            "TAB2: DYNAMIC within +25% of best static",
+            format!("worst {:+.0}%", worst * 100.0),
+            worst <= 0.25,
+        );
+    }
+    {
+        let no = static_secs(&speed, Class::High, 3, 0);
+        let dynamic = dynamic_secs(&speed, Class::High, 3);
+        c.check(
+            "Conclusion: up to ~4x throughput improvement",
+            format!("{:.1}x on HIGH/3conn", no / dynamic),
+            no / dynamic > 3.0,
+        );
+    }
+
+    // FIG1 shapes.
+    {
+        let send = fig1_cpu_accuracy(Platform::KvmPara, IoOp::NetSend, 200, 1).gap().unwrap();
+        let read = fig1_cpu_accuracy(Platform::XenPara, IoOp::FileRead, 200, 1).gap().unwrap();
+        c.check("FIG1: KVM-para net send gap ~15x", format!("{send:.1}x"), send > 10.0);
+        c.check("FIG1: XEN file read gap ~15x", format!("{read:.1}x"), read > 10.0);
+        let mut all_under = true;
+        for p in [Platform::KvmFull, Platform::KvmPara, Platform::XenPara] {
+            for op in IoOp::ALL {
+                all_under &= fig1_cpu_accuracy(p, op, 120, 2).gap().unwrap() > 1.0;
+            }
+        }
+        c.check("FIG1: every virtualized guest under-reports", format!("{all_under}"), all_under);
+    }
+
+    // FIG2 / FIG3 shapes.
+    {
+        let native = fig2_net_throughput(Platform::Native, 2 * GB, 3).summary();
+        let ec2 = fig2_net_throughput(Platform::Ec2, 2 * GB, 3).summary();
+        let ratio = (ec2.sd / ec2.mean) / (native.sd / native.mean);
+        c.check("FIG2: EC2 variance >> native", format!("CV ratio {ratio:.0}x"), ratio > 5.0);
+        let xen = fig3_file_write(Platform::XenPara, 20 * GB, 7).summary();
+        c.check(
+            "FIG3: XEN cache bursts and stalls",
+            format!("min {:.1}, max {:.0} MB/s", xen.min / 1e6, xen.max / 1e6),
+            xen.min / 1e6 < 30.0 && xen.max / 1e6 > 300.0,
+        );
+    }
+
+    // FIG4 probe decay.
+    {
+        let cfg = TransferConfig {
+            total_bytes: 5 * GB,
+            deterministic: true,
+            cpu_jitter: 0.0,
+            ..TransferConfig::paper_default()
+        };
+        let out = run_transfer(
+            &cfg,
+            &speed,
+            &mut ConstantClass(Class::High),
+            Box::new(RateBasedModel::paper_default()),
+        );
+        let half = out.completion_secs / 2.0;
+        let first = out.level_trace.points().iter().skip(1).filter(|&&(t, _)| t < half).count();
+        let second = out.level_trace.points().iter().skip(1).filter(|&&(t, _)| t >= half).count();
+        c.check(
+            "FIG4: probing decays over the run",
+            format!("switches {first} -> {second}"),
+            first >= second,
+        );
+    }
+
+    // FIG6 level tracking.
+    {
+        let cfg = TransferConfig {
+            total_bytes: 10 * GB,
+            deterministic: true,
+            cpu_jitter: 0.0,
+            ..TransferConfig::paper_default()
+        };
+        let mut sched =
+            AlternatingClass { classes: vec![Class::High, Class::Low], period_bytes: 2 * GB };
+        let out = run_transfer(&cfg, &speed, &mut sched, Box::new(RateBasedModel::paper_default()));
+        let total: u64 = out.blocks_per_level.iter().sum();
+        let no_share = out.blocks_per_level[0] as f64 / total as f64;
+        let light_share = out.blocks_per_level[1] as f64 / total as f64;
+        c.check(
+            "FIG6: level follows compressibility",
+            format!("NO {:.0}%, LIGHT {:.0}%", no_share * 100.0, light_share * 100.0),
+            no_share > 0.10 && light_share > 0.10,
+        );
+    }
+
+    println!("{}", c.table.render());
+    if c.failures == 0 {
+        println!("All result-shape criteria hold.");
+        std::process::ExitCode::SUCCESS
+    } else {
+        println!("{} criterion(s) FAILED.", c.failures);
+        std::process::ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,80 @@
+//! EXTENSION — what the paper leaves open: every co-located VM deploys the
+//! adaptive scheme at once. Do the controllers interfere, and does the
+//! aggregate benefit survive?
+//!
+//! Three co-located senders share the paravirtualized 1 GbE link. We sweep
+//! the deployment mix (none / one / all adaptive) for homogeneous and
+//! heterogeneous compressibilities and report per-flow goodput, aggregate
+//! goodput, makespan, and Jain's fairness index.
+//!
+//! Run: `cargo run --release -p adcomp-bench --bin ext_all_adaptive [--quick]`
+
+use adcomp_bench::experiment_bytes;
+use adcomp_core::model::{RateBasedModel, StaticModel};
+use adcomp_corpus::Class;
+use adcomp_metrics::Table;
+use adcomp_vcloud::{run_multiflow, FlowSpec, MultiFlowConfig, SpeedModel};
+
+fn flows(classes: &[Class], adaptive: &[bool], bytes: u64) -> Vec<FlowSpec> {
+    classes
+        .iter()
+        .zip(adaptive)
+        .enumerate()
+        .map(|(i, (&class, &a))| FlowSpec {
+            name: format!("vm{i}-{}{}", class.name().to_lowercase(), if a { "-dyn" } else { "" }),
+            class,
+            model: if a {
+                Box::new(RateBasedModel::paper_default())
+            } else {
+                Box::new(StaticModel::new(0, 4))
+            },
+            total_bytes: bytes,
+        })
+        .collect()
+}
+
+fn main() {
+    let bytes = experiment_bytes() / 10; // per flow; 3 flows share the link
+    let speed = SpeedModel::paper_fit();
+    println!(
+        "EXT: three co-located senders, {:.1} GB each, shared KVM-para link\n",
+        bytes as f64 / 1e9
+    );
+    for (title, classes) in [
+        ("homogeneous HIGH", [Class::High; 3]),
+        ("heterogeneous HIGH/MODERATE/LOW", [Class::High, Class::Moderate, Class::Low]),
+    ] {
+        println!("== {title} ==");
+        let mut table = Table::new(vec![
+            "deployment",
+            "aggregate goodput [MB/s]",
+            "makespan [s]",
+            "Jain fairness",
+            "per-flow rates [MB/s]",
+        ]);
+        for (label, mask) in [
+            ("none adaptive", [false, false, false]),
+            ("one adaptive", [true, false, false]),
+            ("all adaptive", [true, true, true]),
+        ] {
+            let cfg = MultiFlowConfig { seed: 61, ..Default::default() };
+            let out = run_multiflow(&cfg, &speed, flows(&classes, &mask, bytes));
+            let rates: Vec<String> =
+                out.flows.iter().map(|f| format!("{:.0}", f.mean_app_rate / 1e6)).collect();
+            table.row(vec![
+                label.to_string(),
+                format!("{:.0}", out.aggregate_goodput() / 1e6),
+                format!("{:.0}", out.makespan_secs),
+                format!("{:.3}", out.jain_fairness()),
+                rates.join(" / "),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "Expected shape: adopting the adaptive scheme never hurts the other tenants —\n\
+         a compressing flow *releases* wire capacity. With everyone adaptive, aggregate\n\
+         goodput rises further and fairness stays high: the controllers do not fight,\n\
+         because each one only chases its own application data rate."
+    );
+}

@@ -1,0 +1,83 @@
+//! EXTENSION — entropy-guided probing: fixing the paper's own noted
+//! weakness.
+//!
+//! The paper (Fig. 6 discussion): "Large backoff values for compression
+//! level 0 [...] can lead to relatively late optimistic switches to a
+//! higher compression level [because] without compression the application
+//! data rate is not affected by the compressibility of the data."
+//!
+//! `EntropyGuidedModel` keeps the identical rate-based decision rule but
+//! re-arms probing whenever a cheap order-0 entropy sample of the
+//! application's own data shifts materially. This run compares both on the
+//! Fig. 6 switching workload and on steady workloads (where they must
+//! behave identically).
+//!
+//! Run: `cargo run --release -p adcomp-bench --bin ext_entropy_guided [--quick]`
+
+use adcomp_bench::experiment_bytes;
+use adcomp_core::model::{DecisionModel, EntropyGuidedModel, RateBasedModel};
+use adcomp_corpus::Class;
+use adcomp_metrics::Table;
+use adcomp_vcloud::{run_transfer, AlternatingClass, ConstantClass, SpeedModel, TransferConfig};
+
+/// Scenario: name plus schedule factory.
+type Scenario = (&'static str, Box<dyn Fn() -> Box<dyn adcomp_vcloud::ClassSchedule>>);
+
+fn main() {
+    let total = experiment_bytes().max(20_000_000_000);
+    // Rescale to the paper's 50 GB volume based on the volume actually used
+    // (the 20 GB floor may override --quick).
+    let to_paper_scale = |secs: f64| secs * 50_000_000_000.0 / total as f64;
+    let speed = SpeedModel::paper_fit();
+    println!(
+        "EXT: entropy-guided probing vs the paper's DYNAMIC, {} GB per run\n",
+        total / 1_000_000_000
+    );
+    let mut table = Table::new(vec![
+        "workload",
+        "DYNAMIC [s, 50GB scale]",
+        "ENTROPY-GUIDED [s]",
+        "delta",
+    ]);
+    let scenarios: Vec<Scenario> = vec![
+        ("steady HIGH", Box::new(|| Box::new(ConstantClass(Class::High)))),
+        ("steady LOW", Box::new(|| Box::new(ConstantClass(Class::Low)))),
+        (
+            "switching HIGH<->LOW (Fig. 6)",
+            Box::new(move || {
+                Box::new(AlternatingClass {
+                    classes: vec![Class::High, Class::Low],
+                    period_bytes: total / 5,
+                })
+            }),
+        ),
+    ];
+    for (name, make_sched) in scenarios {
+        let mut row = vec![name.to_string()];
+        let mut secs = Vec::new();
+        for guided in [false, true] {
+            let cfg = TransferConfig {
+                total_bytes: total,
+                seed: 71,
+                ..TransferConfig::paper_default()
+            };
+            let model: Box<dyn DecisionModel> = if guided {
+                Box::new(EntropyGuidedModel::paper_default())
+            } else {
+                Box::new(RateBasedModel::paper_default())
+            };
+            let mut sched = make_sched();
+            let out = run_transfer(&cfg, &speed, sched.as_mut(), model);
+            secs.push(to_paper_scale(out.completion_secs));
+            row.push(format!("{:.0}", to_paper_scale(out.completion_secs)));
+        }
+        row.push(format!("{:+.1}%", (secs[1] / secs[0] - 1.0) * 100.0));
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected shape: identical on steady workloads (the entropy never shifts, so\n\
+         the models coincide); a measurable win on the switching workload, where the\n\
+         entropy probe re-arms the level-0 probing the accumulated backoff delayed."
+    );
+}

@@ -1,0 +1,57 @@
+//! FIG1 — Accuracy of displayed CPU utilization inside virtual machines
+//! during I/O intensive operations (paper Figure 1a–1d).
+//!
+//! For each I/O operation and platform, prints the mean CPU utilization
+//! breakdown (USR/SYS/HIRQ/SIRQ/STEAL) as displayed inside the VM versus as
+//! accounted by the host, from ≥120 one-second samples — the paper's
+//! methodology.
+//!
+//! Run: `cargo run --release -p adcomp-bench --bin fig1_cpu_accuracy`
+
+use adcomp_metrics::Table;
+use adcomp_vcloud::experiments::fig1_cpu_accuracy;
+use adcomp_vcloud::platform::{IoOp, Platform};
+use adcomp_vcloud::CpuBreakdown;
+
+fn cell(b: &CpuBreakdown) -> String {
+    format!("{:5.1}", b.total())
+}
+
+fn parts(b: &CpuBreakdown) -> String {
+    format!(
+        "usr {:.1} / sys {:.1} / hirq {:.1} / sirq {:.1} / steal {:.1}",
+        b.usr, b.sys, b.hirq, b.sirq, b.steal
+    )
+}
+
+fn main() {
+    const SAMPLES: usize = 120; // "at least 120 individual samples"
+    println!("FIG1: displayed vs host-accounted CPU utilization [%] ({SAMPLES} samples per cell)\n");
+    for op in IoOp::ALL {
+        println!("== {} ==", op.name());
+        let mut table = Table::new(vec!["Platform", "VM [%]", "Host [%]", "Gap", "VM breakdown"]);
+        for platform in [
+            Platform::KvmPara,
+            Platform::KvmFull,
+            Platform::XenPara,
+            Platform::Ec2,
+        ] {
+            let r = fig1_cpu_accuracy(platform, op, SAMPLES, 42);
+            table.row(vec![
+                platform.name().to_string(),
+                cell(&r.guest_mean),
+                r.host_mean.map_or("n/a".to_string(), |h| cell(&h)),
+                r.gap().map_or("n/a".to_string(), |g| format!("{g:.1}x")),
+                parts(&r.guest_mean),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "Paper findings to compare against:\n\
+         - The displayed CPU utilization under-reports on every virtualized platform.\n\
+         - Worst gaps (~15x): KVM (paravirt.) network send, XEN file read.\n\
+         - Small gaps: network send on KVM (full virt.) and XEN.\n\
+         - EC2 host-side utilization is unobservable."
+    );
+}

@@ -1,0 +1,53 @@
+//! FIG3 — Distribution of file I/O throughput (write) as observed within
+//! the virtual machine (paper Figure 3).
+//!
+//! Writes the experiment volume to each platform's virtual disk, sampling
+//! the apparent rate every 20 MB. On XEN, the host's write-back page cache
+//! produces the paper's signature pattern: memory-speed bursts, flush
+//! stalls of a few MB/s, and a spuriously inflated mean — with gigabytes
+//! still unflushed at the end.
+//!
+//! Run: `cargo run --release -p adcomp-bench --bin fig3_file_write [--quick]`
+
+use adcomp_bench::experiment_bytes;
+use adcomp_metrics::{bps_to_mb, Table};
+use adcomp_vcloud::experiments::fig3_file_write;
+use adcomp_vcloud::Platform;
+
+fn main() {
+    // Below ~10 GB the XEN host cache never hits its dirty threshold and the
+    // flush stalls disappear — keep at least 20 GB even in quick mode (the
+    // disk model is cheap to simulate).
+    let total = experiment_bytes().max(20_000_000_000);
+    println!(
+        "FIG3: file write throughput distribution, {} GB per platform, one sample per 20 MB\n",
+        total / 1_000_000_000
+    );
+    let mut table = Table::new(vec![
+        "Platform", "n", "mean", "sd", "min", "q1", "median", "q3", "max",
+    ]);
+    for platform in Platform::ALL {
+        let dist = fig3_file_write(platform, total, 42);
+        let s = dist.summary();
+        table.row(vec![
+            platform.name().to_string(),
+            s.n.to_string(),
+            format!("{:.1}", bps_to_mb(s.mean)),
+            format!("{:.1}", bps_to_mb(s.sd)),
+            format!("{:.1}", bps_to_mb(s.min)),
+            format!("{:.1}", bps_to_mb(s.q1)),
+            format!("{:.1}", bps_to_mb(s.median)),
+            format!("{:.1}", bps_to_mb(s.q3)),
+            format!("{:.1}", bps_to_mb(s.max)),
+        ]);
+    }
+    println!("{}  (all values MB/s)", table.render());
+    println!(
+        "Paper findings to compare against:\n\
+         - Native/KVM/EC2 cluster near the physical disk rate with moderate spread.\n\
+         - XEN shows cache bursts to hundreds of MB/s, stalls of a few MB/s, and a\n\
+           spuriously high mean — data still sits in host RAM after the 50 GB write.\n\
+         - These caching effects are why the paper evaluates adaptive compression\n\
+           on network I/O only."
+    );
+}

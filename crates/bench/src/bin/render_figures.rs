@@ -1,0 +1,165 @@
+//! RENDER — regenerates the paper's figures as SVG files in `results/`.
+//!
+//! * `fig2_net_throughput.svg`, `fig3_file_write.svg` — box plots of the
+//!   per-20 MB throughput distributions per platform;
+//! * `fig4_adaptive_high.svg`, `fig5_adaptive_low_2conn.svg`,
+//!   `fig6_switching.svg` — stacked time-series panels (throughput panel,
+//!   CPU panel, level strip) sharing the time axis. The paper overlays
+//!   these on dual axes; separate aligned panels carry the same reading
+//!   with one scale per axis.
+//!
+//! Run: `cargo run --release -p adcomp-bench --bin render_figures [--quick]`
+
+use adcomp_bench::experiment_bytes;
+use adcomp_core::model::RateBasedModel;
+use adcomp_corpus::Class;
+use adcomp_metrics::plot::{
+    render_boxplot, render_time_panels, Panel, Series, COLOR_APP, COLOR_CPU, COLOR_LEVEL,
+    COLOR_NET,
+};
+use adcomp_metrics::{Summary, TimeSeries};
+use adcomp_vcloud::experiments::{fig2_net_throughput, fig3_file_write};
+use adcomp_vcloud::{
+    run_transfer, AlternatingClass, ClassSchedule, ConstantClass, Platform, SpeedModel,
+    TransferConfig, TransferOutcome,
+};
+
+fn to_mbit(ts: &TimeSeries) -> TimeSeries {
+    let mut out = TimeSeries::new();
+    for &(t, v) in ts.points() {
+        out.push(t, v * 8.0 / 1e6);
+    }
+    out
+}
+
+fn write_svg(dir: &std::path::Path, name: &str, svg: &str) {
+    let path = dir.join(name);
+    std::fs::write(&path, svg).expect("write svg");
+    println!("wrote {}", path.display());
+}
+
+fn adaptive_figure(
+    dir: &std::path::Path,
+    name: &str,
+    title: &str,
+    flows: usize,
+    schedule: &mut dyn ClassSchedule,
+    total: u64,
+) {
+    let cfg = TransferConfig {
+        total_bytes: total,
+        background_flows: flows,
+        seed: 4,
+        ..TransferConfig::paper_default()
+    };
+    let speed = SpeedModel::paper_fit();
+    let out: TransferOutcome =
+        run_transfer(&cfg, &speed, schedule, Box::new(RateBasedModel::paper_default()));
+    let app = to_mbit(&out.app_rate_trace);
+    let net = to_mbit(&out.net_rate_trace);
+    let svg = render_time_panels(
+        title,
+        "Time [seconds]",
+        &[
+            Panel {
+                y_label: "Throughput [MBit/s]",
+                y_range: None,
+                series: vec![
+                    Series { name: "application", color: COLOR_APP, points: &app, step: false },
+                    Series { name: "network", color: COLOR_NET, points: &net, step: false },
+                ],
+            },
+            Panel {
+                y_label: "Sender CPU utilization [%]",
+                y_range: Some((0.0, 105.0)),
+                series: vec![Series {
+                    name: "CPU",
+                    color: COLOR_CPU,
+                    points: &out.cpu_trace,
+                    step: false,
+                }],
+            },
+            Panel {
+                y_label: "Compression level (0=NO .. 3=HEAVY)",
+                y_range: Some((0.0, 3.2)),
+                series: vec![Series {
+                    name: "level",
+                    color: COLOR_LEVEL,
+                    points: &out.level_trace,
+                    step: true,
+                }],
+            },
+        ],
+    );
+    write_svg(dir, name, &svg);
+}
+
+fn main() {
+    let total = experiment_bytes().max(20_000_000_000);
+    let dir = std::path::PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("results dir");
+
+    // FIG2 / FIG3: distribution box plots.
+    let items: Vec<(String, Summary)> = Platform::ALL
+        .iter()
+        .map(|&p| {
+            let d = fig2_net_throughput(p, total, 42);
+            let mbit: Vec<f64> = d.samples.iter().map(|&b| b * 8.0 / 1e6).collect();
+            (p.short_name().to_string(), Summary::from_samples(&mbit).unwrap())
+        })
+        .collect();
+    write_svg(
+        &dir,
+        "fig2_net_throughput.svg",
+        &render_boxplot(
+            "Fig. 2 — Network send throughput as observed in the sending VM",
+            "MBit/s (one sample per 20 MB)",
+            &items,
+        ),
+    );
+
+    let items: Vec<(String, Summary)> = Platform::ALL
+        .iter()
+        .map(|&p| {
+            let d = fig3_file_write(p, total, 42);
+            let mb: Vec<f64> = d.samples.iter().map(|&b| b / 1e6).collect();
+            (p.short_name().to_string(), Summary::from_samples(&mb).unwrap())
+        })
+        .collect();
+    write_svg(
+        &dir,
+        "fig3_file_write.svg",
+        &render_boxplot(
+            "Fig. 3 — File write throughput as observed within the VM",
+            "MB/s (XEN: host page-cache bursts and stalls)",
+            &items,
+        ),
+    );
+
+    // FIG4 / FIG5 / FIG6: adaptive traces.
+    adaptive_figure(
+        &dir,
+        "fig4_adaptive_high.svg",
+        "Fig. 4 — Adaptive scheme, HIGH data, no background traffic",
+        0,
+        &mut ConstantClass(Class::High),
+        total,
+    );
+    adaptive_figure(
+        &dir,
+        "fig5_adaptive_low_2conn.svg",
+        "Fig. 5 — Adaptive scheme, LOW data, two concurrent connections",
+        2,
+        &mut ConstantClass(Class::Low),
+        total,
+    );
+    adaptive_figure(
+        &dir,
+        "fig6_switching.svg",
+        "Fig. 6 — Responsiveness to compressibility changes (HIGH \u{2194} LOW)",
+        0,
+        &mut AlternatingClass { classes: vec![Class::High, Class::Low], period_bytes: total / 5 },
+        total,
+    );
+    println!("done.");
+}

@@ -1,0 +1,137 @@
+//! Codec calibration: measures real speed and compression ratio of each
+//! codec on sample data.
+//!
+//! The cloud simulator needs per-level `(compress MB/s, decompress MB/s,
+//! ratio)` profiles. Rather than assuming numbers, benches measure our
+//! actual codecs on the actual generated corpus and then re-scale the speeds
+//! to the paper's hardware era with a single factor (the *shape* of the
+//! trade-off — ordering and relative gaps — comes from real measurements).
+
+use crate::frame::{encode_block, DEFAULT_BLOCK_LEN};
+use crate::{codec_for, CodecId};
+use std::time::Instant;
+
+/// Measured characteristics of one codec on one kind of data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecProfile {
+    pub codec: CodecId,
+    /// Compression throughput in MB of *input* per second.
+    pub compress_mbps: f64,
+    /// Decompression throughput in MB of *output* per second.
+    pub decompress_mbps: f64,
+    /// Wire bytes (frames incl. headers) / application bytes.
+    pub ratio: f64,
+}
+
+impl CodecProfile {
+    /// A profile for the no-compression level: ratio includes only frame
+    /// header overhead; speed is effectively a memcpy.
+    pub fn raw(memcpy_mbps: f64) -> CodecProfile {
+        CodecProfile {
+            codec: CodecId::Raw,
+            compress_mbps: memcpy_mbps,
+            decompress_mbps: memcpy_mbps,
+            ratio: 1.0 + crate::frame::HEADER_LEN as f64 / DEFAULT_BLOCK_LEN as f64,
+        }
+    }
+}
+
+/// Measures one codec over `sample`, split into standard 128 KiB blocks.
+///
+/// `min_duration_secs` bounds the measurement time: the sample is processed
+/// repeatedly until that much wall time has elapsed (at least once).
+pub fn measure(codec_id: CodecId, sample: &[u8], min_duration_secs: f64) -> CodecProfile {
+    assert!(!sample.is_empty(), "cannot calibrate on empty sample");
+    let codec = codec_for(codec_id);
+    let blocks: Vec<&[u8]> = sample.chunks(DEFAULT_BLOCK_LEN).collect();
+
+    // Compression pass(es).
+    let mut wire = Vec::new();
+    let mut app_bytes = 0u64;
+    let mut wire_bytes = 0u64;
+    let start = Instant::now();
+    loop {
+        wire.clear();
+        for b in &blocks {
+            let info = encode_block(codec, b, &mut wire);
+            app_bytes += info.uncompressed_len as u64;
+            wire_bytes += info.frame_len as u64;
+        }
+        if start.elapsed().as_secs_f64() >= min_duration_secs {
+            break;
+        }
+    }
+    let comp_secs = start.elapsed().as_secs_f64();
+    let compress_mbps = app_bytes as f64 / 1e6 / comp_secs.max(1e-9);
+    let ratio = wire_bytes as f64 / app_bytes as f64;
+
+    // Decompression pass(es) over the last wire image.
+    let mut out = Vec::new();
+    let mut dec_bytes = 0u64;
+    let start = Instant::now();
+    loop {
+        let mut cursor = &wire[..];
+        while !cursor.is_empty() {
+            out.clear();
+            let (_, consumed) = crate::frame::decode_block(cursor, &mut out)
+                .expect("calibration wire image must decode");
+            dec_bytes += out.len() as u64;
+            cursor = &cursor[consumed..];
+        }
+        if start.elapsed().as_secs_f64() >= min_duration_secs {
+            break;
+        }
+    }
+    let dec_secs = start.elapsed().as_secs_f64();
+    let decompress_mbps = dec_bytes as f64 / 1e6 / dec_secs.max(1e-9);
+
+    CodecProfile { codec: codec_id, compress_mbps, decompress_mbps, ratio }
+}
+
+/// Measures every paper level over `sample`. Returns profiles indexed by
+/// compression level (0 = NO ... 3 = HEAVY).
+pub fn measure_all(sample: &[u8], min_duration_secs: f64) -> Vec<CodecProfile> {
+    CodecId::ALL
+        .iter()
+        .map(|&id| measure(id, sample, min_duration_secs))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        b"calibration sample text with repetition repetition repetition. ".repeat(512)
+    }
+
+    #[test]
+    fn measure_produces_sane_numbers() {
+        let p = measure(CodecId::QlzLight, &sample(), 0.0);
+        assert!(p.compress_mbps > 0.0);
+        assert!(p.decompress_mbps > 0.0);
+        assert!(p.ratio > 0.0 && p.ratio < 1.0, "ratio {}", p.ratio);
+    }
+
+    #[test]
+    fn ratio_ordering_matches_levels_on_text() {
+        let s = sample();
+        let profiles = measure_all(&s, 0.0);
+        // NO ratio ≈ 1, LIGHT < NO, HEAVY best.
+        assert!(profiles[0].ratio >= 1.0);
+        assert!(profiles[1].ratio < 1.0);
+        assert!(profiles[3].ratio <= profiles[1].ratio + 0.02);
+    }
+
+    #[test]
+    fn raw_profile_has_header_overhead_only() {
+        let p = CodecProfile::raw(3000.0);
+        assert!(p.ratio > 1.0 && p.ratio < 1.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        measure(CodecId::Raw, &[], 0.0);
+    }
+}

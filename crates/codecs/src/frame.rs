@@ -1,0 +1,439 @@
+//! Self-describing block frames.
+//!
+//! The paper: "Nephele internally buffers data [...] in memory blocks of at
+//! most 128 KB size [...]. Each of these blocks is passed independently to
+//! the [...] compression library. This means each block contains all the
+//! information to be decompressed by the receiver, including meta
+//! information about compression algorithm".
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! 0   u8  magic0 = 0xAD
+//! 1   u8  magic1 = 0xC2
+//! 2   u8  codec id           (CodecId on the wire; Raw if fallback hit)
+//! 3   u8  flags              (bit 0: raw fallback — compression expanded)
+//! 4   u32 uncompressed length
+//! 8   u32 payload length
+//! 12  u32 CRC-32 of payload
+//! 16  payload bytes
+//! ```
+
+use crate::crc32::crc32;
+use crate::{codec_for, Codec, CodecError, CodecId, Result};
+use std::io::{self, Read, Write};
+
+/// Frame magic bytes.
+pub const MAGIC: [u8; 2] = [0xAD, 0xC2];
+/// Size of the fixed frame header.
+pub const HEADER_LEN: usize = 16;
+/// The paper's block size: at most 128 KiB of application data per block.
+pub const DEFAULT_BLOCK_LEN: usize = 128 * 1024;
+/// Flag: payload stored raw because compression expanded the block.
+pub const FLAG_RAW_FALLBACK: u8 = 0b0000_0001;
+
+/// Parsed frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Codec that actually produced the payload (Raw when fallback hit).
+    pub codec: CodecId,
+    /// The fallback flag: the *requested* codec expanded the data.
+    pub raw_fallback: bool,
+    pub uncompressed_len: u32,
+    pub payload_len: u32,
+    pub crc: u32,
+}
+
+impl FrameHeader {
+    /// Serializes into the 16-byte wire form.
+    pub fn to_bytes(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        b[0] = MAGIC[0];
+        b[1] = MAGIC[1];
+        b[2] = self.codec as u8;
+        b[3] = if self.raw_fallback { FLAG_RAW_FALLBACK } else { 0 };
+        b[4..8].copy_from_slice(&self.uncompressed_len.to_le_bytes());
+        b[8..12].copy_from_slice(&self.payload_len.to_le_bytes());
+        b[12..16].copy_from_slice(&self.crc.to_le_bytes());
+        b
+    }
+
+    /// Parses the 16-byte wire form.
+    pub fn from_bytes(b: &[u8; HEADER_LEN]) -> Result<FrameHeader> {
+        if b[0] != MAGIC[0] || b[1] != MAGIC[1] {
+            return Err(CodecError::BadMagic);
+        }
+        Ok(FrameHeader {
+            codec: CodecId::from_u8(b[2])?,
+            raw_fallback: b[3] & FLAG_RAW_FALLBACK != 0,
+            uncompressed_len: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+            payload_len: u32::from_le_bytes(b[8..12].try_into().unwrap()),
+            crc: u32::from_le_bytes(b[12..16].try_into().unwrap()),
+        })
+    }
+}
+
+/// Outcome of encoding one block — what the adaptive layer feeds its
+/// statistics with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Application bytes in the block.
+    pub uncompressed_len: usize,
+    /// Frame bytes emitted (header + payload).
+    pub frame_len: usize,
+    /// Codec that ended up in the frame (Raw when fallback hit).
+    pub codec: CodecId,
+    /// Whether the raw fallback replaced an expanding compression.
+    pub raw_fallback: bool,
+}
+
+impl BlockInfo {
+    /// Wire bytes divided by application bytes (≥ a little over 0 for very
+    /// compressible data; slightly above 1.0 for incompressible data).
+    pub fn wire_ratio(&self) -> f64 {
+        if self.uncompressed_len == 0 {
+            return 1.0;
+        }
+        self.frame_len as f64 / self.uncompressed_len as f64
+    }
+}
+
+/// Compresses `input` with `codec` and appends a complete frame to `out`.
+///
+/// If the compressed payload would be at least as large as the input, the
+/// block is stored raw instead and flagged, so the wire overhead on
+/// incompressible data is bounded by the 16-byte header.
+pub fn encode_block(codec: &dyn Codec, input: &[u8], out: &mut Vec<u8>) -> BlockInfo {
+    // Hard limit: the frame header stores lengths as u32. Blocks in this
+    // workspace are <= 128 KiB; this protects external callers in release.
+    assert!(input.len() <= u32::MAX as usize, "block exceeds frame length field");
+    let header_pos = out.len();
+    out.resize(header_pos + HEADER_LEN, 0);
+    let payload_pos = out.len();
+    let mut effective = codec.id();
+    let mut raw_fallback = false;
+    if codec.id() != CodecId::Raw {
+        codec.compress(input, out);
+        if out.len() - payload_pos >= input.len() {
+            out.truncate(payload_pos);
+            out.extend_from_slice(input);
+            effective = CodecId::Raw;
+            raw_fallback = true;
+        }
+    } else {
+        out.extend_from_slice(input);
+    }
+    let payload_len = out.len() - payload_pos;
+    let header = FrameHeader {
+        codec: effective,
+        raw_fallback,
+        uncompressed_len: input.len() as u32,
+        payload_len: payload_len as u32,
+        crc: crc32(&out[payload_pos..]),
+    };
+    out[header_pos..header_pos + HEADER_LEN].copy_from_slice(&header.to_bytes());
+    BlockInfo {
+        uncompressed_len: input.len(),
+        frame_len: HEADER_LEN + payload_len,
+        codec: effective,
+        raw_fallback,
+    }
+}
+
+/// Decodes one frame from the start of `input`, appending the recovered
+/// application bytes to `out`. Returns the header and the number of input
+/// bytes consumed.
+pub fn decode_block(input: &[u8], out: &mut Vec<u8>) -> Result<(FrameHeader, usize)> {
+    if input.len() < HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    let header = FrameHeader::from_bytes(input[..HEADER_LEN].try_into().unwrap())?;
+    let total = HEADER_LEN + header.payload_len as usize;
+    if input.len() < total {
+        return Err(CodecError::Truncated);
+    }
+    let payload = &input[HEADER_LEN..total];
+    let actual_crc = crc32(payload);
+    if actual_crc != header.crc {
+        return Err(CodecError::ChecksumMismatch { expected: header.crc, actual: actual_crc });
+    }
+    codec_for(header.codec).decompress(payload, header.uncompressed_len as usize, out)?;
+    Ok((header, total))
+}
+
+/// Streaming frame writer over any [`Write`].
+pub struct FrameWriter<W: Write> {
+    inner: W,
+    scratch: Vec<u8>,
+    /// Totals for reporting.
+    pub app_bytes: u64,
+    pub wire_bytes: u64,
+    pub blocks: u64,
+}
+
+impl<W: Write> FrameWriter<W> {
+    pub fn new(inner: W) -> Self {
+        FrameWriter { inner, scratch: Vec::new(), app_bytes: 0, wire_bytes: 0, blocks: 0 }
+    }
+
+    /// Encodes one block with the given codec and writes the frame.
+    pub fn write_block(&mut self, codec: &dyn Codec, data: &[u8]) -> io::Result<BlockInfo> {
+        self.scratch.clear();
+        let info = encode_block(codec, data, &mut self.scratch);
+        self.inner.write_all(&self.scratch)?;
+        self.app_bytes += info.uncompressed_len as u64;
+        self.wire_bytes += info.frame_len as u64;
+        self.blocks += 1;
+        Ok(info)
+    }
+
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+/// Streaming frame reader over any [`Read`].
+pub struct FrameReader<R: Read> {
+    inner: R,
+    payload_buf: Vec<u8>,
+    /// Totals for reporting.
+    pub app_bytes: u64,
+    pub wire_bytes: u64,
+    pub blocks: u64,
+}
+
+impl<R: Read> FrameReader<R> {
+    pub fn new(inner: R) -> Self {
+        FrameReader { inner, payload_buf: Vec::new(), app_bytes: 0, wire_bytes: 0, blocks: 0 }
+    }
+
+    /// Reads and decodes the next frame, appending application bytes to
+    /// `out`. Returns `Ok(None)` on a clean end of stream.
+    pub fn read_block(&mut self, out: &mut Vec<u8>) -> io::Result<Option<FrameHeader>> {
+        let mut header_bytes = [0u8; HEADER_LEN];
+        match read_exact_or_eof(&mut self.inner, &mut header_bytes)? {
+            ReadOutcome::Eof => return Ok(None),
+            ReadOutcome::Partial => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated frame header"))
+            }
+            ReadOutcome::Full => {}
+        }
+        let header = FrameHeader::from_bytes(&header_bytes).map_err(to_io)?;
+        self.payload_buf.clear();
+        self.payload_buf.resize(header.payload_len as usize, 0);
+        self.inner.read_exact(&mut self.payload_buf)?;
+        let actual_crc = crc32(&self.payload_buf);
+        if actual_crc != header.crc {
+            return Err(to_io(CodecError::ChecksumMismatch {
+                expected: header.crc,
+                actual: actual_crc,
+            }));
+        }
+        codec_for(header.codec)
+            .decompress(&self.payload_buf, header.uncompressed_len as usize, out)
+            .map_err(to_io)?;
+        self.app_bytes += header.uncompressed_len as u64;
+        self.wire_bytes += (HEADER_LEN + header.payload_len as usize) as u64;
+        self.blocks += 1;
+        Ok(Some(header))
+    }
+
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Partial })
+            }
+            Ok(n) => filled += n,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+fn to_io(e: CodecError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HeavyCodec, QlzLightCodec, QlzMediumCodec, RawCodec};
+
+    #[test]
+    fn header_roundtrip() {
+        let h = FrameHeader {
+            codec: CodecId::QlzMedium,
+            raw_fallback: false,
+            uncompressed_len: 131072,
+            payload_len: 4242,
+            crc: 0xDEADBEEF,
+        };
+        assert_eq!(FrameHeader::from_bytes(&h.to_bytes()).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic() {
+        let mut b = FrameHeader {
+            codec: CodecId::Raw,
+            raw_fallback: false,
+            uncompressed_len: 0,
+            payload_len: 0,
+            crc: 0,
+        }
+        .to_bytes();
+        b[0] = 0x00;
+        assert!(matches!(FrameHeader::from_bytes(&b), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn block_roundtrip_all_codecs() {
+        let data = b"block roundtrip data, repeated enough to compress. ".repeat(100);
+        for codec in [&RawCodec as &dyn Codec, &QlzLightCodec, &QlzMediumCodec, &HeavyCodec] {
+            let mut wire = Vec::new();
+            let info = encode_block(codec, &data, &mut wire);
+            assert_eq!(info.frame_len, wire.len());
+            let mut out = Vec::new();
+            let (header, consumed) = decode_block(&wire, &mut out).unwrap();
+            assert_eq!(consumed, wire.len());
+            assert_eq!(out, data);
+            assert_eq!(header.codec, info.codec);
+        }
+    }
+
+    #[test]
+    fn incompressible_block_falls_back_to_raw() {
+        // A xorshift byte soup defeats the LZ codecs.
+        let mut x = 0x1234_5678_9ABC_DEFFu64;
+        let data: Vec<u8> = (0..8192)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let mut wire = Vec::new();
+        let info = encode_block(&QlzLightCodec, &data, &mut wire);
+        assert!(info.raw_fallback);
+        assert_eq!(info.codec, CodecId::Raw);
+        assert_eq!(info.frame_len, HEADER_LEN + data.len());
+        let mut out = Vec::new();
+        decode_block(&wire, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn corrupted_payload_detected_by_crc() {
+        let data = b"corruption test ".repeat(64);
+        let mut wire = Vec::new();
+        encode_block(&QlzLightCodec, &data, &mut wire);
+        let idx = HEADER_LEN + 5;
+        wire[idx] ^= 0x80;
+        let mut out = Vec::new();
+        assert!(matches!(
+            decode_block(&wire, &mut out),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_detected() {
+        let data = b"truncate me ".repeat(64);
+        let mut wire = Vec::new();
+        encode_block(&QlzMediumCodec, &data, &mut wire);
+        let mut out = Vec::new();
+        assert!(matches!(
+            decode_block(&wire[..wire.len() - 1], &mut out),
+            Err(CodecError::Truncated)
+        ));
+        assert!(matches!(decode_block(&wire[..8], &mut out), Err(CodecError::Truncated)));
+    }
+
+    #[test]
+    fn empty_block_roundtrip() {
+        let mut wire = Vec::new();
+        let info = encode_block(&QlzLightCodec, &[], &mut wire);
+        assert_eq!(info.uncompressed_len, 0);
+        let mut out = Vec::new();
+        let (h, consumed) = decode_block(&wire, &mut out).unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(h.uncompressed_len, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stream_writer_reader_roundtrip() {
+        let blocks: Vec<Vec<u8>> = vec![
+            b"first block ".repeat(100),
+            b"second, different content block ".repeat(50),
+            Vec::new(),
+            b"third".to_vec(),
+        ];
+        let mut wire = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut wire);
+            for (i, b) in blocks.iter().enumerate() {
+                let codec: &dyn Codec =
+                    if i % 2 == 0 { &QlzLightCodec } else { &HeavyCodec };
+                w.write_block(codec, b).unwrap();
+            }
+            assert_eq!(w.blocks, 4);
+        }
+        let mut r = FrameReader::new(&wire[..]);
+        let mut i = 0;
+        loop {
+            let mut out = Vec::new();
+            match r.read_block(&mut out).unwrap() {
+                Some(_) => {
+                    assert_eq!(out, blocks[i]);
+                    i += 1;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(i, blocks.len());
+        assert_eq!(r.wire_bytes, wire.len() as u64);
+    }
+
+    #[test]
+    fn reader_reports_partial_header_as_error() {
+        let data = b"some data".to_vec();
+        let mut wire = Vec::new();
+        encode_block(&RawCodec, &data, &mut wire);
+        let mut r = FrameReader::new(&wire[..HEADER_LEN - 3]);
+        let mut out = Vec::new();
+        assert!(r.read_block(&mut out).is_err());
+    }
+
+    #[test]
+    fn wire_ratio_sane() {
+        let data = vec![0u8; 65536];
+        let mut wire = Vec::new();
+        let info = encode_block(&QlzLightCodec, &data, &mut wire);
+        assert!(info.wire_ratio() < 0.05);
+        let empty = BlockInfo { uncompressed_len: 0, frame_len: 16, codec: CodecId::Raw, raw_fallback: false };
+        assert_eq!(empty.wire_ratio(), 1.0);
+    }
+}

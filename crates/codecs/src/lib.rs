@@ -1,0 +1,321 @@
+//! # adcomp-codecs — compression codecs and block framing
+//!
+//! The paper's prototype offers four compression levels, "ordered by their
+//! respective time/compression ratio":
+//!
+//! | Level | Paper | Here |
+//! |---|---|---|
+//! | 0 `NO` | no compression | [`CodecId::Raw`] |
+//! | 1 `LIGHT` | QuickLZ, fastest setting | [`qlz::compress_light`] |
+//! | 2 `MEDIUM` | QuickLZ, better-ratio setting | [`qlz::compress_medium`] |
+//! | 3 `HEAVY` | LZMA | [`heavy`] (LZ77 + adaptive range coder) |
+//!
+//! All codecs are implemented from scratch in this crate. Blocks (the paper
+//! buffers at most 128 KiB before compressing) are wrapped in a
+//! self-describing [`frame`] carrying codec id, lengths and a CRC-32, so
+//! "each block contains all the information to be decompressed by the
+//! receiver" — including automatic raw fallback when compression would
+//! expand the data.
+
+pub mod calibrate;
+pub mod crc32;
+pub mod frame;
+pub mod heavy;
+pub mod qlz;
+pub mod rangecoder;
+
+use std::fmt;
+
+/// Errors surfaced while decoding compressed data or frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the stream was complete.
+    Truncated,
+    /// Structurally invalid data.
+    Corrupt(&'static str),
+    /// Frame CRC mismatch.
+    ChecksumMismatch { expected: u32, actual: u32 },
+    /// Frame names a codec this build does not know.
+    UnknownCodec(u8),
+    /// Frame magic bytes missing.
+    BadMagic,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "compressed stream truncated"),
+            CodecError::Corrupt(why) => write!(f, "corrupt compressed stream: {why}"),
+            CodecError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+            }
+            CodecError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
+            CodecError::BadMagic => write!(f, "bad frame magic"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Convenience alias used throughout the codec layer.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+/// Identifies the codec used for a block. Stable on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum CodecId {
+    /// Stored, no compression.
+    Raw = 0,
+    /// Fast LZ (QuickLZ level-1 analogue).
+    QlzLight = 1,
+    /// Ratio-leaning LZ (QuickLZ level-2 analogue).
+    QlzMedium = 2,
+    /// Range-coded LZ (LZMA analogue).
+    Heavy = 3,
+}
+
+impl CodecId {
+    /// All ids, in compression-level order.
+    pub const ALL: [CodecId; 4] =
+        [CodecId::Raw, CodecId::QlzLight, CodecId::QlzMedium, CodecId::Heavy];
+
+    pub fn from_u8(v: u8) -> Result<CodecId> {
+        match v {
+            0 => Ok(CodecId::Raw),
+            1 => Ok(CodecId::QlzLight),
+            2 => Ok(CodecId::QlzMedium),
+            3 => Ok(CodecId::Heavy),
+            other => Err(CodecError::UnknownCodec(other)),
+        }
+    }
+
+    /// The paper's level name (NO / LIGHT / MEDIUM / HEAVY).
+    pub fn level_name(self) -> &'static str {
+        match self {
+            CodecId::Raw => "NO",
+            CodecId::QlzLight => "LIGHT",
+            CodecId::QlzMedium => "MEDIUM",
+            CodecId::Heavy => "HEAVY",
+        }
+    }
+}
+
+impl fmt::Display for CodecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.level_name())
+    }
+}
+
+/// A block compressor/decompressor.
+///
+/// Implementations are stateless across blocks: every block is independently
+/// decodable (the paper requires each 128 KiB block to carry everything the
+/// receiver needs).
+pub trait Codec: Send + Sync {
+    fn id(&self) -> CodecId;
+
+    /// Compresses `input`, appending to `out`.
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>);
+
+    /// Decompresses `input` (exactly `expected_len` output bytes), appending
+    /// to `out`.
+    fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()>;
+}
+
+/// Level 0: stored.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RawCodec;
+
+impl Codec for RawCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Raw
+    }
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        out.extend_from_slice(input);
+    }
+    fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
+        if input.len() != expected_len {
+            return Err(CodecError::Corrupt("raw block length mismatch"));
+        }
+        out.extend_from_slice(input);
+        Ok(())
+    }
+}
+
+/// Level 1: fast LZ.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QlzLightCodec;
+
+impl Codec for QlzLightCodec {
+    fn id(&self) -> CodecId {
+        CodecId::QlzLight
+    }
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        qlz::compress_light(input, out);
+    }
+    fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
+        qlz::decompress(input, expected_len, out)
+    }
+}
+
+/// Level 2: ratio-leaning LZ.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QlzMediumCodec;
+
+impl Codec for QlzMediumCodec {
+    fn id(&self) -> CodecId {
+        CodecId::QlzMedium
+    }
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        qlz::compress_medium(input, out);
+    }
+    fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
+        qlz::decompress(input, expected_len, out)
+    }
+}
+
+/// Level 3: range-coded LZ.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HeavyCodec;
+
+impl Codec for HeavyCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Heavy
+    }
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        heavy::compress(input, out);
+    }
+    fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
+        heavy::decompress(input, expected_len, out)
+    }
+}
+
+/// Looks up the codec implementation for an id.
+pub fn codec_for(id: CodecId) -> &'static dyn Codec {
+    static RAW: RawCodec = RawCodec;
+    static LIGHT: QlzLightCodec = QlzLightCodec;
+    static MEDIUM: QlzMediumCodec = QlzMediumCodec;
+    static HEAVY: HeavyCodec = HeavyCodec;
+    match id {
+        CodecId::Raw => &RAW,
+        CodecId::QlzLight => &LIGHT,
+        CodecId::QlzMedium => &MEDIUM,
+        CodecId::Heavy => &HEAVY,
+    }
+}
+
+/// The paper's ordered set of compression levels: level index → codec.
+///
+/// "The individual compression levels must be ordered by their respective
+/// time/compression ratio. Compression level 0 stands for no compression."
+#[derive(Clone)]
+pub struct LevelSet {
+    levels: Vec<CodecId>,
+}
+
+impl LevelSet {
+    /// The four levels of the paper's prototype.
+    pub fn paper_default() -> Self {
+        LevelSet { levels: CodecId::ALL.to_vec() }
+    }
+
+    /// A custom ordering; level 0 must be [`CodecId::Raw`].
+    pub fn new(levels: Vec<CodecId>) -> Self {
+        assert!(!levels.is_empty(), "need at least one level");
+        assert_eq!(levels[0], CodecId::Raw, "level 0 must be no-compression");
+        LevelSet { levels }
+    }
+
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Codec for a level index.
+    pub fn codec(&self, level: usize) -> &'static dyn Codec {
+        codec_for(self.levels[level])
+    }
+
+    pub fn id(&self, level: usize) -> CodecId {
+        self.levels[level]
+    }
+
+    pub fn name(&self, level: usize) -> &'static str {
+        self.levels[level].level_name()
+    }
+
+    pub fn ids(&self) -> &[CodecId] {
+        &self.levels
+    }
+}
+
+impl Default for LevelSet {
+    fn default() -> Self {
+        LevelSet::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_id_roundtrip() {
+        for id in CodecId::ALL {
+            assert_eq!(CodecId::from_u8(id as u8).unwrap(), id);
+        }
+        assert!(matches!(CodecId::from_u8(9), Err(CodecError::UnknownCodec(9))));
+    }
+
+    #[test]
+    fn level_names_match_paper() {
+        let ls = LevelSet::paper_default();
+        assert_eq!(
+            (0..ls.len()).map(|i| ls.name(i)).collect::<Vec<_>>(),
+            vec!["NO", "LIGHT", "MEDIUM", "HEAVY"]
+        );
+    }
+
+    #[test]
+    fn raw_codec_is_identity() {
+        let data = b"identity".to_vec();
+        let mut c = Vec::new();
+        RawCodec.compress(&data, &mut c);
+        assert_eq!(c, data);
+        let mut d = Vec::new();
+        RawCodec.decompress(&c, data.len(), &mut d).unwrap();
+        assert_eq!(d, data);
+        let mut d2 = Vec::new();
+        assert!(RawCodec.decompress(&c, data.len() + 1, &mut d2).is_err());
+    }
+
+    #[test]
+    fn all_codecs_roundtrip_via_trait() {
+        let data = b"roundtrip through the trait object interface. ".repeat(50);
+        for id in CodecId::ALL {
+            let codec = codec_for(id);
+            assert_eq!(codec.id(), id);
+            let mut c = Vec::new();
+            codec.compress(&data, &mut c);
+            let mut d = Vec::new();
+            codec.decompress(&c, data.len(), &mut d).unwrap();
+            assert_eq!(d, data, "codec {id}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "level 0 must be no-compression")]
+    fn custom_level_set_requires_raw_first() {
+        LevelSet::new(vec![CodecId::QlzLight]);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = CodecError::ChecksumMismatch { expected: 1, actual: 2 };
+        assert!(e.to_string().contains("checksum"));
+        assert!(CodecError::BadMagic.to_string().contains("magic"));
+    }
+}

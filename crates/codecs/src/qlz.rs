@@ -1,0 +1,431 @@
+//! Fast byte-oriented LZ77 codec standing in for QuickLZ.
+//!
+//! The paper uses QuickLZ at two settings: compression level 1 (LIGHT,
+//! fastest) and level 2 (MEDIUM, "a setting which favors a better compressed
+//! size over compression speed"). This module provides the same two points
+//! on the speed/ratio curve:
+//!
+//! * **LIGHT** — greedy parse, single-probe hash table, literal-run skip
+//!   acceleration on incompressible data.
+//! * **MEDIUM** — hash-chain match finder with bounded depth plus one-step
+//!   lazy matching.
+//!
+//! ## Token format (shared by both settings)
+//!
+//! The stream is a sequence of groups. Each group starts with one control
+//! byte whose bits (LSB first) select the item kind:
+//!
+//! * bit = 0 → literal: one raw byte follows.
+//! * bit = 1 → match: three bytes follow — `len - MIN_MATCH` (1 byte) and a
+//!   little-endian `u16` backward distance (1..=65535).
+//!
+//! Matches are `MIN_MATCH..=MAX_MATCH` bytes (4..=259). The decompressor
+//! stops when the expected uncompressed length has been produced, so no
+//! end-of-stream marker is needed (the frame header carries the length).
+
+use crate::{CodecError, Result};
+
+/// Shortest encodable match.
+pub const MIN_MATCH: usize = 4;
+/// Longest encodable match.
+pub const MAX_MATCH: usize = MIN_MATCH + 255;
+/// Largest encodable backward distance.
+pub const MAX_OFFSET: usize = u16::MAX as usize;
+
+#[inline]
+fn hash4(data: &[u8], i: usize, bits: u32) -> usize {
+    let x = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (x.wrapping_mul(2654435761) >> (32 - bits)) as usize
+}
+
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize, limit: usize) -> usize {
+    // a < b; counts equal bytes starting at (a, b), capped at `limit`.
+    let mut n = 0;
+    while n < limit && data[a + n] == data[b + n] {
+        n += 1;
+    }
+    n
+}
+
+/// Bit-group writer for the token stream.
+struct TokenWriter<'a> {
+    out: &'a mut Vec<u8>,
+    ctrl_pos: usize,
+    ctrl: u8,
+    nbits: u8,
+}
+
+impl<'a> TokenWriter<'a> {
+    fn new(out: &'a mut Vec<u8>) -> Self {
+        TokenWriter { out, ctrl_pos: usize::MAX, ctrl: 0, nbits: 8 }
+    }
+
+    #[inline]
+    fn put_bit(&mut self, bit: bool) {
+        if self.nbits == 8 {
+            self.flush_ctrl();
+            self.ctrl_pos = self.out.len();
+            self.out.push(0);
+            self.ctrl = 0;
+            self.nbits = 0;
+        }
+        if bit {
+            self.ctrl |= 1 << self.nbits;
+        }
+        self.nbits += 1;
+    }
+
+    #[inline]
+    fn flush_ctrl(&mut self) {
+        if self.ctrl_pos != usize::MAX {
+            self.out[self.ctrl_pos] = self.ctrl;
+        }
+    }
+
+    #[inline]
+    fn literal(&mut self, b: u8) {
+        self.put_bit(false);
+        self.out.push(b);
+    }
+
+    #[inline]
+    fn match_token(&mut self, len: usize, offset: usize) {
+        debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+        debug_assert!((1..=MAX_OFFSET).contains(&offset));
+        self.put_bit(true);
+        self.out.push((len - MIN_MATCH) as u8);
+        self.out.extend_from_slice(&(offset as u16).to_le_bytes());
+    }
+
+    fn finish(mut self) {
+        self.flush_ctrl();
+    }
+}
+
+/// Greedy single-probe compression (QuickLZ level-1 analogue).
+pub fn compress_light(input: &[u8], out: &mut Vec<u8>) {
+    const HASH_BITS: u32 = 14;
+    let n = input.len();
+    let mut w = TokenWriter::new(out);
+    if n < MIN_MATCH {
+        for &b in input {
+            w.literal(b);
+        }
+        w.finish();
+        return;
+    }
+    let mut table = vec![u32::MAX; 1 << HASH_BITS];
+    let mut i = 0usize;
+    let mut misses = 0u32;
+    while i + MIN_MATCH <= n {
+        let h = hash4(input, i, HASH_BITS);
+        let cand = table[h] as usize;
+        table[h] = i as u32;
+        let found = cand != u32::MAX as usize
+            && i - cand <= MAX_OFFSET
+            && input[cand..cand + MIN_MATCH] == input[i..i + MIN_MATCH];
+        if found {
+            let limit = (n - i).min(MAX_MATCH);
+            let len = match_len(input, cand, i, limit);
+            w.match_token(len, i - cand);
+            // Seed one hash inside the match so runs keep chaining.
+            if i + len + MIN_MATCH <= n {
+                let j = i + len - 1;
+                if j + MIN_MATCH <= n {
+                    table[hash4(input, j, HASH_BITS)] = j as u32;
+                }
+            }
+            i += len;
+            misses = 0;
+        } else {
+            // Skip acceleration: after a long literal run, emit several
+            // literals per probe so incompressible data stays fast.
+            let skip = (1 + (misses >> 5) as usize).min(n - i);
+            for k in 0..skip {
+                w.literal(input[i + k]);
+            }
+            i += skip;
+            misses += 1;
+        }
+    }
+    while i < n {
+        w.literal(input[i]);
+        i += 1;
+    }
+    w.finish();
+}
+
+/// Hash-chain lazy compression (QuickLZ level-2 analogue: better ratio,
+/// lower speed).
+pub fn compress_medium(input: &[u8], out: &mut Vec<u8>) {
+    const HASH_BITS: u32 = 15;
+    const MAX_DEPTH: u32 = 48;
+    let n = input.len();
+    let mut w = TokenWriter::new(out);
+    if n < MIN_MATCH {
+        for &b in input {
+            w.literal(b);
+        }
+        w.finish();
+        return;
+    }
+    let mut head = vec![u32::MAX; 1 << HASH_BITS];
+    let mut prev = vec![u32::MAX; n];
+
+    let insert = |head: &mut [u32], prev: &mut [u32], input: &[u8], pos: usize| {
+        if pos + MIN_MATCH <= n {
+            let h = hash4(input, pos, HASH_BITS);
+            prev[pos] = head[h];
+            head[h] = pos as u32;
+        }
+    };
+    let find_best = |head: &[u32], prev: &[u32], input: &[u8], pos: usize| -> (usize, usize) {
+        let limit = (n - pos).min(MAX_MATCH);
+        if limit < MIN_MATCH {
+            return (0, 0);
+        }
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        let mut cand = head[hash4(input, pos, HASH_BITS)];
+        let mut depth = 0;
+        while cand != u32::MAX && depth < MAX_DEPTH {
+            let c = cand as usize;
+            if pos - c > MAX_OFFSET {
+                break;
+            }
+            // Quick reject: a longer match must agree at the byte just past
+            // the current best (c + best_len < n because c < pos).
+            if best_len == 0
+                || (pos + best_len < n && input[c + best_len] == input[pos + best_len])
+            {
+                let len = match_len(input, c, pos, limit);
+                if len > best_len {
+                    best_len = len;
+                    best_off = pos - c;
+                    if len == limit {
+                        break;
+                    }
+                }
+            }
+            cand = prev[c];
+            depth += 1;
+        }
+        if best_len >= MIN_MATCH {
+            (best_len, best_off)
+        } else {
+            (0, 0)
+        }
+    };
+
+    let mut i = 0usize;
+    while i + MIN_MATCH <= n {
+        let (len, off) = find_best(&head, &prev, input, i);
+        insert(&mut head, &mut prev, input, i);
+        if len == 0 {
+            w.literal(input[i]);
+            i += 1;
+            continue;
+        }
+        // One-step lazy match: prefer a strictly longer match at i + 1.
+        if i + 1 + MIN_MATCH <= n {
+            let (len2, _off2) = find_best(&head, &prev, input, i + 1);
+            if len2 > len + 1 {
+                w.literal(input[i]);
+                i += 1;
+                continue;
+            }
+        }
+        w.match_token(len, off);
+        // Insert hash entries inside the match (sparsely, for speed).
+        let mut j = i + 1;
+        let end = i + len;
+        while j < end {
+            insert(&mut head, &mut prev, input, j);
+            j += if len > 64 { 7 } else { 1 };
+        }
+        i = end;
+    }
+    while i < n {
+        w.literal(input[i]);
+        i += 1;
+    }
+    w.finish();
+}
+
+/// Decompresses a token stream produced by either setting.
+///
+/// `expected_len` is the uncompressed size recorded in the frame header.
+pub fn decompress(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
+    let start = out.len();
+    out.reserve(expected_len);
+    let target = start + expected_len;
+    let mut p = 0usize;
+    'outer: while out.len() < target {
+        if p >= input.len() {
+            return Err(CodecError::Truncated);
+        }
+        let ctrl = input[p];
+        p += 1;
+        for bit in 0..8 {
+            if out.len() == target {
+                break 'outer;
+            }
+            if ctrl >> bit & 1 == 0 {
+                let &b = input.get(p).ok_or(CodecError::Truncated)?;
+                out.push(b);
+                p += 1;
+            } else {
+                if p + 3 > input.len() {
+                    return Err(CodecError::Truncated);
+                }
+                let len = input[p] as usize + MIN_MATCH;
+                let off = u16::from_le_bytes([input[p + 1], input[p + 2]]) as usize;
+                p += 3;
+                let produced = out.len() - start;
+                if off == 0 || off > produced {
+                    return Err(CodecError::Corrupt("match offset out of range"));
+                }
+                if out.len() + len > target {
+                    return Err(CodecError::Corrupt("match overruns expected length"));
+                }
+                // Overlapping copies must run byte-by-byte.
+                #[allow(clippy::explicit_counter_loop)]
+                {
+                let mut src = out.len() - off;
+                for _ in 0..len {
+                    let b = out[src];
+                    out.push(b);
+                    src += 1;
+                }
+                }
+            }
+        }
+    }
+    if p != input.len() {
+        // Only control-byte padding bits may remain; extra payload means
+        // a corrupt frame.
+        return Err(CodecError::Corrupt("trailing bytes after stream end"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(compress: fn(&[u8], &mut Vec<u8>), data: &[u8]) -> usize {
+        let mut c = Vec::new();
+        compress(data, &mut c);
+        let mut d = Vec::new();
+        decompress(&c, data.len(), &mut d).unwrap();
+        assert_eq!(d, data);
+        c.len()
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        for data in [&b""[..], b"a", b"ab", b"abc", b"abcd"] {
+            roundtrip(compress_light, data);
+            roundtrip(compress_medium, data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_repetitive() {
+        let data = b"abcabcabcabcabcabcabcabcabcabc".repeat(100);
+        let cl = roundtrip(compress_light, &data);
+        let cm = roundtrip(compress_medium, &data);
+        assert!(cl < data.len() / 4, "light: {cl} vs {}", data.len());
+        assert!(cm <= cl + 8, "medium ({cm}) should not be much worse than light ({cl})");
+    }
+
+    #[test]
+    fn roundtrip_long_runs() {
+        let mut data = vec![0u8; 100_000];
+        data[50_000..50_100].fill(0xFF);
+        let c = roundtrip(compress_light, &data);
+        assert!(c < 3000, "long zero runs should collapse, got {c}");
+        roundtrip(compress_medium, &data);
+    }
+
+    #[test]
+    fn roundtrip_incompressible() {
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..65536)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let cl = roundtrip(compress_light, &data);
+        // Worst case ~ 9/8 expansion.
+        assert!(cl <= data.len() + data.len() / 8 + 16);
+        roundtrip(compress_medium, &data);
+    }
+
+    #[test]
+    fn medium_not_worse_than_light_on_text() {
+        let data = adcomp_corpus_text();
+        let mut cl = Vec::new();
+        compress_light(&data, &mut cl);
+        let mut cm = Vec::new();
+        compress_medium(&data, &mut cm);
+        assert!(cm.len() <= cl.len(), "medium {} vs light {}", cm.len(), cl.len());
+    }
+
+    // Small hand-rolled "English-ish" text so this crate's unit tests do not
+    // depend on adcomp-corpus (which is a dev-dependency for integration
+    // tests only).
+    fn adcomp_corpus_text() -> Vec<u8> {
+        let words = ["the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog"];
+        let mut s = String::new();
+        let mut x = 7u64;
+        while s.len() < 60_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s.push_str(words[(x >> 33) as usize % words.len()]);
+            s.push(' ');
+        }
+        s.into_bytes()
+    }
+
+    #[test]
+    fn decompress_rejects_bad_offset() {
+        // Control byte with bit0 = 1 (match), offset 100 with nothing produced.
+        let stream = [0b0000_0001u8, 0, 100, 0];
+        let mut out = Vec::new();
+        assert!(matches!(
+            decompress(&stream, 50, &mut out),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn decompress_rejects_truncation() {
+        let data = b"hello world hello world hello world".repeat(10);
+        let mut c = Vec::new();
+        compress_light(&data, &mut c);
+        let mut out = Vec::new();
+        assert!(decompress(&c[..c.len() - 2], data.len(), &mut out).is_err());
+    }
+
+    #[test]
+    fn decompress_rejects_trailing_garbage() {
+        let data = b"aaaa bbbb cccc".repeat(20);
+        let mut c = Vec::new();
+        compress_light(&data, &mut c);
+        c.extend_from_slice(&[1, 2, 3, 4]);
+        let mut out = Vec::new();
+        assert!(decompress(&c, data.len(), &mut out).is_err());
+    }
+
+    #[test]
+    fn overlapping_match_copy() {
+        // "aaaaaaaa..." forces offset-1 matches (RLE-style overlap).
+        let data = vec![b'a'; 1000];
+        roundtrip(compress_light, &data);
+        roundtrip(compress_medium, &data);
+    }
+}

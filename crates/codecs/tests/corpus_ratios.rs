@@ -1,0 +1,91 @@
+//! Cross-crate check: our codecs on our synthetic corpus must land in the
+//! compressibility bands the paper reports for its test files.
+
+use adcomp_codecs::frame::{encode_block, DEFAULT_BLOCK_LEN};
+use adcomp_codecs::{codec_for, CodecId};
+use adcomp_corpus::{generate, Class};
+
+fn ratio(class: Class, id: CodecId) -> f64 {
+    let data = generate(class, 2 * 1024 * 1024, 42);
+    let codec = codec_for(id);
+    let mut wire = Vec::new();
+    let mut app = 0u64;
+    for b in data.chunks(DEFAULT_BLOCK_LEN) {
+        let info = encode_block(codec, b, &mut wire);
+        app += info.uncompressed_len as u64;
+    }
+    wire.len() as f64 / app as f64
+}
+
+#[test]
+fn high_class_compresses_like_ptt5() {
+    // Paper: ptt5 compresses to 10–15 % with common libraries.
+    let light = ratio(Class::High, CodecId::QlzLight);
+    let heavy = ratio(Class::High, CodecId::Heavy);
+    assert!(light < 0.20, "LIGHT on HIGH: {light}");
+    assert!(heavy < light, "HEAVY ({heavy}) should beat LIGHT ({light})");
+    assert!(heavy > 0.005, "HEAVY on HIGH unrealistically small: {heavy}");
+}
+
+#[test]
+fn moderate_class_compresses_like_alice29() {
+    // Paper: alice29.txt ratio 30–50 % depending on algorithm.
+    let light = ratio(Class::Moderate, CodecId::QlzLight);
+    let medium = ratio(Class::Moderate, CodecId::QlzMedium);
+    let heavy = ratio(Class::Moderate, CodecId::Heavy);
+    assert!((0.25..0.60).contains(&light), "LIGHT on MODERATE: {light}");
+    assert!(medium <= light + 0.01, "MEDIUM ({medium}) vs LIGHT ({light})");
+    assert!(heavy < medium, "HEAVY ({heavy}) should beat MEDIUM ({medium})");
+}
+
+#[test]
+fn low_class_compresses_like_jpeg() {
+    // Paper: image.jpg ratio 90–95 %.
+    let light = ratio(Class::Low, CodecId::QlzLight);
+    let heavy = ratio(Class::Low, CodecId::Heavy);
+    assert!(light > 0.85, "LIGHT on LOW: {light}");
+    assert!(light <= 1.01, "LIGHT on LOW should not expand past fallback: {light}");
+    assert!(heavy > 0.85, "HEAVY on LOW: {heavy}");
+}
+
+#[test]
+fn every_codec_roundtrips_every_class() {
+    for class in Class::ALL {
+        let data = generate(class, 300_000, 7);
+        for id in CodecId::ALL {
+            let codec = codec_for(id);
+            let mut wire = Vec::new();
+            for b in data.chunks(DEFAULT_BLOCK_LEN) {
+                encode_block(codec, b, &mut wire);
+            }
+            let mut out = Vec::new();
+            let mut cursor = &wire[..];
+            while !cursor.is_empty() {
+                let (_, used) = adcomp_codecs::frame::decode_block(cursor, &mut out).unwrap();
+                cursor = &cursor[used..];
+            }
+            assert_eq!(out, data, "class {class} codec {id}");
+        }
+    }
+}
+
+#[test]
+fn speed_ordering_light_fastest_heavy_slowest() {
+    use adcomp_codecs::calibrate::measure;
+    let data = generate(Class::Moderate, 1024 * 1024, 3);
+    let light = measure(CodecId::QlzLight, &data, 0.05);
+    let medium = measure(CodecId::QlzMedium, &data, 0.05);
+    let heavy = measure(CodecId::Heavy, &data, 0.05);
+    assert!(
+        light.compress_mbps > heavy.compress_mbps * 2.0,
+        "LIGHT {} vs HEAVY {}",
+        light.compress_mbps,
+        heavy.compress_mbps
+    );
+    assert!(
+        medium.compress_mbps > heavy.compress_mbps,
+        "MEDIUM {} vs HEAVY {}",
+        medium.compress_mbps,
+        heavy.compress_mbps
+    );
+}

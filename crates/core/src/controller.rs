@@ -1,0 +1,416 @@
+//! Algorithm 1 of the paper: `GetNextCompressionLevel(cdr, pdr, ccl)`.
+//!
+//! The controller adapts the compression level purely in response to
+//! changes in the **application data rate** — the rate at which the
+//! application can hand data to the (compressing) channel. It deliberately
+//! ignores CPU utilization and displayed I/O bandwidth, which Section II of
+//! the paper shows to be unreliable inside virtual machines.
+//!
+//! Three cases per epoch (every `t` seconds):
+//!
+//! 1. **Stable** (`|cdr − pdr| ≤ α·pdr`): once the exponential backoff for
+//!    the current level expires, optimistically probe the next level in the
+//!    direction of the last change (`inc`).
+//! 2. **Improved** (`cdr − pdr > α·pdr`): reward the current level by
+//!    incrementing its backoff exponent — probes away from good levels
+//!    decay exponentially.
+//! 3. **Degraded**: reset the current level's backoff and revert the last
+//!    change immediately (within one epoch, as the paper emphasizes).
+//!
+//! `ccl`, `inc` and `pdr` are updated outside the core algorithm, exactly
+//! as the paper notes below Algorithm 1.
+
+/// Tuning parameters of the decision model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// Relative dead-band α: rate changes within `α × pdr` count as "no
+    /// change". The paper found 0.2 reasonable.
+    pub alpha: f64,
+    /// Number of compression levels (paper prototype: 4).
+    pub num_levels: usize,
+    /// Cap on backoff exponents so `2^bck` cannot overflow and a long-lived
+    /// good level can still be probed eventually.
+    pub max_backoff_exp: u32,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig { alpha: 0.2, num_levels: 4, max_backoff_exp: 16 }
+    }
+}
+
+/// Which branch of Algorithm 1 fired — exposed for traces and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionCase {
+    /// First observation: `pdr` seeded with `cdr`; treated as stable.
+    Seed,
+    /// Rate stable, backoff still running.
+    Stable,
+    /// Rate stable, backoff expired → optimistic probe.
+    Probe,
+    /// Rate improved → backoff reward.
+    Improved,
+    /// Rate degraded → immediate revert.
+    Degraded,
+}
+
+/// Outcome of one epoch decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Level to apply for the next epoch.
+    pub level: usize,
+    /// Which case fired.
+    pub case: DecisionCase,
+    /// The observed application data rate that drove the decision.
+    pub cdr: f64,
+}
+
+/// State of the paper's decision model (Table I variables).
+#[derive(Debug, Clone)]
+pub struct RateController {
+    cfg: ControllerConfig,
+    /// `ccl`: currently applied compression level.
+    ccl: usize,
+    /// `c`: decision calls since the last level change.
+    c: u64,
+    /// `inc`: whether the last level change was an increase.
+    inc: bool,
+    /// `bck`: per-level backoff exponents.
+    bck: Vec<u32>,
+    /// `pdr`: application data rate of the previous epoch.
+    pdr: Option<f64>,
+}
+
+impl RateController {
+    pub fn new(cfg: ControllerConfig) -> Self {
+        assert!(cfg.num_levels >= 1, "need at least one level");
+        assert!(cfg.alpha >= 0.0, "alpha must be non-negative");
+        RateController {
+            ccl: 0,
+            c: 0,
+            inc: true,
+            bck: vec![0; cfg.num_levels],
+            pdr: None,
+            cfg,
+        }
+    }
+
+    /// Paper defaults: α = 0.2, four levels.
+    pub fn paper_default() -> Self {
+        RateController::new(ControllerConfig::default())
+    }
+
+    /// Current compression level (`ccl`).
+    pub fn level(&self) -> usize {
+        self.ccl
+    }
+
+    /// Current backoff exponents (`bck`), for inspection.
+    pub fn backoffs(&self) -> &[u32] {
+        &self.bck
+    }
+
+    /// Whether the last level change was an increase (`inc`).
+    pub fn increasing(&self) -> bool {
+        self.inc
+    }
+
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// Feeds one epoch's application data rate (`cdr`, bytes/second) and
+    /// returns the level for the next epoch.
+    ///
+    /// This wraps Algorithm 1 plus the out-of-algorithm updates of `ccl`,
+    /// `inc` and `pdr` described in the paper.
+    pub fn observe(&mut self, cdr: f64) -> Decision {
+        let pdr = match self.pdr {
+            Some(p) => p,
+            None => {
+                // "On the first call of the decision algorithm, pdr is set
+                // to cdr" — d becomes 0 and the stable case applies, so with
+                // fresh backoffs the first probe happens immediately.
+                cdr
+            }
+        };
+
+        let d = cdr - pdr;
+        self.c += 1;
+        let mut ncl = self.ccl as i64;
+        let case;
+        if d.abs() <= self.cfg.alpha * pdr {
+            // Case 1: no change in application data rate.
+            if self.c >= 1u64 << self.bck[self.ccl].min(62) {
+                ncl += if self.inc { 1 } else { -1 };
+                self.c = 0;
+                case = if self.pdr.is_none() { DecisionCase::Seed } else { DecisionCase::Probe };
+            } else {
+                case = DecisionCase::Stable;
+            }
+        } else if d > 0.0 {
+            // Case 2: application data rate improved.
+            self.bck[self.ccl] = (self.bck[self.ccl] + 1).min(self.cfg.max_backoff_exp);
+            self.c = 0;
+            case = DecisionCase::Improved;
+        } else {
+            // Case 3: application data rate degraded — revert immediately.
+            self.bck[self.ccl] = 0;
+            ncl += if self.inc { -1 } else { 1 };
+            self.c = 0;
+            case = DecisionCase::Degraded;
+        }
+
+        // Boundary handling (the paper's pseudo code leaves this implicit):
+        // clamp into the valid range; if an optimistic *probe* bounced off a
+        // boundary, reflect it so probing can continue in the only possible
+        // direction.
+        let n = self.cfg.num_levels as i64;
+        if ncl < 0 {
+            ncl = if case == DecisionCase::Probe && n > 1 { 1 } else { 0 };
+        } else if ncl >= n {
+            ncl = if case == DecisionCase::Probe && n > 1 { n - 2 } else { n - 1 };
+        }
+        let ncl = ncl as usize;
+
+        // Out-of-algorithm updates (paper: "inc is usually updated outside
+        // of the displayed algorithm depending on ccl and the return value
+        // ncl").
+        if ncl != self.ccl {
+            self.inc = ncl > self.ccl;
+            self.ccl = ncl;
+        }
+        self.pdr = Some(cdr);
+
+        Decision { level: self.ccl, case, cdr }
+    }
+
+    /// Resets all adaptive state (fresh connection).
+    pub fn reset(&mut self) {
+        self.ccl = 0;
+        self.c = 0;
+        self.inc = true;
+        self.bck.fill(0);
+        self.pdr = None;
+    }
+
+    /// Forgets all backoff state while keeping the current level —
+    /// optimistic probing resumes at the next stable epoch. Used by the
+    /// entropy-guided extension when the data's compressibility visibly
+    /// changes (the paper notes that accumulated backoff at level 0 delays
+    /// the reaction to such changes).
+    pub fn forget_backoffs(&mut self) {
+        self.bck.fill(0);
+        self.c = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl(levels: usize) -> RateController {
+        RateController::new(ControllerConfig { alpha: 0.2, num_levels: levels, max_backoff_exp: 16 })
+    }
+
+    #[test]
+    fn first_epoch_probes_upward() {
+        let mut c = ctl(4);
+        // First call: pdr = cdr, stable case, backoff 2^0 = 1 expired.
+        let d = c.observe(100.0);
+        assert_eq!(d.level, 1);
+        assert!(c.increasing());
+    }
+
+    #[test]
+    fn improvement_rewards_level_with_backoff() {
+        let mut c = ctl(4);
+        c.observe(100.0); // -> level 1
+        let d = c.observe(200.0); // big improvement at level 1
+        assert_eq!(d.case, DecisionCase::Improved);
+        assert_eq!(d.level, 1, "improvement itself does not switch");
+        assert_eq!(c.backoffs()[1], 1);
+    }
+
+    #[test]
+    fn degradation_reverts_within_one_epoch() {
+        let mut c = ctl(4);
+        c.observe(100.0); // 0 -> 1
+        c.observe(200.0); // improved at 1
+        // Stable epochs until probe to level 2 (backoff 2^1 = 2).
+        c.observe(200.0); // stable, c=1 < 2
+        let d = c.observe(200.0); // c=2 -> probe up to 2
+        assert_eq!(d.level, 2);
+        assert_eq!(d.case, DecisionCase::Probe);
+        // Level 2 tanks the rate: revert to 1 immediately.
+        let d = c.observe(50.0);
+        assert_eq!(d.case, DecisionCase::Degraded);
+        assert_eq!(d.level, 1);
+        assert_eq!(c.backoffs()[2], 0, "degrading level's backoff reset");
+    }
+
+    #[test]
+    fn backoff_grows_probe_intervals_exponentially() {
+        let mut c = ctl(4);
+        c.observe(100.0); // -> 1
+        c.observe(200.0); // improved, bck[1] = 1
+        // From now on the rate is flat at level 1; count epochs between
+        // probes. After each probe + revert cycle bck[1] grows again.
+        let mut probe_gaps = Vec::new();
+        let mut gap = 0;
+        for _ in 0..200 {
+            let d = c.observe(200.0);
+            gap += 1;
+            if d.case == DecisionCase::Probe {
+                probe_gaps.push(gap);
+                gap = 0;
+                // The probe went to level 0 or 2; pretend it degrades so
+                // we come back to 1 — next epoch rate is lower.
+                let d2 = c.observe(100.0);
+                assert_eq!(d2.level, 1, "revert must come back to 1");
+                // Now rate recovers at level 1 -> Improved -> bck[1]+1.
+                let d3 = c.observe(200.0);
+                assert_eq!(d3.case, DecisionCase::Improved);
+            }
+        }
+        assert!(probe_gaps.len() >= 3, "expected several probes, got {probe_gaps:?}");
+        // Gaps must be non-decreasing and grow overall (exponential backoff).
+        assert!(
+            probe_gaps.windows(2).all(|w| w[1] >= w[0]),
+            "gaps not monotone: {probe_gaps:?}"
+        );
+        assert!(
+            probe_gaps.last().unwrap() > probe_gaps.first().unwrap(),
+            "gaps did not grow: {probe_gaps:?}"
+        );
+    }
+
+    #[test]
+    fn probe_reflects_at_bottom_boundary() {
+        let mut c = ctl(4);
+        c.observe(100.0); // 0 -> 1 (probe)
+        let d = c.observe(50.0); // degraded -> revert to 0, inc=false
+        assert_eq!(d.level, 0);
+        assert!(!c.increasing());
+        // Stable at 0: next probe would go to -1; must reflect to 1.
+        let d = c.observe(50.0);
+        assert_eq!(d.case, DecisionCase::Probe);
+        assert_eq!(d.level, 1, "probe at bottom must reflect upward");
+    }
+
+    #[test]
+    fn probe_reflects_at_top_boundary() {
+        let mut c = ctl(2); // levels {0, 1}
+        c.observe(100.0); // 0 -> 1
+        c.observe(100.0); // stable at 1, c=1 >= 2^0 -> probe up, reflect to 0
+        assert_eq!(c.level(), 0);
+    }
+
+    #[test]
+    fn single_level_never_moves() {
+        let mut c = ctl(1);
+        for r in [100.0, 200.0, 50.0, 100.0] {
+            assert_eq!(c.observe(r).level, 0);
+        }
+    }
+
+    #[test]
+    fn dead_band_alpha_suppresses_small_changes() {
+        let mut c = ctl(4);
+        c.observe(100.0); // -> 1
+        // +15 % is within alpha = 0.2: stable case, not "improved".
+        let d = c.observe(115.0);
+        assert_ne!(d.case, DecisionCase::Improved);
+        // A change beyond 20 % counts.
+        let d = c.observe(150.0);
+        assert_eq!(d.case, DecisionCase::Improved);
+    }
+
+    #[test]
+    fn zero_rate_handled() {
+        let mut c = ctl(4);
+        c.observe(0.0);
+        c.observe(0.0);
+        let d = c.observe(0.0);
+        // Never panics; stays within range.
+        assert!(d.level < 4);
+    }
+
+    #[test]
+    fn converges_to_best_level_in_synthetic_world() {
+        // Synthetic world: the achievable rate per level; level 1 is best
+        // (LIGHT on highly compressible data).
+        let rates = [90.0, 205.0, 145.0, 27.0];
+        let mut c = ctl(4);
+        let mut level = 0usize;
+        let mut occupancy = [0u32; 4];
+        for _ in 0..300 {
+            let d = c.observe(rates[level]);
+            level = d.level;
+            occupancy[level] += 1;
+        }
+        assert!(
+            occupancy[1] > 240,
+            "controller should spend most epochs at level 1: {occupancy:?}"
+        );
+    }
+
+    #[test]
+    fn adapts_when_best_level_shifts() {
+        // World A: level 1 best. World B (compressibility drops): level 0
+        // best, with gaps well beyond the α = 0.2 dead band.
+        let world_b = [90.0, 60.0, 40.0, 5.0];
+        let world_a = [90.0, 205.0, 145.0, 27.0];
+        let mut c = ctl(4);
+        let mut level = 0usize;
+        for _ in 0..100 {
+            level = c.observe(world_a[level]).level;
+        }
+        assert_eq!(level, 1);
+        let mut back_at_zero = None;
+        for i in 0..200 {
+            level = c.observe(world_b[level]).level;
+            if level == 0 && back_at_zero.is_none() {
+                back_at_zero = Some(i);
+            }
+        }
+        let when = back_at_zero.expect("controller must fall back to level 0");
+        assert!(when < 10, "fallback should be fast (one degraded epoch), got {when}");
+        assert_eq!(level, 0);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut c = ctl(4);
+        for r in [100.0, 180.0, 200.0, 210.0] {
+            c.observe(r);
+        }
+        c.reset();
+        assert_eq!(c.level(), 0);
+        assert!(c.increasing());
+        assert!(c.backoffs().iter().all(|&b| b == 0));
+        assert_eq!(c.observe(100.0).level, 1, "behaves like a fresh controller");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_rejected() {
+        ctl(0);
+    }
+
+    #[test]
+    fn backoff_exponent_capped() {
+        let mut c = RateController::new(ControllerConfig {
+            alpha: 0.2,
+            num_levels: 4,
+            max_backoff_exp: 3,
+        });
+        c.observe(100.0); // -> 1
+        let mut rate = 100.0;
+        for _ in 0..20 {
+            rate *= 1.5; // perpetual improvement at level 1
+            c.observe(rate);
+        }
+        assert_eq!(c.backoffs()[1], 3);
+    }
+}

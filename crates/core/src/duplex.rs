@@ -1,0 +1,199 @@
+//! Bidirectional adaptive-compressed channels.
+//!
+//! The paper observes that "the entire adaptive compression/decompression
+//! logic can be encapsulated in a higher-level communication library and
+//! therefore becomes completely transparent to the application".
+//! [`CompressedDuplex`] is that library surface: it wraps any read half +
+//! write half (most usefully the two clones of a `TcpStream`) so each
+//! direction is an independent adaptive channel — the outbound side adapts
+//! to *this* end's application data rate, the inbound side simply decodes
+//! whatever self-describing frames arrive.
+
+use crate::epoch::Clock;
+use crate::model::DecisionModel;
+use crate::stream::{AdaptiveReader, AdaptiveWriter, StreamStats};
+use adcomp_codecs::LevelSet;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// A bidirectional compressed channel over independent read/write halves.
+pub struct CompressedDuplex<R: Read, W: Write> {
+    reader: AdaptiveReader<R>,
+    writer: AdaptiveWriter<W>,
+}
+
+impl<R: Read, W: Write> CompressedDuplex<R, W> {
+    /// Wraps the two halves with the paper's defaults (128 KiB blocks,
+    /// t = 2 s wall-clock epochs).
+    pub fn new(read_half: R, write_half: W, levels: LevelSet, model: Box<dyn DecisionModel>) -> Self {
+        CompressedDuplex {
+            reader: AdaptiveReader::new(read_half),
+            writer: AdaptiveWriter::new(write_half, levels, model),
+        }
+    }
+
+    /// Full-control constructor.
+    pub fn with_params(
+        read_half: R,
+        write_half: W,
+        levels: LevelSet,
+        model: Box<dyn DecisionModel>,
+        block_len: usize,
+        epoch_secs: f64,
+        clock: Box<dyn Clock>,
+    ) -> Self {
+        CompressedDuplex {
+            reader: AdaptiveReader::new(read_half),
+            writer: AdaptiveWriter::with_params(
+                write_half, levels, model, block_len, epoch_secs, clock,
+            ),
+        }
+    }
+
+    /// Current outbound compression level.
+    pub fn level(&self) -> usize {
+        self.writer.level()
+    }
+
+    /// Outbound statistics snapshot.
+    pub fn send_stats(&self) -> StreamStats {
+        self.writer.stats()
+    }
+
+    /// Inbound byte counters: `(app_bytes, wire_bytes, blocks)`.
+    pub fn recv_counters(&self) -> (u64, u64, u64) {
+        (self.reader.app_bytes(), self.reader.wire_bytes(), self.reader.blocks())
+    }
+
+    /// Flushes outbound buffers and returns the halves plus final stats.
+    pub fn finish(self) -> io::Result<(R, W, StreamStats)> {
+        let (w, stats) = self.writer.finish()?;
+        // Destructure the reader back to its half.
+        Ok((self.reader.into_inner(), w, stats))
+    }
+}
+
+impl<R: Read, W: Write> Read for CompressedDuplex<R, W> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.reader.read(buf)
+    }
+}
+
+impl<R: Read, W: Write> Write for CompressedDuplex<R, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.writer.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Convenience: a compressed duplex over a TCP stream (clones the socket
+/// for the read half).
+pub fn over_tcp(
+    stream: TcpStream,
+    levels: LevelSet,
+    model: Box<dyn DecisionModel>,
+) -> io::Result<CompressedDuplex<TcpStream, TcpStream>> {
+    let read_half = stream.try_clone()?;
+    Ok(CompressedDuplex::new(read_half, stream, levels, model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{RateBasedModel, StaticModel};
+    use std::net::TcpListener;
+
+    fn levels() -> LevelSet {
+        LevelSet::paper_default()
+    }
+
+    #[test]
+    fn two_way_echo_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        // Server: echo every line back, through its own compressed duplex.
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut duplex =
+                over_tcp(stream, levels(), Box::new(StaticModel::new(1, 4))).unwrap();
+            let mut buf = vec![0u8; 64 * 1024];
+            let mut echoed = 0u64;
+            loop {
+                let n = duplex.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                duplex.write_all(&buf[..n]).unwrap();
+                duplex.flush().unwrap();
+                echoed += n as u64;
+            }
+            let (_, _, stats) = duplex.finish().unwrap();
+            (echoed, stats)
+        });
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut duplex =
+            over_tcp(stream, levels(), Box::new(RateBasedModel::paper_default())).unwrap();
+        let message = b"duplex message with repetition repetition! ".repeat(2000);
+        duplex.write_all(&message).unwrap();
+        duplex.flush().unwrap();
+        // Read the echo back through the same duplex.
+        let mut echo = vec![0u8; message.len()];
+        duplex.read_exact(&mut echo).unwrap();
+        assert_eq!(echo, message);
+        // Closing our write half lets the server finish.
+        let (read_half, write_half, stats) = duplex.finish().unwrap();
+        drop(write_half);
+        drop(read_half);
+        assert_eq!(stats.app_bytes, message.len() as u64);
+        let (echoed, server_stats) = server.join().unwrap();
+        assert_eq!(echoed, message.len() as u64);
+        assert!(
+            server_stats.wire_ratio() < 0.6,
+            "server echo should compress: {}",
+            server_stats.wire_ratio()
+        );
+    }
+
+    #[test]
+    fn duplex_over_in_memory_halves() {
+        // Write side into a Vec; read side from a pre-encoded buffer.
+        let mut pre = AdaptiveWriter::new(Vec::new(), levels(), Box::new(StaticModel::new(2, 4)));
+        pre.write_all(b"inbound payload").unwrap();
+        let (inbound_wire, _) = pre.finish().unwrap();
+
+        let mut duplex = CompressedDuplex::new(
+            &inbound_wire[..],
+            Vec::new(),
+            levels(),
+            Box::new(StaticModel::new(1, 4)),
+        );
+        duplex.write_all(b"outbound payload, outbound payload").unwrap();
+        let mut inbound = Vec::new();
+        duplex.read_to_end(&mut inbound).unwrap();
+        assert_eq!(inbound, b"inbound payload");
+        let (_, wire, stats) = duplex.finish().unwrap();
+        assert_eq!(stats.app_bytes, 34);
+        // The outbound side produced decodable frames.
+        let mut out = Vec::new();
+        AdaptiveReader::new(&wire[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"outbound payload, outbound payload");
+    }
+
+    #[test]
+    fn level_and_stats_accessors() {
+        let duplex = CompressedDuplex::new(
+            &b""[..],
+            Vec::new(),
+            levels(),
+            Box::new(StaticModel::new(3, 4)),
+        );
+        assert_eq!(duplex.level(), 3);
+        assert_eq!(duplex.send_stats().app_bytes, 0);
+        assert_eq!(duplex.recv_counters(), (0, 0, 0));
+    }
+}

@@ -1,0 +1,237 @@
+//! Epoch driving: glue between a clock, the application byte stream and a
+//! [`crate::model::DecisionModel`].
+//!
+//! The paper reconsiders the compression level every `t` seconds (t = 2 s in
+//! all experiments). [`EpochDriver`] owns that loop: it meters application
+//! bytes, detects epoch boundaries from any clock, builds the observation
+//! and records the model's decision together with a level trace for the
+//! time-series figures.
+
+use crate::model::{DecisionModel, EpochObservation, GuestMetrics};
+use adcomp_metrics::{RateMeter, TimeSeries};
+use std::time::Instant;
+
+/// A monotonically nondecreasing time source in seconds.
+pub trait Clock: Send {
+    fn now(&self) -> f64;
+}
+
+/// Wall-clock time since creation.
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> Self {
+        WallClock { start: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+/// A manually advanced clock for tests and simulation.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl ManualClock {
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Sets the current time (seconds). Time must not go backwards.
+    pub fn set(&self, secs: f64) {
+        self.now
+            .store(secs.to_bits(), std::sync::atomic::Ordering::Release);
+    }
+
+    pub fn advance(&self, secs: f64) {
+        let cur = f64::from_bits(self.now.load(std::sync::atomic::Ordering::Acquire));
+        self.set(cur + secs);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> f64 {
+        f64::from_bits(self.now.load(std::sync::atomic::Ordering::Acquire))
+    }
+}
+
+/// Auxiliary inputs for building the epoch observation; the caller (stream
+/// or simulator) refreshes these as its state changes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpochContext {
+    pub queue_depth: usize,
+    pub queue_capacity: usize,
+    pub guest: Option<GuestMetrics>,
+    pub observed_ratio: Option<f64>,
+    pub data_entropy: Option<f64>,
+}
+
+/// Drives a [`DecisionModel`] from a stream of byte completions.
+pub struct EpochDriver {
+    meter: RateMeter,
+    model: Box<dyn DecisionModel>,
+    level: usize,
+    level_trace: TimeSeries,
+    rate_trace: TimeSeries,
+    epochs: u64,
+}
+
+impl EpochDriver {
+    /// `epoch_len` is the paper's `t` in seconds; the model starts at its
+    /// initial level (0 for fresh models).
+    pub fn new(model: Box<dyn DecisionModel>, epoch_len: f64, now: f64) -> Self {
+        let level = model.initial_level();
+        let mut level_trace = TimeSeries::new();
+        level_trace.push(now, level as f64);
+        EpochDriver {
+            meter: RateMeter::new(epoch_len, now),
+            model,
+            level,
+            level_trace,
+            rate_trace: TimeSeries::new(),
+            epochs: 0,
+        }
+    }
+
+    /// Currently applied compression level.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Number of completed epochs.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// `(time, level)` history.
+    pub fn level_trace(&self) -> &TimeSeries {
+        &self.level_trace
+    }
+
+    /// `(time, application bytes/s)` history, one point per epoch.
+    pub fn rate_trace(&self) -> &TimeSeries {
+        &self.rate_trace
+    }
+
+    pub fn model_name(&self) -> String {
+        self.model.name()
+    }
+
+    /// Records `app_bytes` of application data accepted at time `now`;
+    /// on an epoch boundary, consults the model. Returns the level to use
+    /// for subsequent data.
+    pub fn record(&mut self, app_bytes: u64, now: f64, ctx: &EpochContext) -> usize {
+        if let Some(epoch) = self.meter.record(app_bytes, now) {
+            self.on_epoch(epoch.rate, epoch.duration, now, ctx);
+        }
+        self.level
+    }
+
+    /// Forces an epoch check without new bytes (e.g. while stalled).
+    pub fn poll(&mut self, now: f64, ctx: &EpochContext) -> usize {
+        if let Some(epoch) = self.meter.poll(now) {
+            self.on_epoch(epoch.rate, epoch.duration, now, ctx);
+        }
+        self.level
+    }
+
+    fn on_epoch(&mut self, rate: f64, duration: f64, now: f64, ctx: &EpochContext) {
+        let obs = EpochObservation {
+            app_rate: rate,
+            epoch_secs: duration,
+            queue_depth: ctx.queue_depth,
+            queue_capacity: ctx.queue_capacity,
+            guest: ctx.guest,
+            observed_ratio: ctx.observed_ratio,
+            data_entropy: ctx.data_entropy,
+        };
+        let new_level = self.model.decide(&obs);
+        debug_assert!(new_level < self.model.num_levels());
+        self.epochs += 1;
+        self.rate_trace.push(now, rate);
+        if new_level != self.level {
+            self.level = new_level;
+            self.level_trace.push(now, new_level as f64);
+        }
+    }
+
+    /// Total application bytes metered.
+    pub fn total_bytes(&self) -> u64 {
+        self.meter.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{RateBasedModel, StaticModel};
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_set_and_advance() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.set(5.0);
+        assert_eq!(c.now(), 5.0);
+        c.advance(2.5);
+        assert_eq!(c.now(), 7.5);
+    }
+
+    #[test]
+    fn driver_consults_model_only_on_epoch_boundaries() {
+        let mut d = EpochDriver::new(Box::new(RateBasedModel::paper_default()), 2.0, 0.0);
+        assert_eq!(d.record(1000, 0.5, &EpochContext::default()), 0);
+        assert_eq!(d.record(1000, 1.5, &EpochContext::default()), 0);
+        // Crosses t = 2 s: first decision probes to level 1.
+        assert_eq!(d.record(1000, 2.1, &EpochContext::default()), 1);
+        assert_eq!(d.epochs(), 1);
+    }
+
+    #[test]
+    fn driver_traces_levels_and_rates() {
+        let mut d = EpochDriver::new(Box::new(RateBasedModel::paper_default()), 1.0, 0.0);
+        d.record(1_000, 1.0, &EpochContext::default());
+        d.record(5_000, 2.0, &EpochContext::default());
+        d.record(5_000, 3.0, &EpochContext::default());
+        assert_eq!(d.rate_trace().len(), 3);
+        assert!(d.level_trace().len() >= 2, "initial point plus the first probe");
+        assert_eq!(d.total_bytes(), 11_000);
+    }
+
+    #[test]
+    fn static_model_driver_never_changes_level() {
+        let mut d = EpochDriver::new(Box::new(StaticModel::new(0, 4)), 1.0, 0.0);
+        for i in 1..10 {
+            assert_eq!(d.record(100, i as f64, &EpochContext::default()), 0);
+        }
+        assert_eq!(d.level_trace().len(), 1);
+    }
+
+    #[test]
+    fn poll_advances_epochs_without_bytes() {
+        let mut d = EpochDriver::new(Box::new(RateBasedModel::paper_default()), 1.0, 0.0);
+        d.poll(1.5, &EpochContext::default());
+        assert_eq!(d.epochs(), 1);
+        assert_eq!(d.rate_trace().points()[0].1, 0.0);
+    }
+}

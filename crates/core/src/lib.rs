@@ -1,0 +1,60 @@
+//! # adcomp-core — rate-based adaptive compression (the paper's contribution)
+//!
+//! This crate implements the decision model of *"Evaluating Adaptive
+//! Compression to Mitigate the Effects of Shared I/O in Clouds"* (IPDPS'11)
+//! and the transparent stream layer around it:
+//!
+//! * [`controller`] — Algorithm 1: the rate-based controller with
+//!   exponential backoff. No training phase, no CPU/bandwidth metrics; only
+//!   the application data rate.
+//! * [`model`] — the [`DecisionModel`] abstraction,
+//!   the paper's model ([`model::RateBasedModel`]) and reimplementations of
+//!   the related-work baselines (static, FIFO-queue, metric-based with
+//!   offline training, threshold sampling).
+//! * [`epoch`] — clock abstraction and the per-`t`-seconds decision loop.
+//! * [`stream`] — [`AdaptiveWriter`] /
+//!   [`AdaptiveReader`]: drop-in `Write`/`Read`
+//!   wrappers that make the whole scheme transparent to the application,
+//!   as in the paper's Nephele integration.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use adcomp_core::prelude::*;
+//! use std::io::{Read, Write};
+//!
+//! let levels = LevelSet::paper_default();
+//! let model = Box::new(RateBasedModel::paper_default());
+//! let mut writer = AdaptiveWriter::new(Vec::new(), levels, model);
+//! writer.write_all(b"hello adaptive world, hello again!").unwrap();
+//! let (wire, stats) = writer.finish().unwrap();
+//! assert_eq!(stats.app_bytes, 34);
+//!
+//! let mut out = Vec::new();
+//! AdaptiveReader::new(&wire[..]).read_to_end(&mut out).unwrap();
+//! assert_eq!(&out[..], b"hello adaptive world, hello again!" as &[u8]);
+//! ```
+
+pub mod controller;
+pub mod duplex;
+pub mod epoch;
+pub mod model;
+pub mod stream;
+
+pub use controller::{ControllerConfig, Decision, DecisionCase, RateController};
+pub use epoch::{Clock, EpochContext, EpochDriver, ManualClock, WallClock};
+pub use model::{
+    DecisionModel, EntropyGuidedModel, EpochObservation, GuestMetrics, MetricBasedModel, QueueBasedModel,
+    RateBasedModel, SensorThresholdModel, StaticModel, ThresholdSamplingModel, TrainedLevel,
+};
+pub use duplex::{over_tcp, CompressedDuplex};
+pub use stream::{AdaptiveReader, AdaptiveWriter, StreamStats};
+
+/// Common imports for downstream users.
+pub mod prelude {
+    pub use crate::controller::{ControllerConfig, RateController};
+    pub use crate::epoch::{Clock, ManualClock, WallClock};
+    pub use crate::model::{DecisionModel, RateBasedModel, StaticModel};
+    pub use crate::stream::{AdaptiveReader, AdaptiveWriter, StreamStats};
+    pub use adcomp_codecs::{CodecId, LevelSet};
+}

@@ -1,0 +1,371 @@
+//! Transparent adaptive-compression stream wrappers.
+//!
+//! [`AdaptiveWriter`] sits "between the application and the respective I/O
+//! layer" (paper §III-A): application writes are buffered into blocks of at
+//! most 128 KiB, each block is compressed at the level currently chosen by
+//! the decision model and emitted as a self-describing frame. The receiving
+//! side ([`AdaptiveReader`]) needs no coordination — every frame names its
+//! codec.
+//!
+//! These wrappers run on real I/O (sockets, files, pipes) under a wall
+//! clock; the simulator reuses the same controller under virtual time.
+
+use crate::epoch::{Clock, EpochContext, EpochDriver, WallClock};
+use crate::model::DecisionModel;
+use adcomp_codecs::frame::{FrameReader, FrameWriter, DEFAULT_BLOCK_LEN};
+use adcomp_codecs::LevelSet;
+use std::io::{self, Read, Write};
+
+/// Aggregate statistics of an adaptive stream, for reporting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamStats {
+    /// Application bytes accepted.
+    pub app_bytes: u64,
+    /// Frame bytes emitted to the I/O layer.
+    pub wire_bytes: u64,
+    /// Blocks emitted per compression level.
+    pub blocks_per_level: Vec<u64>,
+    /// Blocks whose compression expanded and fell back to raw.
+    pub raw_fallbacks: u64,
+    /// Completed decision epochs.
+    pub epochs: u64,
+}
+
+impl StreamStats {
+    /// Overall wire/app ratio (1.0 when nothing was written).
+    pub fn wire_ratio(&self) -> f64 {
+        if self.app_bytes == 0 {
+            1.0
+        } else {
+            self.wire_bytes as f64 / self.app_bytes as f64
+        }
+    }
+}
+
+/// Adaptive compressing writer.
+pub struct AdaptiveWriter<W: Write> {
+    frames: FrameWriter<W>,
+    levels: LevelSet,
+    driver: EpochDriver,
+    clock: Box<dyn Clock>,
+    buf: Vec<u8>,
+    block_len: usize,
+    blocks_per_level: Vec<u64>,
+    raw_fallbacks: u64,
+    last_block_ratio: Option<f64>,
+}
+
+impl<W: Write> AdaptiveWriter<W> {
+    /// Wraps `inner` with the paper's defaults: 128 KiB blocks, epoch
+    /// `t = 2 s`, wall clock.
+    pub fn new(inner: W, levels: LevelSet, model: Box<dyn DecisionModel>) -> Self {
+        Self::with_params(inner, levels, model, DEFAULT_BLOCK_LEN, 2.0, Box::new(WallClock::new()))
+    }
+
+    /// Full-control constructor.
+    pub fn with_params(
+        inner: W,
+        levels: LevelSet,
+        model: Box<dyn DecisionModel>,
+        block_len: usize,
+        epoch_secs: f64,
+        clock: Box<dyn Clock>,
+    ) -> Self {
+        assert!(block_len > 0);
+        assert_eq!(
+            model.num_levels(),
+            levels.len(),
+            "decision model and level set must agree on the number of levels"
+        );
+        let now = clock.now();
+        let nlevels = levels.len();
+        AdaptiveWriter {
+            frames: FrameWriter::new(inner),
+            levels,
+            driver: EpochDriver::new(model, epoch_secs, now),
+            clock,
+            buf: Vec::with_capacity(block_len),
+            block_len,
+            blocks_per_level: vec![0; nlevels],
+            raw_fallbacks: 0,
+            last_block_ratio: None,
+        }
+    }
+
+    /// Currently applied compression level.
+    pub fn level(&self) -> usize {
+        self.driver.level()
+    }
+
+    /// The level trace `(seconds, level)` for time-series reporting.
+    pub fn level_trace(&self) -> &adcomp_metrics::TimeSeries {
+        self.driver.level_trace()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            app_bytes: self.frames.app_bytes,
+            wire_bytes: self.frames.wire_bytes,
+            blocks_per_level: self.blocks_per_level.clone(),
+            raw_fallbacks: self.raw_fallbacks,
+            epochs: self.driver.epochs(),
+        }
+    }
+
+    fn emit_block(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let level = self.driver.level();
+        let codec = self.levels.codec(level);
+        let info = self.frames.write_block(codec, &self.buf)?;
+        self.blocks_per_level[level] += 1;
+        if info.raw_fallback {
+            self.raw_fallbacks += 1;
+        }
+        self.last_block_ratio = Some(info.wire_ratio());
+        let bytes = self.buf.len() as u64;
+        self.buf.clear();
+        let ctx = EpochContext {
+            observed_ratio: self.last_block_ratio,
+            ..EpochContext::default()
+        };
+        self.driver.record(bytes, self.clock.now(), &ctx);
+        Ok(())
+    }
+
+    /// Flushes buffered data as a (possibly short) block and flushes the
+    /// underlying writer. Call before dropping to avoid losing the tail.
+    pub fn finish(mut self) -> io::Result<(W, StreamStats)> {
+        self.emit_block()?;
+        self.frames.flush()?;
+        let stats = self.stats();
+        Ok((self.frames.into_inner(), stats))
+    }
+}
+
+impl<W: Write> Write for AdaptiveWriter<W> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let mut consumed = 0;
+        while consumed < data.len() {
+            let room = self.block_len - self.buf.len();
+            let take = room.min(data.len() - consumed);
+            self.buf.extend_from_slice(&data[consumed..consumed + take]);
+            consumed += take;
+            if self.buf.len() == self.block_len {
+                self.emit_block()?;
+            }
+        }
+        Ok(consumed)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.emit_block()?;
+        self.frames.flush()
+    }
+}
+
+/// Decompressing reader for streams produced by [`AdaptiveWriter`].
+pub struct AdaptiveReader<R: Read> {
+    frames: FrameReader<R>,
+    pending: Vec<u8>,
+    pos: usize,
+    eof: bool,
+}
+
+impl<R: Read> AdaptiveReader<R> {
+    pub fn new(inner: R) -> Self {
+        AdaptiveReader { frames: FrameReader::new(inner), pending: Vec::new(), pos: 0, eof: false }
+    }
+
+    /// Application bytes decoded so far.
+    pub fn app_bytes(&self) -> u64 {
+        self.frames.app_bytes
+    }
+
+    /// Wire bytes consumed so far.
+    pub fn wire_bytes(&self) -> u64 {
+        self.frames.wire_bytes
+    }
+
+    /// Frames decoded so far.
+    pub fn blocks(&self) -> u64 {
+        self.frames.blocks
+    }
+
+    /// Returns the underlying reader (discarding any buffered plaintext).
+    pub fn into_inner(self) -> R {
+        self.frames.into_inner()
+    }
+}
+
+impl<R: Read> Read for AdaptiveReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.pos < self.pending.len() {
+                let take = (self.pending.len() - self.pos).min(buf.len());
+                buf[..take].copy_from_slice(&self.pending[self.pos..self.pos + take]);
+                self.pos += take;
+                return Ok(take);
+            }
+            if self.eof {
+                return Ok(0);
+            }
+            self.pending.clear();
+            self.pos = 0;
+            match self.frames.read_block(&mut self.pending)? {
+                Some(_) => continue,
+                None => {
+                    self.eof = true;
+                    return Ok(0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::ManualClock;
+    use crate::model::{RateBasedModel, StaticModel};
+    use adcomp_codecs::LevelSet;
+
+    fn levels() -> LevelSet {
+        LevelSet::paper_default()
+    }
+
+    #[test]
+    fn writer_reader_roundtrip_static_level() {
+        let data = b"stream roundtrip data! ".repeat(10_000);
+        let mut w = AdaptiveWriter::new(
+            Vec::new(),
+            levels(),
+            Box::new(StaticModel::new(1, 4)),
+        );
+        w.write_all(&data).unwrap();
+        let (wire, stats) = w.finish().unwrap();
+        assert_eq!(stats.app_bytes, data.len() as u64);
+        assert!(stats.wire_ratio() < 0.5, "ratio {}", stats.wire_ratio());
+        assert!(stats.blocks_per_level[1] > 0);
+
+        let mut r = AdaptiveReader::new(&wire[..]);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(r.app_bytes(), data.len() as u64);
+        assert_eq!(r.wire_bytes(), wire.len() as u64);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip_adaptive_model() {
+        let data = b"adaptive roundtrip, with some repetition repetition. ".repeat(20_000);
+        let clock = ManualClock::new();
+        let mut w = AdaptiveWriter::with_params(
+            Vec::new(),
+            levels(),
+            Box::new(RateBasedModel::paper_default()),
+            4096,
+            0.01,
+            Box::new(clock.clone()),
+        );
+        // Advance time as we write so epochs fire and levels change.
+        for (i, chunk) in data.chunks(4096).enumerate() {
+            clock.set(i as f64 * 0.004);
+            w.write_all(chunk).unwrap();
+        }
+        let (wire, stats) = w.finish().unwrap();
+        assert!(stats.epochs > 10, "expected many epochs, got {}", stats.epochs);
+        assert!(
+            stats.blocks_per_level.iter().filter(|&&c| c > 0).count() > 1,
+            "adaptive run should have used multiple levels: {:?}",
+            stats.blocks_per_level
+        );
+        let mut out = Vec::new();
+        AdaptiveReader::new(&wire[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn partial_final_block_flushed_by_finish() {
+        let data = b"short tail";
+        let mut w = AdaptiveWriter::new(Vec::new(), levels(), Box::new(StaticModel::new(0, 4)));
+        w.write_all(data).unwrap();
+        let (wire, stats) = w.finish().unwrap();
+        assert_eq!(stats.app_bytes, data.len() as u64);
+        let mut out = Vec::new();
+        AdaptiveReader::new(&wire[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn flush_mid_stream_keeps_stream_decodable() {
+        let mut w = AdaptiveWriter::new(Vec::new(), levels(), Box::new(StaticModel::new(1, 4)));
+        w.write_all(b"first part ").unwrap();
+        w.flush().unwrap();
+        w.write_all(b"second part").unwrap();
+        let (wire, _) = w.finish().unwrap();
+        let mut out = Vec::new();
+        AdaptiveReader::new(&wire[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"first part second part");
+    }
+
+    #[test]
+    fn empty_stream_roundtrip() {
+        let w = AdaptiveWriter::new(Vec::new(), levels(), Box::new(StaticModel::new(2, 4)));
+        let (wire, stats) = w.finish().unwrap();
+        assert!(wire.is_empty());
+        assert_eq!(stats.app_bytes, 0);
+        assert_eq!(stats.wire_ratio(), 1.0);
+        let mut out = Vec::new();
+        AdaptiveReader::new(&wire[..]).read_to_end(&mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn incompressible_data_counts_fallbacks() {
+        let mut x = 99u64;
+        let data: Vec<u8> = (0..300_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let mut w = AdaptiveWriter::new(Vec::new(), levels(), Box::new(StaticModel::new(1, 4)));
+        w.write_all(&data).unwrap();
+        let (wire, stats) = w.finish().unwrap();
+        assert!(stats.raw_fallbacks > 0);
+        assert!(stats.wire_ratio() < 1.01);
+        let mut out = Vec::new();
+        AdaptiveReader::new(&wire[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "must agree on the number of levels")]
+    fn mismatched_model_and_levels_rejected() {
+        AdaptiveWriter::new(Vec::new(), levels(), Box::new(StaticModel::new(0, 2)));
+    }
+
+    #[test]
+    fn reader_handles_small_read_buffers() {
+        let data = b"tiny reads ".repeat(1000);
+        let mut w = AdaptiveWriter::new(Vec::new(), levels(), Box::new(StaticModel::new(1, 4)));
+        w.write_all(&data).unwrap();
+        let (wire, _) = w.finish().unwrap();
+        let mut r = AdaptiveReader::new(&wire[..]);
+        let mut out = Vec::new();
+        let mut small = [0u8; 7];
+        loop {
+            let n = r.read(&mut small).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&small[..n]);
+        }
+        assert_eq!(out, data);
+    }
+}

@@ -1,0 +1,197 @@
+//! Deterministic generators for the three compressibility classes used in
+//! the paper's evaluation.
+//!
+//! * [`fax_image`] — stands in for Canterbury's `ptt5` (CCITT fax test
+//!   chart): a bilevel raster with long zero runs and strong inter-scanline
+//!   correlation. LZ codecs compress it to roughly 10–15 % of its size.
+//! * [`english_text`] — stands in for `alice29.txt`: Zipf-sampled English
+//!   with sentence/paragraph structure; compresses to roughly 30–50 %.
+//! * [`jpeg_like`] — stands in for the paper's ~250 KB `image.jpg`:
+//!   high-entropy byte soup with sparse marker structure; compresses to
+//!   90–95 % (i.e. barely at all).
+
+use crate::prng::Prng;
+use crate::words::{CONTENT_WORDS, FUNCTION_WORDS, SENTENCE_ENDS};
+
+/// Width of a synthetic fax scanline in bytes (1728 pixels / 8, as in CCITT
+/// Group 3 test charts).
+pub const FAX_LINE_BYTES: usize = 216;
+
+/// Generates a bilevel fax-like raster of exactly `len` bytes.
+///
+/// Scanlines are runs of white (0x00) with occasional black (0xFF) strokes;
+/// each line is, with high probability, a lightly mutated copy of the
+/// previous line, giving LZ compressors the long matches that make `ptt5`
+/// highly compressible.
+pub fn fax_image(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Prng::new(seed ^ 0xFA5);
+    let mut out = Vec::with_capacity(len);
+    let mut line = vec![0u8; FAX_LINE_BYTES];
+    fill_fax_line(&mut line, &mut rng);
+    while out.len() < len {
+        // 85 %: repeat previous line with small mutations (vertical
+        // correlation); 15 %: fresh line (new image region).
+        if rng.chance(0.15) {
+            fill_fax_line(&mut line, &mut rng);
+        } else {
+            mutate_fax_line(&mut line, &mut rng);
+        }
+        let take = (len - out.len()).min(line.len());
+        out.extend_from_slice(&line[..take]);
+    }
+    out
+}
+
+fn fill_fax_line(line: &mut [u8], rng: &mut Prng) {
+    line.fill(0);
+    // A handful of black strokes per line.
+    let strokes = rng.below(5) as usize;
+    for _ in 0..strokes {
+        let start = rng.below(line.len() as u64) as usize;
+        let w = rng.run_len(3.0).min(line.len() - start);
+        for b in &mut line[start..start + w] {
+            *b = 0xFF;
+        }
+    }
+}
+
+fn mutate_fax_line(line: &mut [u8], rng: &mut Prng) {
+    // Jitter the stroke edges: flip a few bytes near black/white boundaries.
+    let tweaks = rng.below(3) as usize;
+    for _ in 0..tweaks {
+        let i = rng.below(line.len() as u64) as usize;
+        line[i] = if line[i] == 0 { 0xF0 } else { 0x00 };
+    }
+}
+
+/// Generates `len` bytes of Zipf-weighted English-like text.
+pub fn english_text(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Prng::new(seed ^ 0x7E87);
+    let mut out = Vec::with_capacity(len + 16);
+    let mut sentence_words = 0usize;
+    let mut cap_next = true;
+    while out.len() < len {
+        // 55 % function word, 45 % content word; content words drawn with a
+        // Zipf-ish bias toward the front of the list.
+        let word = if rng.chance(0.55) {
+            FUNCTION_WORDS[rng.below(FUNCTION_WORDS.len() as u64) as usize]
+        } else {
+            let n = CONTENT_WORDS.len() as u64;
+            // Squaring a uniform biases toward low indices ~ Zipf tail.
+            let u = rng.next_f64();
+            CONTENT_WORDS[((u * u * n as f64) as u64).min(n - 1) as usize]
+        };
+        if cap_next {
+            let mut cs = word.chars();
+            if let Some(first) = cs.next() {
+                out.extend(first.to_uppercase().to_string().as_bytes());
+                out.extend(cs.as_str().as_bytes());
+            }
+            cap_next = false;
+        } else {
+            out.extend(word.as_bytes());
+        }
+        sentence_words += 1;
+        let end_sentence = sentence_words >= 6 && rng.chance(0.18);
+        if end_sentence {
+            let end = SENTENCE_ENDS[rng.below(SENTENCE_ENDS.len() as u64) as usize];
+            out.extend(end.as_bytes());
+            sentence_words = 0;
+            cap_next = true;
+            if rng.chance(0.12) {
+                out.extend(b"\n\n");
+            } else {
+                out.push(b' ');
+            }
+        } else if sentence_words > 2 && rng.chance(0.08) {
+            out.extend(b", ");
+        } else {
+            out.push(b' ');
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Generates `len` bytes resembling an already-compressed JPEG payload:
+/// near-uniform entropy-coded bytes with sparse `0xFF 0x00` stuffing and
+/// restart markers, plus a short low-entropy header.
+pub fn jpeg_like(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Prng::new(seed ^ 0x1BE6);
+    let mut out = Vec::with_capacity(len + 8);
+    // Small structured header (~2 % of a 250 KB file): gives compressors the
+    // few percent they actually find on real JPEGs.
+    let header_len = (len / 50).clamp(16.min(len), 4096);
+    out.extend_from_slice(b"\xFF\xD8\xFF\xE0\x00\x10JFIF\x00\x01");
+    while out.len() < header_len {
+        out.extend_from_slice(b"\x00\x43\x01\x01");
+    }
+    out.truncate(header_len);
+    // Entropy-coded body.
+    while out.len() < len {
+        let b = rng.next_u8();
+        if b == 0xFF {
+            out.push(0xFF);
+            out.push(0x00); // byte stuffing, as in real JPEG scans
+        } else {
+            out.push(b);
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy::shannon_bits_per_byte;
+
+    #[test]
+    fn generators_produce_exact_length() {
+        for len in [0usize, 1, 100, 4096, 100_000] {
+            assert_eq!(fax_image(len, 1).len(), len);
+            assert_eq!(english_text(len, 1).len(), len);
+            assert_eq!(jpeg_like(len, 1).len(), len);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(fax_image(10_000, 7), fax_image(10_000, 7));
+        assert_eq!(english_text(10_000, 7), english_text(10_000, 7));
+        assert_eq!(jpeg_like(10_000, 7), jpeg_like(10_000, 7));
+    }
+
+    #[test]
+    fn seeds_change_output() {
+        assert_ne!(fax_image(10_000, 1), fax_image(10_000, 2));
+        assert_ne!(english_text(10_000, 1), english_text(10_000, 2));
+        assert_ne!(jpeg_like(10_000, 1), jpeg_like(10_000, 2));
+    }
+
+    #[test]
+    fn entropy_ordering_matches_classes() {
+        let fax = shannon_bits_per_byte(&fax_image(262_144, 3));
+        let text = shannon_bits_per_byte(&english_text(262_144, 3));
+        let jpeg = shannon_bits_per_byte(&jpeg_like(262_144, 3));
+        assert!(fax < text, "fax {fax} !< text {text}");
+        assert!(text < jpeg, "text {text} !< jpeg {jpeg}");
+        assert!(jpeg > 7.5, "jpeg-like data should be near 8 bits/byte");
+        assert!(fax < 2.5, "fax data should be strongly skewed");
+    }
+
+    #[test]
+    fn text_is_printable_ascii() {
+        let t = english_text(50_000, 9);
+        assert!(t
+            .iter()
+            .all(|&b| b == b'\n' || (0x20..0x7F).contains(&b)));
+    }
+
+    #[test]
+    fn fax_is_mostly_white() {
+        let f = fax_image(100_000, 11);
+        let zeros = f.iter().filter(|&&b| b == 0).count();
+        assert!(zeros as f64 > 0.8 * f.len() as f64);
+    }
+}

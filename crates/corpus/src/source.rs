@@ -1,0 +1,221 @@
+//! Infinite byte sources feeding senders.
+//!
+//! The paper's sender task "repeatedly wrote the respective test file to the
+//! network channel until a total data volume of 50 GB was generated". These
+//! sources model exactly that: a fixed test file replayed cyclically, plus a
+//! switching source for the changing-compressibility experiment (Fig. 6).
+
+use crate::{generate, Class};
+use std::io::Read;
+
+/// An endless, deterministic producer of bytes.
+pub trait ByteSource: Send {
+    /// Fills the whole buffer with the next bytes of the stream.
+    fn fill(&mut self, buf: &mut [u8]);
+
+    /// The nominal compressibility class of the *next* bytes, if known.
+    /// Used by the simulator to select speed/ratio profiles; real-I/O users
+    /// never need it.
+    fn current_class(&self) -> Option<Class> {
+        None
+    }
+}
+
+/// Replays a fixed byte buffer (the "test file") forever.
+#[derive(Debug, Clone)]
+pub struct CyclicSource {
+    data: Vec<u8>,
+    pos: usize,
+    class: Option<Class>,
+}
+
+impl CyclicSource {
+    /// Wraps an arbitrary buffer. Panics on an empty buffer — an empty file
+    /// cannot produce an infinite stream.
+    pub fn new(data: Vec<u8>) -> Self {
+        assert!(!data.is_empty(), "CyclicSource needs a non-empty file");
+        CyclicSource { data, pos: 0, class: None }
+    }
+
+    /// Generates a test file of the given class and size (the paper used
+    /// ~250 KB files) and replays it.
+    pub fn of_class(class: Class, file_len: usize, seed: u64) -> Self {
+        let mut s = CyclicSource::new(generate(class, file_len, seed));
+        s.class = Some(class);
+        s
+    }
+
+    /// The underlying file content.
+    pub fn file(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl ByteSource for CyclicSource {
+    fn fill(&mut self, buf: &mut [u8]) {
+        let n = self.data.len();
+        let mut written = 0;
+        while written < buf.len() {
+            let take = (n - self.pos).min(buf.len() - written);
+            buf[written..written + take].copy_from_slice(&self.data[self.pos..self.pos + take]);
+            written += take;
+            self.pos += take;
+            if self.pos == n {
+                self.pos = 0;
+            }
+        }
+    }
+
+    fn current_class(&self) -> Option<Class> {
+        self.class
+    }
+}
+
+/// Alternates between inner sources every `period_bytes` bytes
+/// (Fig. 6: HIGH ↔ LOW every 10 GB).
+pub struct SwitchingSource {
+    sources: Vec<Box<dyn ByteSource>>,
+    period_bytes: u64,
+    produced: u64,
+}
+
+impl SwitchingSource {
+    /// `sources` are visited round-robin; each serves `period_bytes` before
+    /// the next takes over.
+    pub fn new(sources: Vec<Box<dyn ByteSource>>, period_bytes: u64) -> Self {
+        assert!(!sources.is_empty());
+        assert!(period_bytes > 0);
+        SwitchingSource { sources, period_bytes, produced: 0 }
+    }
+
+    fn active_index(&self) -> usize {
+        ((self.produced / self.period_bytes) % self.sources.len() as u64) as usize
+    }
+
+    /// Total bytes produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+impl ByteSource for SwitchingSource {
+    fn fill(&mut self, buf: &mut [u8]) {
+        let mut written = 0usize;
+        while written < buf.len() {
+            let idx = self.active_index();
+            let until_switch =
+                self.period_bytes - (self.produced % self.period_bytes);
+            let take = (buf.len() - written).min(until_switch as usize);
+            self.sources[idx].fill(&mut buf[written..written + take]);
+            written += take;
+            self.produced += take as u64;
+        }
+    }
+
+    fn current_class(&self) -> Option<Class> {
+        self.sources[self.active_index()].current_class()
+    }
+}
+
+/// Adapts any [`ByteSource`] into a bounded [`std::io::Read`] producing
+/// exactly `limit` bytes — how examples feed real sockets.
+pub struct SourceReader<S: ByteSource> {
+    source: S,
+    remaining: u64,
+}
+
+impl<S: ByteSource> SourceReader<S> {
+    pub fn new(source: S, limit: u64) -> Self {
+        SourceReader { source, remaining: limit }
+    }
+
+    /// Bytes still to be produced.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl<S: ByteSource> Read for SourceReader<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.remaining == 0 || buf.is_empty() {
+            return Ok(0);
+        }
+        let take = (buf.len() as u64).min(self.remaining) as usize;
+        self.source.fill(&mut buf[..take]);
+        self.remaining -= take as u64;
+        Ok(take)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_source_wraps_exactly() {
+        let mut s = CyclicSource::new(vec![1, 2, 3]);
+        let mut buf = [0u8; 8];
+        s.fill(&mut buf);
+        assert_eq!(buf, [1, 2, 3, 1, 2, 3, 1, 2]);
+        let mut buf2 = [0u8; 4];
+        s.fill(&mut buf2);
+        assert_eq!(buf2, [3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn class_source_reports_class() {
+        let s = CyclicSource::of_class(Class::High, 1024, 1);
+        assert_eq!(s.current_class(), Some(Class::High));
+        assert_eq!(s.file().len(), 1024);
+    }
+
+    #[test]
+    fn switching_source_alternates() {
+        let a = CyclicSource::new(vec![0xAA]);
+        let b = CyclicSource::new(vec![0xBB]);
+        let mut s = SwitchingSource::new(vec![Box::new(a), Box::new(b)], 4);
+        let mut buf = [0u8; 12];
+        s.fill(&mut buf);
+        assert_eq!(
+            buf,
+            [0xAA, 0xAA, 0xAA, 0xAA, 0xBB, 0xBB, 0xBB, 0xBB, 0xAA, 0xAA, 0xAA, 0xAA]
+        );
+        assert_eq!(s.produced(), 12);
+    }
+
+    #[test]
+    fn switching_source_straddles_fill_calls() {
+        let a = CyclicSource::new(vec![0x01]);
+        let b = CyclicSource::new(vec![0x02]);
+        let mut s = SwitchingSource::new(vec![Box::new(a), Box::new(b)], 3);
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            let mut buf = [0u8; 2];
+            s.fill(&mut buf);
+            got.extend_from_slice(&buf);
+        }
+        assert_eq!(got, vec![1, 1, 1, 2, 2, 2, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn switching_class_follows_active_source() {
+        let a = CyclicSource::of_class(Class::High, 64, 1);
+        let b = CyclicSource::of_class(Class::Low, 64, 1);
+        let mut s = SwitchingSource::new(vec![Box::new(a), Box::new(b)], 8);
+        assert_eq!(s.current_class(), Some(Class::High));
+        let mut buf = [0u8; 8];
+        s.fill(&mut buf);
+        assert_eq!(s.current_class(), Some(Class::Low));
+    }
+
+    #[test]
+    fn source_reader_respects_limit() {
+        let s = CyclicSource::new(vec![9; 10]);
+        let mut r = SourceReader::new(s, 25);
+        let mut sink = Vec::new();
+        let n = r.read_to_end(&mut sink).unwrap();
+        assert_eq!(n, 25);
+        assert_eq!(sink, vec![9; 25]);
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Embedded English vocabulary used by the moderate-compressibility text
+//! generator. Frequencies follow a rough Zipf ordering so the generated text
+//! has realistic word-repetition statistics (which is what LZ compressors
+//! exploit on `alice29.txt`-like inputs).
+
+/// Common function words — sampled very often.
+pub const FUNCTION_WORDS: &[&str] = &[
+    "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he",
+    "was", "for", "on", "are", "as", "with", "his", "they", "I", "at", "be",
+    "this", "have", "from", "or", "one", "had", "by", "word", "but", "not",
+    "what", "all", "were", "we", "when", "your", "can", "said", "there",
+    "use", "an", "each", "which", "she", "do", "how", "their", "if",
+];
+
+/// Content words — the long tail.
+pub const CONTENT_WORDS: &[&str] = &[
+    "time", "people", "water", "little", "world", "machine", "virtual",
+    "cloud", "system", "network", "thought", "garden", "rabbit", "curious",
+    "table", "window", "letter", "moment", "question", "answer", "story",
+    "course", "nothing", "something", "everything", "morning", "evening",
+    "children", "mother", "father", "friend", "house", "door", "voice",
+    "moment", "light", "night", "paper", "house", "great", "small", "large",
+    "white", "black", "green", "golden", "silent", "sudden", "gentle",
+    "remarkable", "ordinary", "beautiful", "terrible", "wonderful",
+    "performance", "measurement", "experiment", "observation", "processing",
+    "compression", "bandwidth", "utilization", "throughput", "interface",
+    "began", "looked", "turned", "walked", "wondered", "remembered",
+    "considered", "continued", "followed", "appeared", "remained",
+    "happened", "listened", "whispered", "shouted", "laughed", "smiled",
+    "against", "between", "through", "without", "around", "before", "after",
+    "under", "above", "across", "behind", "beyond", "during", "within",
+];
+
+/// Sentence-ending punctuation with rough frequencies.
+pub const SENTENCE_ENDS: &[&str] = &[".", ".", ".", ".", "!", "?"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabularies_non_empty() {
+        assert!(FUNCTION_WORDS.len() >= 40);
+        assert!(CONTENT_WORDS.len() >= 60);
+        assert!(!SENTENCE_ENDS.is_empty());
+    }
+
+    #[test]
+    fn words_are_ascii() {
+        for w in FUNCTION_WORDS.iter().chain(CONTENT_WORDS) {
+            assert!(w.is_ascii() && !w.is_empty());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # adcomp-hostprobe — the paper's Section II methodology on a real host
+//!
+//! The paper's accuracy study was driven by "a set of small auxiliary
+//! programs to generate network and file I/O load" while "continuously
+//! quer\[ying\] the Linux system interface /proc/stat at an interval of one
+//! second". This crate reimplements those auxiliary programs:
+//!
+//! * [`procstat`] — `/proc/stat` parsing into the paper's USR / SYS / HIRQ
+//!   / SIRQ / STEAL components, snapshot differencing, and a sampler that
+//!   runs alongside a workload;
+//! * [`load`] — saturating loopback-TCP and file read/write load
+//!   generators with the paper's per-20 MB throughput instrumentation.
+//!
+//! Together they let `real_metrics_probe` (in `adcomp-bench`) produce a
+//! Figure-1-style row for *this* machine: the displayed CPU utilization
+//! during saturating I/O — directly comparable to the calibrated
+//! simulation constants in `adcomp-vcloud`. If this crate runs inside a
+//! VM, the displayed numbers exhibit exactly the distortions the paper
+//! measured; on bare metal they are the "host" truth.
+//!
+//! Everything degrades gracefully where `/proc` is unavailable (non-Linux
+//! or restricted sandboxes): probes return `None`/empty instead of
+//! failing.
+
+pub mod load;
+pub mod procstat;
+
+pub use load::{file_read_load, file_write_load, net_send_load, LoadResult};
+pub use procstat::{breakdown_between, parse_proc_stat, read_cpu_ticks, sample_during, CpuTicks};

@@ -1,0 +1,43 @@
+//! # adcomp-metrics — measurement instruments and reporting
+//!
+//! Shared measurement layer for the adaptive-compression workspace:
+//!
+//! * [`rate`] — epoch-based application-data-rate meters (the only input
+//!   the paper's decision model consumes) and time series for the figures;
+//! * [`stats`] — online moments, five-number summaries, histograms;
+//! * [`table`] — paper-style ASCII tables and CSV output.
+//!
+//! Everything here is clock-agnostic: timestamps are plain `f64` seconds,
+//! supplied either by a wall clock or by the discrete-event simulator.
+
+pub mod plot;
+pub mod quantile;
+pub mod rate;
+pub mod stats;
+pub mod table;
+
+pub use quantile::{P2Quantile, StreamingSummary};
+pub use rate::{EpochRate, RateMeter, TimeSeries};
+pub use stats::{Histogram, OnlineStats, Summary};
+pub use table::{mean_sd_cell, Align, Table};
+
+/// Converts bytes/second to MBit/s (decimal, as the paper's figures use).
+pub fn bps_to_mbit(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec * 8.0 / 1e6
+}
+
+/// Converts bytes/second to MB/s (decimal).
+pub fn bps_to_mb(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert!((bps_to_mbit(125_000_000.0) - 1000.0).abs() < 1e-9);
+        assert!((bps_to_mb(125_000_000.0) - 125.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,471 @@
+//! Static SVG figure rendering — regenerates the paper's figures as files.
+//!
+//! Scope: offline artifacts (`results/*.svg`), not interactive dashboards.
+//! The visual rules follow the repository's data-viz conventions:
+//!
+//! * one y-axis per panel — the paper's dual-axis Fig. 4 becomes stacked
+//!   panels sharing the time axis;
+//! * a fixed entity→color mapping across all figures (application rate =
+//!   blue, network rate = aqua, CPU = yellow, level = green), never cycled;
+//! * thin 2 px lines, recessive 1 px grid, direct labels on every series
+//!   (the validated palette's aqua/yellow sit below 3:1 contrast on the
+//!   light surface, so visible labels are mandatory relief);
+//! * text in ink tokens, never in series colors.
+//!
+//! The palette is the skill-validated reference set (worst adjacent CVD
+//! ΔE 47.2 for the slots used here).
+
+use crate::rate::TimeSeries;
+use crate::stats::Summary;
+use std::fmt::Write as _;
+
+/// Chart surface and ink tokens (light mode).
+pub const SURFACE: &str = "#fcfcfb";
+pub const INK_PRIMARY: &str = "#0b0b0b";
+pub const INK_SECONDARY: &str = "#52514e";
+pub const GRID: &str = "#e5e4e0";
+
+/// Fixed entity colors (categorical slots 1, 2, 3, 4 of the validated
+/// palette — assign by entity, never by position in a particular chart).
+pub const COLOR_APP: &str = "#2a78d6"; // blue: application data rate
+pub const COLOR_NET: &str = "#1baf7a"; // aqua: network (wire) rate
+pub const COLOR_CPU: &str = "#eda100"; // yellow: CPU utilization
+pub const COLOR_LEVEL: &str = "#008300"; // green: compression level
+
+/// One series in a panel.
+pub struct Series<'a> {
+    pub name: &'a str,
+    pub color: &'a str,
+    pub points: &'a TimeSeries,
+    /// Draw as a step function (for discrete levels).
+    pub step: bool,
+}
+
+/// One stacked panel: its own y-scale, shared x-range.
+pub struct Panel<'a> {
+    pub y_label: &'a str,
+    pub series: Vec<Series<'a>>,
+    /// Optional fixed y-range; otherwise scaled to the data.
+    pub y_range: Option<(f64, f64)>,
+}
+
+const W: f64 = 860.0;
+const PANEL_H: f64 = 170.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 110.0; // room for direct labels at line ends
+const MARGIN_TOP: f64 = 44.0;
+const PANEL_GAP: f64 = 26.0;
+const MARGIN_BOT: f64 = 40.0;
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 10.0 {
+        format!("{:.0}", v)
+    } else {
+        format!("{:.1}", v)
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders stacked time-series panels sharing one x-axis.
+pub fn render_time_panels(title: &str, x_label: &str, panels: &[Panel<'_>]) -> String {
+    assert!(!panels.is_empty());
+    let x_max = panels
+        .iter()
+        .flat_map(|p| p.series.iter())
+        .filter_map(|s| s.points.last().map(|(t, _)| t))
+        .fold(1.0f64, f64::max);
+    let height = MARGIN_TOP
+        + panels.len() as f64 * PANEL_H
+        + (panels.len() - 1) as f64 * PANEL_GAP
+        + MARGIN_BOT;
+    let plot_w = W - MARGIN_L - MARGIN_R;
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {W} {height}" font-family="system-ui, sans-serif" font-size="12">"#
+    );
+    let _ = write!(svg, r#"<rect width="{W}" height="{height}" fill="{SURFACE}"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{MARGIN_L}" y="24" fill="{INK_PRIMARY}" font-size="15" font-weight="600">{}</text>"#,
+        esc(title)
+    );
+
+    for (pi, panel) in panels.iter().enumerate() {
+        let top = MARGIN_TOP + pi as f64 * (PANEL_H + PANEL_GAP);
+        let bottom = top + PANEL_H;
+        // y-scale.
+        let (y_min, mut y_max) = panel.y_range.unwrap_or_else(|| {
+            let values: Vec<f64> =
+                panel.series.iter().flat_map(|s| s.points.values()).collect();
+            let max = values.iter().cloned().fold(0.0f64, f64::max);
+            (0.0, if max > 0.0 { max * 1.08 } else { 1.0 })
+        });
+        if y_max <= y_min {
+            y_max = y_min + 1.0;
+        }
+        let sx = |t: f64| MARGIN_L + (t / x_max).clamp(0.0, 1.0) * plot_w;
+        let sy =
+            |v: f64| bottom - ((v - y_min) / (y_max - y_min)).clamp(0.0, 1.0) * (PANEL_H - 18.0);
+
+        // Recessive grid: 3 horizontal lines + labels.
+        for g in 0..=3 {
+            let v = y_min + (y_max - y_min) * g as f64 / 3.0;
+            let y = sy(v);
+            let _ = write!(
+                svg,
+                r#"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{GRID}" stroke-width="1"/>"#,
+                MARGIN_L + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" fill="{INK_SECONDARY}" text-anchor="end">{}</text>"#,
+                MARGIN_L - 8.0,
+                y + 4.0,
+                fmt_tick(v)
+            );
+        }
+        // Panel y-label.
+        let _ = write!(
+            svg,
+            r#"<text x="{MARGIN_L}" y="{:.1}" fill="{INK_SECONDARY}" font-size="11">{}</text>"#,
+            top - 6.0,
+            esc(panel.y_label)
+        );
+
+        // Series: 2 px lines, direct label at the line end.
+        let mut label_anchors: Vec<f64> = Vec::new();
+        for s in &panel.series {
+            if s.points.is_empty() {
+                continue;
+            }
+            let mut d = String::new();
+            let mut prev_y: Option<f64> = None;
+            for &(t, v) in s.points.points() {
+                let (x, y) = (sx(t), sy(v));
+                if d.is_empty() {
+                    let _ = write!(d, "M{x:.1},{y:.1}");
+                } else if s.step {
+                    let _ = write!(d, "H{x:.1}V{y:.1}");
+                } else {
+                    let _ = write!(d, "L{x:.1},{y:.1}");
+                }
+                prev_y = Some(y);
+            }
+            // Extend step series to the right edge.
+            if s.step {
+                let _ = write!(d, "H{:.1}", MARGIN_L + plot_w);
+            }
+            let _ = write!(
+                svg,
+                r#"<path d="{d}" fill="none" stroke="{}" stroke-width="2" stroke-linejoin="round"/>"#,
+                s.color
+            );
+            // Direct label (mandatory relief for low-contrast hues): a
+            // colored chip + ink text at the line end; nudge downward if a
+            // previous label in this panel sits within 14 px.
+            if let Some(end_y) = prev_y {
+                let mut y = end_y.clamp(top + 8.0, bottom - 4.0);
+                while label_anchors.iter().any(|&a| (a - y).abs() < 14.0) {
+                    y += 14.0;
+                }
+                label_anchors.push(y);
+                let lx = MARGIN_L + plot_w + 6.0;
+                let _ = write!(
+                    svg,
+                    r#"<rect x="{lx:.1}" y="{:.1}" width="8" height="8" rx="2" fill="{}"/>"#,
+                    y - 4.0,
+                    s.color
+                );
+                let _ = write!(
+                    svg,
+                    r#"<text x="{:.1}" y="{:.1}" fill="{INK_PRIMARY}">{}</text>"#,
+                    lx + 12.0,
+                    y + 4.0,
+                    esc(s.name)
+                );
+            }
+        }
+        // Panel baseline.
+        let _ = write!(
+            svg,
+            r#"<line x1="{MARGIN_L}" y1="{bottom:.1}" x2="{:.1}" y2="{bottom:.1}" stroke="{INK_SECONDARY}" stroke-width="1"/>"#,
+            MARGIN_L + plot_w
+        );
+    }
+
+    // Shared x-axis ticks under the last panel.
+    let axis_y = height - MARGIN_BOT + 16.0;
+    for g in 0..=5 {
+        let t = x_max * g as f64 / 5.0;
+        let x = MARGIN_L + plot_w * g as f64 / 5.0;
+        let _ = write!(
+            svg,
+            r#"<text x="{x:.1}" y="{axis_y:.1}" fill="{INK_SECONDARY}" text-anchor="middle">{}</text>"#,
+            fmt_tick(t)
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" fill="{INK_SECONDARY}" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        axis_y + 18.0,
+        esc(x_label)
+    );
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders a box plot: one [`Summary`] per named category. All boxes share
+/// one hue — the entity type is the same; the category is named on the
+/// axis, so color carries no identity here.
+pub fn render_boxplot(title: &str, y_label: &str, items: &[(String, Summary)]) -> String {
+    assert!(!items.is_empty());
+    let height = 320.0;
+    let plot_w = W - MARGIN_L - 24.0;
+    let top = MARGIN_TOP + 8.0;
+    let bottom = height - 56.0;
+    let y_max = items.iter().map(|(_, s)| s.max).fold(0.0f64, f64::max) * 1.06;
+    let sy = |v: f64| bottom - (v / y_max).clamp(0.0, 1.0) * (bottom - top);
+    let slot_w = plot_w / items.len() as f64;
+    let box_w = (slot_w * 0.4).min(64.0);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {W} {height}" font-family="system-ui, sans-serif" font-size="12">"#
+    );
+    let _ = write!(svg, r#"<rect width="{W}" height="{height}" fill="{SURFACE}"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{MARGIN_L}" y="24" fill="{INK_PRIMARY}" font-size="15" font-weight="600">{}</text>"#,
+        esc(title)
+    );
+    for g in 0..=4 {
+        let v = y_max * g as f64 / 4.0;
+        let y = sy(v);
+        let _ = write!(
+            svg,
+            r#"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{GRID}" stroke-width="1"/>"#,
+            MARGIN_L + plot_w
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" fill="{INK_SECONDARY}" text-anchor="end">{}</text>"#,
+            MARGIN_L - 8.0,
+            y + 4.0,
+            fmt_tick(v)
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<text x="{MARGIN_L}" y="{:.1}" fill="{INK_SECONDARY}" font-size="11">{}</text>"#,
+        top - 8.0,
+        esc(y_label)
+    );
+
+    for (i, (name, s)) in items.iter().enumerate() {
+        let cx = MARGIN_L + slot_w * (i as f64 + 0.5);
+        let (wl, wh) = s.whiskers();
+        // Whisker line.
+        let _ = write!(
+            svg,
+            r#"<line x1="{cx:.1}" y1="{:.1}" x2="{cx:.1}" y2="{:.1}" stroke="{COLOR_APP}" stroke-width="2"/>"#,
+            sy(wh),
+            sy(wl)
+        );
+        // IQR box (4 px radius, 2 px surface gap comes from the stroke).
+        let _ = write!(
+            svg,
+            r#"<rect x="{:.1}" y="{:.1}" width="{box_w:.1}" height="{:.1}" rx="4" fill="{COLOR_APP}" fill-opacity="0.25" stroke="{COLOR_APP}" stroke-width="2"/>"#,
+            cx - box_w / 2.0,
+            sy(s.q3),
+            (sy(s.q1) - sy(s.q3)).max(2.0)
+        );
+        // Median.
+        let _ = write!(
+            svg,
+            r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{COLOR_APP}" stroke-width="3"/>"#,
+            cx - box_w / 2.0,
+            sy(s.median),
+            cx + box_w / 2.0,
+            sy(s.median)
+        );
+        // Direct median label in ink + category name on the axis.
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" fill="{INK_PRIMARY}">{}</text>"#,
+            cx + box_w / 2.0 + 6.0,
+            sy(s.median) + 4.0,
+            fmt_tick(s.median)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{cx:.1}" y="{:.1}" fill="{INK_PRIMARY}" text-anchor="middle">{}</text>"#,
+            bottom + 18.0,
+            esc(name)
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<line x1="{MARGIN_L}" y1="{bottom:.1}" x2="{:.1}" y2="{bottom:.1}" stroke="{INK_SECONDARY}" stroke-width="1"/>"#,
+        MARGIN_L + plot_w
+    );
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(points: &[(f64, f64)]) -> TimeSeries {
+        let mut t = TimeSeries::new();
+        for &(x, y) in points {
+            t.push(x, y);
+        }
+        t
+    }
+
+    fn tag_balanced(svg: &str) -> bool {
+        svg.starts_with("<svg") && svg.ends_with("</svg>")
+    }
+
+    #[test]
+    fn panels_render_all_series_with_labels() {
+        let app = ts(&[(0.0, 10.0), (1.0, 20.0), (2.0, 15.0)]);
+        let net = ts(&[(0.0, 5.0), (1.0, 6.0), (2.0, 5.5)]);
+        let lvl = ts(&[(0.0, 0.0), (1.0, 1.0)]);
+        let svg = render_time_panels(
+            "Fig test",
+            "Time [s]",
+            &[
+                Panel {
+                    y_label: "Throughput [MBit/s]",
+                    y_range: None,
+                    series: vec![
+                        Series { name: "app", color: COLOR_APP, points: &app, step: false },
+                        Series { name: "net", color: COLOR_NET, points: &net, step: false },
+                    ],
+                },
+                Panel {
+                    y_label: "Level",
+                    y_range: Some((0.0, 3.0)),
+                    series: vec![Series {
+                        name: "level",
+                        color: COLOR_LEVEL,
+                        points: &lvl,
+                        step: true,
+                    }],
+                },
+            ],
+        );
+        assert!(tag_balanced(&svg));
+        assert_eq!(svg.matches("<path").count(), 3, "one path per series");
+        // Direct labels present for every series (relief rule).
+        for name in ["app", "net", "level"] {
+            assert!(svg.contains(&format!(">{name}</text>")), "label {name} missing");
+        }
+        assert!(svg.contains("Fig test"));
+        assert!(svg.contains(COLOR_APP) && svg.contains(COLOR_NET) && svg.contains(COLOR_LEVEL));
+        // Step series uses H/V commands.
+        assert!(svg.contains('H'));
+    }
+
+    #[test]
+    fn boxplot_renders_one_box_per_category() {
+        let items: Vec<(String, Summary)> = (0..3)
+            .map(|i| {
+                let base = 10.0 * (i + 1) as f64;
+                let samples: Vec<f64> = (0..50).map(|j| base + (j % 7) as f64).collect();
+                (format!("plat{i}"), Summary::from_samples(&samples).unwrap())
+            })
+            .collect();
+        let svg = render_boxplot("Boxes", "MB/s", &items);
+        assert!(tag_balanced(&svg));
+        assert_eq!(svg.matches("<rect").count(), 1 + 3, "surface + one box per item");
+        for (name, _) in &items {
+            assert!(svg.contains(name.as_str()));
+        }
+    }
+
+    #[test]
+    fn coordinates_stay_inside_viewbox() {
+        let big = ts(&[(0.0, 1e9), (100.0, 5e9)]);
+        let svg = render_time_panels(
+            "big",
+            "t",
+            &[Panel {
+                y_label: "y",
+                y_range: None,
+                series: vec![Series { name: "s", color: COLOR_APP, points: &big, step: false }],
+            }],
+        );
+        // No negative coordinates in any path.
+        assert!(!svg.contains("M-") && !svg.contains(",-"), "negative coords in {svg}");
+    }
+
+    #[test]
+    fn end_labels_do_not_collide() {
+        // Two series ending at nearly identical values must get separated
+        // label anchors.
+        let a = ts(&[(0.0, 10.0), (1.0, 100.0)]);
+        let b = ts(&[(0.0, 20.0), (1.0, 101.0)]);
+        let svg = render_time_panels(
+            "c",
+            "t",
+            &[Panel {
+                y_label: "y",
+                y_range: None,
+                series: vec![
+                    Series { name: "aa", color: COLOR_APP, points: &a, step: false },
+                    Series { name: "bb", color: COLOR_NET, points: &b, step: false },
+                ],
+            }],
+        );
+        // Extract the label chip y positions.
+        let ys: Vec<f64> = svg
+            .split("<rect x=\"756.0\" y=\"")
+            .skip(1)
+            .filter_map(|rest| rest.split('"').next()?.parse().ok())
+            .collect();
+        assert_eq!(ys.len(), 2, "two label chips: {svg}");
+        assert!((ys[0] - ys[1]).abs() >= 13.0, "labels too close: {ys:?}");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let s = ts(&[(0.0, 1.0), (1.0, 2.0)]);
+        let mk = || {
+            render_time_panels(
+                "d",
+                "t",
+                &[Panel {
+                    y_label: "y",
+                    y_range: None,
+                    series: vec![Series { name: "s", color: COLOR_APP, points: &s, step: false }],
+                }],
+            )
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let s = ts(&[(0.0, 1.0)]);
+        let svg = render_time_panels(
+            "a < b & c",
+            "t",
+            &[Panel {
+                y_label: "x<y",
+                y_range: None,
+                series: vec![Series { name: "s&s", color: COLOR_APP, points: &s, step: false }],
+            }],
+        );
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b"));
+    }
+}

@@ -1,0 +1,171 @@
+//! ASCII table rendering for experiment output, so the harness can print
+//! rows shaped exactly like the paper's tables, plus a minimal CSV writer
+//! for downstream plotting.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// A simple monospace table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table; every column defaults to right alignment except the
+    /// first.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let mut aligns = vec![Align::Right; headers.len()];
+        if !aligns.is_empty() {
+            aligns[0] = Align::Left;
+        }
+        Table { headers, aligns, rows: Vec::new() }
+    }
+
+    pub fn align(mut self, col: usize, align: Align) -> Self {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Appends a row; must match the header arity.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with box-drawing rules.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let rule = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        let emit_row = |out: &mut String, cells: &[String], aligns: &[Align]| {
+            for i in 0..ncols {
+                let pad = widths[i] - cells[i].chars().count();
+                out.push_str("| ");
+                match aligns[i] {
+                    Align::Left => {
+                        out.push_str(&cells[i]);
+                        out.push_str(&" ".repeat(pad));
+                    }
+                    Align::Right => {
+                        out.push_str(&" ".repeat(pad));
+                        out.push_str(&cells[i]);
+                    }
+                }
+                out.push(' ');
+            }
+            out.push_str("|\n");
+        };
+        rule(&mut out);
+        emit_row(&mut out, &self.headers, &vec![Align::Left; ncols]);
+        rule(&mut out);
+        for row in &self.rows {
+            emit_row(&mut out, row, &self.aligns);
+        }
+        rule(&mut out);
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-style quoting where needed).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| csv_escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Formats a value as the paper prints table cells: `mean (sd)`.
+pub fn mean_sd_cell(mean: f64, sd: f64) -> String {
+    format!("{:.0} ({:.0})", mean, sd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1"]);
+        t.row(vec!["b", "12345"]);
+        let s = t.render();
+        assert!(s.contains("| alpha |     1 |"), "got:\n{s}");
+        assert!(s.contains("| b     | 12345 |"), "got:\n{s}");
+        let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn csv_output_shape() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.row(vec!["1", "2,5"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "x,y\n1,\"2,5\"\n");
+    }
+
+    #[test]
+    fn mean_sd_cell_matches_paper_format() {
+        assert_eq!(mean_sd_cell(569.4, 3.2), "569 (3)");
+    }
+
+    #[test]
+    fn left_align_override() {
+        let mut t = Table::new(vec!["k", "v"]).align(1, Align::Left);
+        t.row(vec!["key", "val"]);
+        assert!(t.render().contains("| val |"));
+    }
+}

@@ -1,0 +1,649 @@
+//! Channels: the edges of a Nephele job graph.
+//!
+//! As in the paper's framework, "tasks can exchange data through
+//! communication channels" of three kinds — in-memory, TCP network and
+//! file. Records are length-prefixed byte strings packed into blocks of at
+//! most 128 KiB; each block is independently (and, when enabled,
+//! adaptively) compressed into a self-describing frame before it reaches
+//! the transport. The compression layer is completely transparent to task
+//! code.
+
+use crate::error::{NepheleError, Result};
+use adcomp_codecs::frame::{decode_block, encode_block, DEFAULT_BLOCK_LEN};
+use adcomp_codecs::LevelSet;
+use adcomp_core::controller::ControllerConfig;
+use adcomp_core::epoch::{Clock, EpochContext, EpochDriver, WallClock};
+use adcomp_core::model::{DecisionModel, RateBasedModel, StaticModel};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Transport flavour of a channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelType {
+    /// Blocks move through a bounded in-process queue (no compression
+    /// benefit, but supported for symmetry with the paper's engine).
+    InMemory,
+    /// Blocks move over a real loopback TCP connection.
+    Network,
+    /// Blocks are spooled through a file on disk.
+    File,
+}
+
+/// Compression policy of a channel.
+#[derive(Debug, Clone)]
+pub enum CompressionMode {
+    /// Pass blocks through uncompressed (still framed, for uniformity).
+    Off,
+    /// A fixed compression level.
+    Static(usize),
+    /// The paper's rate-based adaptive scheme.
+    Adaptive(ControllerConfig),
+}
+
+impl CompressionMode {
+    fn make_model(&self, levels: &LevelSet) -> Box<dyn DecisionModel> {
+        match self {
+            CompressionMode::Off => Box::new(StaticModel::new(0, levels.len())),
+            CompressionMode::Static(l) => Box::new(StaticModel::new(*l, levels.len())),
+            CompressionMode::Adaptive(cfg) => Box::new(RateBasedModel::new(*cfg)),
+        }
+    }
+}
+
+/// Statistics of one channel after job completion.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelStats {
+    pub app_bytes: u64,
+    pub wire_bytes: u64,
+    pub records: u64,
+    pub blocks_per_level: Vec<u64>,
+    pub epochs: u64,
+}
+
+impl ChannelStats {
+    pub fn wire_ratio(&self) -> f64 {
+        if self.app_bytes == 0 {
+            1.0
+        } else {
+            self.wire_bytes as f64 / self.app_bytes as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block transports
+// ---------------------------------------------------------------------------
+
+/// Moves opaque frame-encoded blocks from a writer to a reader thread.
+pub trait BlockTransport: Send {
+    fn send(&mut self, frame: &[u8]) -> Result<()>;
+    /// Signals end of stream.
+    fn close(&mut self) -> Result<()>;
+}
+
+/// Receiving half.
+pub trait BlockSource: Send {
+    /// Next complete frame, or `None` at end of stream.
+    fn recv(&mut self) -> Result<Option<Vec<u8>>>;
+}
+
+/// In-memory transport over a bounded crossbeam queue.
+pub struct MemTransport {
+    tx: Option<Sender<Vec<u8>>>,
+}
+
+pub struct MemSource {
+    rx: Receiver<Vec<u8>>,
+}
+
+/// Creates a connected in-memory transport pair with the given block
+/// capacity (backpressure bound).
+pub fn mem_pair(capacity: usize) -> (MemTransport, MemSource) {
+    let (tx, rx) = bounded(capacity.max(1));
+    (MemTransport { tx: Some(tx) }, MemSource { rx })
+}
+
+impl BlockTransport for MemTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        self.tx
+            .as_ref()
+            .expect("send after close")
+            .send(frame.to_vec())
+            .map_err(|_| NepheleError::InvalidGraph("receiver dropped".into()))
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.tx = None;
+        Ok(())
+    }
+}
+
+impl BlockSource for MemSource {
+    fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+        Ok(self.rx.recv().ok())
+    }
+}
+
+/// TCP transport: frames stream over a socket; EOF marks the end.
+pub struct TcpTransport {
+    stream: Option<TcpStream>,
+}
+
+impl TcpTransport {
+    pub fn new(stream: TcpStream) -> Self {
+        TcpTransport { stream: Some(stream) }
+    }
+}
+
+impl BlockTransport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        self.stream.as_mut().expect("send after close").write_all(frame)?;
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        if let Some(s) = self.stream.take() {
+            s.shutdown(std::net::Shutdown::Write).ok();
+        }
+        Ok(())
+    }
+}
+
+/// TCP receiving half: reassembles frames from the byte stream.
+pub struct TcpSource {
+    stream: TcpStream,
+}
+
+impl TcpSource {
+    pub fn new(stream: TcpStream) -> Self {
+        TcpSource { stream }
+    }
+}
+
+impl BlockSource for TcpSource {
+    fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+        read_frame(&mut self.stream)
+    }
+}
+
+/// Reads one complete frame (header + payload) from a byte stream.
+fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>> {
+    use adcomp_codecs::frame::HEADER_LEN;
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(NepheleError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated frame header",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let parsed = adcomp_codecs::frame::FrameHeader::from_bytes(&header)
+        .map_err(|e| NepheleError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e)))?;
+    let mut frame = Vec::with_capacity(HEADER_LEN + parsed.payload_len as usize);
+    frame.extend_from_slice(&header);
+    frame.resize(HEADER_LEN + parsed.payload_len as usize, 0);
+    r.read_exact(&mut frame[HEADER_LEN..])?;
+    Ok(Some(frame))
+}
+
+/// File transport: frames are appended to a spool file; a shared counter +
+/// condvar lets the reader tail the file while the writer is still running.
+pub struct FileTransport {
+    file: std::fs::File,
+    state: Arc<FileState>,
+}
+
+pub struct FileSource {
+    file: std::fs::File,
+    state: Arc<FileState>,
+    read_pos: u64,
+}
+
+struct FileState {
+    written: Mutex<(u64, bool)>, // (bytes durable, writer done)
+    cond: Condvar,
+    path: PathBuf,
+}
+
+impl Drop for FileState {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Creates a connected file-spool transport pair in `dir`.
+pub fn file_pair(dir: &std::path::Path, name: &str) -> Result<(FileTransport, FileSource)> {
+    let path = dir.join(format!("nephele-spool-{name}-{}.bin", std::process::id()));
+    let file = std::fs::File::create(&path)?;
+    let reader = std::fs::File::open(&path)?;
+    let state = Arc::new(FileState {
+        written: Mutex::new((0, false)),
+        cond: Condvar::new(),
+        path,
+    });
+    Ok((
+        FileTransport { file, state: state.clone() },
+        FileSource { file: reader, state, read_pos: 0 },
+    ))
+}
+
+impl Drop for FileTransport {
+    fn drop(&mut self) {
+        // A writer that dies without close() must not leave the reader
+        // blocked on the condvar forever.
+        let mut w = self.state.written.lock();
+        w.1 = true;
+        self.state.cond.notify_all();
+    }
+}
+
+impl BlockTransport for FileTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        self.file.write_all(frame)?;
+        self.file.flush()?;
+        let mut w = self.state.written.lock();
+        w.0 += frame.len() as u64;
+        self.state.cond.notify_all();
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.file.flush()?;
+        let mut w = self.state.written.lock();
+        w.1 = true;
+        self.state.cond.notify_all();
+        Ok(())
+    }
+}
+
+impl FileSource {
+    /// Blocks until at least `needed` total bytes exist or the writer is
+    /// done; returns the currently available byte count.
+    fn wait_for(&self, needed: u64) -> u64 {
+        let mut w = self.state.written.lock();
+        while w.0 < needed && !w.1 {
+            self.state.cond.wait(&mut w);
+        }
+        w.0
+    }
+}
+
+impl BlockSource for FileSource {
+    fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+        use adcomp_codecs::frame::HEADER_LEN;
+        let avail = self.wait_for(self.read_pos + HEADER_LEN as u64);
+        if avail < self.read_pos + HEADER_LEN as u64 {
+            return Ok(None); // clean EOF
+        }
+        let mut header = [0u8; HEADER_LEN];
+        self.file.read_exact(&mut header)?;
+        let parsed = adcomp_codecs::frame::FrameHeader::from_bytes(&header).map_err(|e| {
+            NepheleError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        })?;
+        let total = HEADER_LEN as u64 + parsed.payload_len as u64;
+        let avail = self.wait_for(self.read_pos + total);
+        if avail < self.read_pos + total {
+            return Err(NepheleError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "spool file truncated",
+            )));
+        }
+        let mut frame = Vec::with_capacity(total as usize);
+        frame.extend_from_slice(&header);
+        frame.resize(total as usize, 0);
+        self.file.read_exact(&mut frame[HEADER_LEN..])?;
+        self.read_pos += total;
+        Ok(Some(frame))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record writer / reader (the task-facing API)
+// ---------------------------------------------------------------------------
+
+/// Writes length-prefixed records into adaptively compressed blocks.
+pub struct RecordWriter {
+    transport: Box<dyn BlockTransport>,
+    levels: LevelSet,
+    driver: EpochDriver,
+    clock: Box<dyn Clock>,
+    buf: Vec<u8>,
+    block_len: usize,
+    frame_scratch: Vec<u8>,
+    stats: ChannelStats,
+}
+
+impl RecordWriter {
+    pub fn new(
+        transport: Box<dyn BlockTransport>,
+        mode: &CompressionMode,
+        levels: LevelSet,
+        epoch_secs: f64,
+    ) -> Self {
+        let model = mode.make_model(&levels);
+        let clock: Box<dyn Clock> = Box::new(WallClock::new());
+        let now = clock.now();
+        let nlevels = levels.len();
+        RecordWriter {
+            transport,
+            levels,
+            driver: EpochDriver::new(model, epoch_secs, now),
+            clock,
+            buf: Vec::with_capacity(DEFAULT_BLOCK_LEN),
+            block_len: DEFAULT_BLOCK_LEN,
+            frame_scratch: Vec::new(),
+            stats: ChannelStats { blocks_per_level: vec![0; nlevels], ..Default::default() },
+        }
+    }
+
+    /// Writes one record (any byte payload; may span blocks).
+    pub fn write_record(&mut self, record: &[u8]) -> Result<()> {
+        let len = (record.len() as u32).to_le_bytes();
+        self.push_bytes(&len)?;
+        self.push_bytes(record)?;
+        self.stats.records += 1;
+        Ok(())
+    }
+
+    fn push_bytes(&mut self, mut data: &[u8]) -> Result<()> {
+        while !data.is_empty() {
+            let room = self.block_len - self.buf.len();
+            let take = room.min(data.len());
+            self.buf.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            if self.buf.len() == self.block_len {
+                self.emit_block()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_block(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let level = self.driver.level();
+        self.frame_scratch.clear();
+        let info = encode_block(self.levels.codec(level), &self.buf, &mut self.frame_scratch);
+        self.transport.send(&self.frame_scratch)?;
+        self.stats.app_bytes += info.uncompressed_len as u64;
+        self.stats.wire_bytes += info.frame_len as u64;
+        self.stats.blocks_per_level[level] += 1;
+        let bytes = self.buf.len() as u64;
+        self.buf.clear();
+        let ctx = EpochContext { observed_ratio: Some(info.wire_ratio()), ..Default::default() };
+        self.driver.record(bytes, self.clock.now(), &ctx);
+        Ok(())
+    }
+
+    /// Flushes the tail block and closes the channel; returns final stats.
+    pub fn finish(mut self) -> Result<ChannelStats> {
+        self.emit_block()?;
+        self.transport.close()?;
+        self.stats.epochs = self.driver.epochs();
+        Ok(self.stats)
+    }
+
+    /// Current compression level (for tests / introspection).
+    pub fn level(&self) -> usize {
+        self.driver.level()
+    }
+}
+
+/// Reads length-prefixed records from compressed blocks.
+pub struct RecordReader {
+    source: Box<dyn BlockSource>,
+    buf: Vec<u8>,
+    pos: usize,
+    eof: bool,
+    stats: ChannelStats,
+}
+
+impl RecordReader {
+    pub fn new(source: Box<dyn BlockSource>) -> Self {
+        RecordReader {
+            source,
+            buf: Vec::new(),
+            pos: 0,
+            eof: false,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    fn ensure(&mut self, needed: usize) -> Result<bool> {
+        while self.buf.len() - self.pos < needed {
+            if self.eof {
+                return Ok(false);
+            }
+            match self.source.recv()? {
+                Some(frame) => {
+                    // Compact consumed prefix before appending.
+                    if self.pos > 0 {
+                        self.buf.drain(..self.pos);
+                        self.pos = 0;
+                    }
+                    let before = self.buf.len();
+                    let (header, consumed) = decode_block(&frame, &mut self.buf).map_err(|e| {
+                        NepheleError::Io(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            e,
+                        ))
+                    })?;
+                    debug_assert_eq!(consumed, frame.len());
+                    self.stats.app_bytes += (self.buf.len() - before) as u64;
+                    self.stats.wire_bytes += frame.len() as u64;
+                    let _ = header;
+                }
+                None => self.eof = true,
+            }
+        }
+        Ok(true)
+    }
+
+    /// Next record, or `None` at a clean end of stream.
+    pub fn next_record(&mut self) -> Result<Option<Vec<u8>>> {
+        if !self.ensure(4)? {
+            if self.buf.len() - self.pos != 0 {
+                return Err(NepheleError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "trailing partial record",
+                )));
+            }
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap()) as usize;
+        self.pos += 4;
+        if !self.ensure(len)? {
+            return Err(NepheleError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "record body truncated",
+            )));
+        }
+        let rec = self.buf[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        self.stats.records += 1;
+        Ok(Some(rec))
+    }
+
+    /// Reader-side statistics.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(mode: CompressionMode, records: &[Vec<u8>]) -> (Vec<Vec<u8>>, ChannelStats) {
+        let (tx, rx) = mem_pair(1024);
+        let mut w = RecordWriter::new(Box::new(tx), &mode, LevelSet::paper_default(), 2.0);
+        for r in records {
+            w.write_record(r).unwrap();
+        }
+        let stats = w.finish().unwrap();
+        let mut reader = RecordReader::new(Box::new(rx));
+        let mut out = Vec::new();
+        while let Some(r) = reader.next_record().unwrap() {
+            out.push(r);
+        }
+        (out, stats)
+    }
+
+    #[test]
+    fn mem_channel_roundtrips_records() {
+        let records: Vec<Vec<u8>> =
+            (0..100).map(|i| format!("record number {i}, payload payload").into_bytes()).collect();
+        let (out, stats) = roundtrip(CompressionMode::Off, &records);
+        assert_eq!(out, records);
+        assert_eq!(stats.records, 100);
+    }
+
+    #[test]
+    fn static_compression_reduces_wire_bytes() {
+        let records: Vec<Vec<u8>> = (0..200)
+            .map(|_| b"very repetitive content here. ".repeat(20).to_vec())
+            .collect();
+        let (out, stats) = roundtrip(CompressionMode::Static(1), &records);
+        assert_eq!(out.len(), 200);
+        assert!(stats.wire_ratio() < 0.3, "ratio {}", stats.wire_ratio());
+        assert!(stats.blocks_per_level[1] > 0);
+    }
+
+    #[test]
+    fn adaptive_mode_runs_and_roundtrips() {
+        let records: Vec<Vec<u8>> =
+            (0..500).map(|i| format!("{i} ").repeat(100).into_bytes()).collect();
+        let (out, _stats) =
+            roundtrip(CompressionMode::Adaptive(ControllerConfig::default()), &records);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn empty_record_and_empty_stream() {
+        let (out, stats) = roundtrip(CompressionMode::Off, &[Vec::new(), b"x".to_vec()]);
+        assert_eq!(out, vec![Vec::new(), b"x".to_vec()]);
+        assert_eq!(stats.records, 2);
+        let (out, _) = roundtrip(CompressionMode::Off, &[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn large_record_spans_blocks() {
+        let big = vec![0xABu8; 500_000]; // ~4 blocks
+        let (out, stats) = roundtrip(CompressionMode::Static(1), std::slice::from_ref(&big));
+        assert_eq!(out, vec![big]);
+        assert!(stats.blocks_per_level.iter().sum::<u64>() >= 4);
+    }
+
+    #[test]
+    fn file_transport_roundtrip() {
+        let dir = std::env::temp_dir();
+        let (tx, rx) = file_pair(&dir, "test-rt").unwrap();
+        let path = tx.state.path.clone();
+        let mut w =
+            RecordWriter::new(Box::new(tx), &CompressionMode::Static(2), LevelSet::paper_default(), 2.0);
+        let records: Vec<Vec<u8>> =
+            (0..50).map(|i| format!("file record {i} ").repeat(30).into_bytes()).collect();
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        w.finish().unwrap();
+        let mut reader = RecordReader::new(Box::new(rx));
+        let mut out = Vec::new();
+        while let Some(r) = reader.next_record().unwrap() {
+            out.push(r);
+        }
+        assert_eq!(out, records);
+        drop(reader);
+        assert!(!path.exists(), "spool file should be cleaned up");
+    }
+
+    #[test]
+    fn file_transport_supports_concurrent_tailing() {
+        let dir = std::env::temp_dir();
+        let (tx, rx) = file_pair(&dir, "test-tail").unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut w = RecordWriter::new(
+                Box::new(tx),
+                &CompressionMode::Off,
+                LevelSet::paper_default(),
+                2.0,
+            );
+            for i in 0..200 {
+                w.write_record(format!("tail {i}").as_bytes()).unwrap();
+                if i % 50 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+            w.finish().unwrap()
+        });
+        let mut reader = RecordReader::new(Box::new(rx));
+        let mut n = 0;
+        while let Some(r) = reader.next_record().unwrap() {
+            assert_eq!(r, format!("tail {n}").as_bytes());
+            n += 1;
+        }
+        assert_eq!(n, 200);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_transport_roundtrip() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let records: Vec<Vec<u8>> =
+            (0..100).map(|i| format!("tcp record {i} ").repeat(10).into_bytes()).collect();
+        let recs = records.clone();
+        let sender = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut w = RecordWriter::new(
+                Box::new(TcpTransport::new(stream)),
+                &CompressionMode::Static(1),
+                LevelSet::paper_default(),
+                2.0,
+            );
+            for r in &recs {
+                w.write_record(r).unwrap();
+            }
+            w.finish().unwrap()
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = RecordReader::new(Box::new(TcpSource::new(stream)));
+        let mut out = Vec::new();
+        while let Some(r) = reader.next_record().unwrap() {
+            out.push(r);
+        }
+        assert_eq!(out, records);
+        let stats = sender.join().unwrap();
+        assert_eq!(stats.records, 100);
+    }
+
+    #[test]
+    fn reader_detects_truncated_record() {
+        // Write a block whose record length header promises more bytes than
+        // the stream delivers.
+        let (mut tx, rx) = mem_pair(4);
+        let mut wire = Vec::new();
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&100u32.to_le_bytes());
+        payload.extend_from_slice(b"only ten b");
+        encode_block(adcomp_codecs::codec_for(adcomp_codecs::CodecId::Raw), &payload, &mut wire);
+        tx.send(&wire).unwrap();
+        tx.close().unwrap();
+        let mut reader = RecordReader::new(Box::new(rx));
+        assert!(reader.next_record().is_err());
+    }
+}

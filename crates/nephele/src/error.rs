@@ -1,0 +1,40 @@
+//! Error type of the mini-Nephele engine.
+
+use std::fmt;
+
+/// Errors surfaced by job construction and execution.
+#[derive(Debug)]
+pub enum NepheleError {
+    /// Graph validation failed (cycle, unknown vertex, ...).
+    InvalidGraph(String),
+    /// A task returned an error.
+    TaskFailed { vertex: String, message: String },
+    /// Channel-level I/O failure.
+    Io(std::io::Error),
+    /// A worker thread panicked.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for NepheleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NepheleError::InvalidGraph(why) => write!(f, "invalid job graph: {why}"),
+            NepheleError::TaskFailed { vertex, message } => {
+                write!(f, "task '{vertex}' failed: {message}")
+            }
+            NepheleError::Io(e) => write!(f, "channel I/O error: {e}"),
+            NepheleError::WorkerPanic(v) => write!(f, "worker thread for '{v}' panicked"),
+        }
+    }
+}
+
+impl std::error::Error for NepheleError {}
+
+impl From<std::io::Error> for NepheleError {
+    fn from(e: std::io::Error) -> Self {
+        NepheleError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, NepheleError>;

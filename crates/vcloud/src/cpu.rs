@@ -1,0 +1,181 @@
+//! CPU utilization accounting and the guest-visible distortion model.
+//!
+//! Figure 1 of the paper contrasts the CPU utilization displayed *inside* a
+//! virtual machine with what the host accounts to that VM during saturating
+//! I/O. The displayed value is often a small fraction of the real cost —
+//! up to 15× off (e.g. network send on paravirtualized KVM, file read on
+//! XEN) — because most of the I/O path (virtio backends, dom0 drivers,
+//! interrupt handling) runs outside the guest's accounting domain.
+//!
+//! This module carries the per-platform, per-operation utilization pairs we
+//! calibrated from Figure 1, plus sampling with realistic jitter.
+
+use adcomp_corpus::Prng;
+
+/// A CPU utilization breakdown in percent, split the way the paper splits
+/// its bars: user, system, hard-IRQ, soft-IRQ and (XEN/EC2) steal time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CpuBreakdown {
+    pub usr: f64,
+    pub sys: f64,
+    pub hirq: f64,
+    pub sirq: f64,
+    pub steal: f64,
+}
+
+impl CpuBreakdown {
+    pub const fn new(usr: f64, sys: f64, hirq: f64, sirq: f64, steal: f64) -> Self {
+        CpuBreakdown { usr, sys, hirq, sirq, steal }
+    }
+
+    /// Total utilization in percent.
+    pub fn total(&self) -> f64 {
+        self.usr + self.sys + self.hirq + self.sirq + self.steal
+    }
+
+    /// Scales every component by `f`.
+    pub fn scale(&self, f: f64) -> CpuBreakdown {
+        CpuBreakdown {
+            usr: self.usr * f,
+            sys: self.sys * f,
+            hirq: self.hirq * f,
+            sirq: self.sirq * f,
+            steal: self.steal * f,
+        }
+    }
+
+    /// Draws a jittered sample of this breakdown (one `/proc/stat` second).
+    pub fn sample(&self, rng: &mut Prng, rel_jitter: f64) -> CpuBreakdown {
+        let j = |rng: &mut Prng, v: f64| {
+            if v <= 0.0 {
+                0.0
+            } else {
+                (v * (1.0 + rng.normal(0.0, rel_jitter))).max(0.0)
+            }
+        };
+        CpuBreakdown {
+            usr: j(rng, self.usr),
+            sys: j(rng, self.sys),
+            hirq: j(rng, self.hirq),
+            sirq: j(rng, self.sirq),
+            steal: j(rng, self.steal),
+        }
+    }
+}
+
+/// The VM-displayed vs host-accounted utilization pair for one I/O
+/// operation on one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuAccuracyModel {
+    /// What `/proc/stat` inside the guest shows.
+    pub guest: CpuBreakdown,
+    /// What the host accounts to the VM (qemu process / xentop), `None` for
+    /// EC2 where the paper could not observe the host.
+    pub host: Option<CpuBreakdown>,
+}
+
+impl CpuAccuracyModel {
+    /// Host-to-guest display gap (≥ 1 when the guest under-reports).
+    pub fn gap(&self) -> Option<f64> {
+        self.host.map(|h| h.total() / self.guest.total().max(1e-9))
+    }
+}
+
+/// One collected accuracy sample pair.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuSamplePair {
+    pub guest: CpuBreakdown,
+    pub host: Option<CpuBreakdown>,
+}
+
+/// Draws `n` one-second sample pairs from a model (the paper averages at
+/// least 120 samples per bar).
+pub fn sample_pairs(model: &CpuAccuracyModel, n: usize, seed: u64) -> Vec<CpuSamplePair> {
+    let mut rng = Prng::new(seed ^ 0xC1B);
+    (0..n)
+        .map(|_| CpuSamplePair {
+            guest: model.guest.sample(&mut rng, 0.08),
+            host: model.host.map(|h| h.sample(&mut rng, 0.08)),
+        })
+        .collect()
+}
+
+/// Averages a set of breakdowns component-wise.
+pub fn mean_breakdown<'a>(samples: impl Iterator<Item = &'a CpuBreakdown>) -> CpuBreakdown {
+    let mut acc = CpuBreakdown::default();
+    let mut n = 0u32;
+    for s in samples {
+        acc.usr += s.usr;
+        acc.sys += s.sys;
+        acc.hirq += s.hirq;
+        acc.sirq += s.sirq;
+        acc.steal += s.steal;
+        n += 1;
+    }
+    if n == 0 {
+        acc
+    } else {
+        acc.scale(1.0 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_components() {
+        let b = CpuBreakdown::new(10.0, 20.0, 1.0, 4.0, 5.0);
+        assert!((b.total() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_is_linear() {
+        let b = CpuBreakdown::new(10.0, 20.0, 0.0, 4.0, 6.0).scale(0.5);
+        assert_eq!(b.usr, 5.0);
+        assert_eq!(b.steal, 3.0);
+        assert!((b.total() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_jitter_but_average_out() {
+        let b = CpuBreakdown::new(10.0, 50.0, 2.0, 8.0, 0.0);
+        let model = CpuAccuracyModel { guest: b, host: Some(b.scale(3.0)) };
+        let pairs = sample_pairs(&model, 500, 1);
+        assert_eq!(pairs.len(), 500);
+        let mean = mean_breakdown(pairs.iter().map(|p| &p.guest));
+        assert!((mean.total() - b.total()).abs() / b.total() < 0.05);
+        // Zero components stay exactly zero.
+        assert!(pairs.iter().all(|p| p.guest.steal == 0.0));
+        // Samples are never negative.
+        assert!(pairs.iter().all(|p| p.guest.usr >= 0.0));
+    }
+
+    #[test]
+    fn gap_reflects_distortion() {
+        let model = CpuAccuracyModel {
+            guest: CpuBreakdown::new(2.0, 4.0, 0.0, 2.0, 0.0),
+            host: Some(CpuBreakdown::new(10.0, 90.0, 5.0, 15.0, 0.0)),
+        };
+        assert!((model.gap().unwrap() - 15.0).abs() < 1e-9);
+        let no_host = CpuAccuracyModel { guest: model.guest, host: None };
+        assert!(no_host.gap().is_none());
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let m = mean_breakdown(std::iter::empty());
+        assert_eq!(m.total(), 0.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let b = CpuBreakdown::new(10.0, 50.0, 2.0, 8.0, 1.0);
+        let model = CpuAccuracyModel { guest: b, host: None };
+        let a = sample_pairs(&model, 10, 9);
+        let c = sample_pairs(&model, 10, 9);
+        for (x, y) in a.iter().zip(&c) {
+            assert_eq!(x.guest, y.guest);
+        }
+    }
+}

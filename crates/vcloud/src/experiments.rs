@@ -1,0 +1,177 @@
+//! Canned Section-II experiments: generators for the metric-accuracy
+//! figures (Figs. 1–3). Each returns raw samples; the bench binaries format
+//! them into the paper's tables/plots.
+
+use crate::cpu::{mean_breakdown, sample_pairs, CpuBreakdown};
+use crate::disk::VirtualDisk;
+use crate::platform::{IoOp, Platform};
+use adcomp_corpus::Prng;
+use adcomp_metrics::Summary;
+
+/// One bar pair of Figure 1: the averaged guest and host CPU breakdowns for
+/// a platform × operation cell.
+#[derive(Debug, Clone)]
+pub struct CpuAccuracyResult {
+    pub platform: Platform,
+    pub op: IoOp,
+    pub guest_mean: CpuBreakdown,
+    pub host_mean: Option<CpuBreakdown>,
+    pub samples: usize,
+}
+
+impl CpuAccuracyResult {
+    /// Host/guest display gap of the averaged totals.
+    pub fn gap(&self) -> Option<f64> {
+        self.host_mean.map(|h| h.total() / self.guest_mean.total().max(1e-9))
+    }
+}
+
+/// Figure 1: samples the displayed vs host-accounted CPU utilization.
+/// The paper averages "at least 120 individual samples".
+pub fn fig1_cpu_accuracy(platform: Platform, op: IoOp, samples: usize, seed: u64) -> CpuAccuracyResult {
+    let model = platform.cpu_accuracy(op);
+    let pairs = sample_pairs(&model, samples, seed ^ (platform as u64) << 8 ^ op as u64);
+    let guest_mean = mean_breakdown(pairs.iter().map(|p| &p.guest));
+    let host_mean = if model.host.is_some() {
+        let hosts: Vec<CpuBreakdown> = pairs.iter().filter_map(|p| p.host).collect();
+        Some(mean_breakdown(hosts.iter()))
+    } else {
+        None
+    };
+    CpuAccuracyResult { platform, op, guest_mean, host_mean, samples }
+}
+
+/// Figure 2/3 sample sets: application-layer throughput observed inside the
+/// VM, one sample per 20 MB of data (the paper's instrumentation).
+#[derive(Debug, Clone)]
+pub struct ThroughputDistribution {
+    pub platform: Platform,
+    /// Per-20 MB throughput samples, bytes/second.
+    pub samples: Vec<f64>,
+}
+
+impl ThroughputDistribution {
+    pub fn summary(&self) -> Summary {
+        Summary::from_samples(&self.samples).expect("non-empty sample set")
+    }
+}
+
+/// The paper's instrumentation interval: a timestamp every 20 MB.
+pub const SAMPLE_INTERVAL_BYTES: u64 = 20_000_000;
+
+/// Figure 2: network send throughput distribution over `total_bytes`
+/// (paper: 50 GB), sampled every 20 MB.
+pub fn fig2_net_throughput(platform: Platform, total_bytes: u64, seed: u64) -> ThroughputDistribution {
+    let mut fluct = platform.net_fluctuation(seed);
+    let base = platform.net_bandwidth_bps();
+    let mut samples = Vec::new();
+    let mut t = 0.0f64;
+    let mut produced = 0u64;
+    while produced < total_bytes {
+        // Integrate the fluctuating rate across one 20 MB window.
+        let mut remaining = SAMPLE_INTERVAL_BYTES as f64;
+        let start = t;
+        const STEP: f64 = 0.005;
+        while remaining > 0.0 {
+            let bw = (base * fluct.factor_at(t)).max(1.0);
+            let chunk = bw * STEP;
+            if remaining <= chunk {
+                t += remaining / bw;
+                break;
+            }
+            remaining -= chunk;
+            t += STEP;
+        }
+        samples.push(SAMPLE_INTERVAL_BYTES as f64 / (t - start).max(1e-9));
+        produced += SAMPLE_INTERVAL_BYTES;
+    }
+    ThroughputDistribution { platform, samples }
+}
+
+/// Figure 3: file-write throughput distribution over `total_bytes`
+/// (paper: 50 GB), sampled every 20 MB. On platforms with a host
+/// write-back cache (XEN) the distribution is bimodal: memory-speed bursts
+/// and flush stalls.
+pub fn fig3_file_write(platform: Platform, total_bytes: u64, seed: u64) -> ThroughputDistribution {
+    let mut disk = if platform.host_writeback_cache() {
+        VirtualDisk::xen_paper_default()
+    } else {
+        VirtualDisk::write_through(platform.disk_write_bps())
+    };
+    let mut rng = Prng::new(seed ^ 0xD15C);
+    let jitter = platform.disk_jitter();
+    let mut samples = Vec::new();
+    let mut produced = 0u64;
+    let mut t = 0.0f64;
+    while produced < total_bytes {
+        let mut secs = disk.write_secs(SAMPLE_INTERVAL_BYTES, t);
+        secs *= (1.0 + rng.normal(0.0, jitter)).clamp(0.3, 3.0);
+        t += secs;
+        samples.push(SAMPLE_INTERVAL_BYTES as f64 / secs.max(1e-9));
+        produced += SAMPLE_INTERVAL_BYTES;
+    }
+    ThroughputDistribution { platform, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_gaps_match_paper_reading() {
+        let r = fig1_cpu_accuracy(Platform::KvmPara, IoOp::NetSend, 200, 1);
+        let gap = r.gap().unwrap();
+        assert!(gap > 8.0, "KVM-para send gap {gap}");
+        let r = fig1_cpu_accuracy(Platform::Native, IoOp::NetSend, 200, 1);
+        assert!((r.gap().unwrap() - 1.0).abs() < 0.1);
+        let r = fig1_cpu_accuracy(Platform::Ec2, IoOp::FileRead, 200, 1);
+        assert!(r.host_mean.is_none());
+        assert_eq!(r.samples, 200);
+    }
+
+    #[test]
+    fn fig2_native_tight_ec2_wild() {
+        let native = fig2_net_throughput(Platform::Native, 2_000_000_000, 3).summary();
+        let ec2 = fig2_net_throughput(Platform::Ec2, 2_000_000_000, 3).summary();
+        let native_cv = native.sd / native.mean;
+        let ec2_cv = ec2.sd / ec2.mean;
+        assert!(native_cv < 0.03, "native CV {native_cv}");
+        assert!(ec2_cv > 5.0 * native_cv, "EC2 CV {ec2_cv} vs native {native_cv}");
+        // EC2 range swings over hundreds of MBit/s.
+        assert!((ec2.max - ec2.min) * 8.0 / 1e6 > 200.0);
+    }
+
+    #[test]
+    fn fig2_native_mean_near_wire_rate() {
+        let s = fig2_net_throughput(Platform::Native, 1_000_000_000, 5).summary();
+        let mbit = s.mean * 8.0 / 1e6;
+        assert!((880.0..1000.0).contains(&mbit), "native ≈ 940 MBit/s, got {mbit}");
+    }
+
+    #[test]
+    fn fig3_xen_cache_effects() {
+        let xen = fig3_file_write(Platform::XenPara, 10_000_000_000, 7);
+        let native = fig3_file_write(Platform::Native, 10_000_000_000, 7);
+        let xs = xen.summary();
+        let ns = native.summary();
+        // Spurious high mean and violent spread on XEN.
+        assert!(xs.mean > ns.mean, "xen {} vs native {}", xs.mean, ns.mean);
+        assert!(xs.max / 1e6 > 300.0, "cache bursts, got max {} MB/s", xs.max / 1e6);
+        assert!(xs.min / 1e6 < 30.0, "flush stalls, got min {} MB/s", xs.min / 1e6);
+        // Native stays in a narrow band around the disk rate.
+        assert!((ns.sd / ns.mean) < 0.1);
+    }
+
+    #[test]
+    fn sample_counts_match_volume() {
+        let d = fig2_net_throughput(Platform::KvmPara, 400_000_000, 1);
+        assert_eq!(d.samples.len(), 20);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = fig3_file_write(Platform::KvmFull, 400_000_000, 9);
+        let b = fig3_file_write(Platform::KvmFull, 400_000_000, 9);
+        assert_eq!(a.samples, b.samples);
+    }
+}

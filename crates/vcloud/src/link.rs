@@ -1,0 +1,152 @@
+//! Shared network link with co-located competing flows.
+//!
+//! The paper's shared-I/O experiments co-locate up to three additional VMs
+//! on the sender's host, each blasting a separate TCP connection. The
+//! observed capacity degradation (Table II, `NO` rows: 569 → 908 → 1393 →
+//! 1642 s) is *not* a perfect 1/(n+1) fair share — virtualized TCP under
+//! contention loses extra efficiency. We model the foreground flow's
+//! capacity as
+//!
+//! ```text
+//! share(t) = base_bw × fluctuation(t) / (1 + β·n)
+//! ```
+//!
+//! with β fit to the paper's NO rows (β ≈ 0.65), plus a per-flow CPU "steal"
+//! factor on the guest (virtualization backends of co-located VMs compete
+//! for host cycles serving I/O).
+
+use crate::fluctuation::Fluctuation;
+
+/// A point-to-point link shared with `n` co-located background flows.
+pub struct SharedLink {
+    base_bw_bps: f64,
+    background_flows: usize,
+    contention_beta: f64,
+    fluct: Box<dyn Fluctuation>,
+}
+
+impl SharedLink {
+    pub fn new(base_bw_bps: f64, background_flows: usize, fluct: Box<dyn Fluctuation>) -> Self {
+        assert!(base_bw_bps > 0.0);
+        SharedLink { base_bw_bps, background_flows, contention_beta: 0.65, fluct }
+    }
+
+    /// Overrides the contention coefficient β.
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        assert!(beta >= 0.0);
+        self.contention_beta = beta;
+        self
+    }
+
+    pub fn background_flows(&self) -> usize {
+        self.background_flows
+    }
+
+    /// Long-run mean share of the foreground flow, ignoring fluctuation.
+    pub fn nominal_share_bps(&self) -> f64 {
+        self.base_bw_bps / (1.0 + self.contention_beta * self.background_flows as f64)
+    }
+
+    /// Instantaneous foreground bandwidth at virtual time `t` (must be
+    /// called with non-decreasing `t`).
+    pub fn bandwidth_at(&mut self, t: f64) -> f64 {
+        (self.nominal_share_bps() * self.fluct.factor_at(t)).max(1.0)
+    }
+
+    /// Time to transmit `bytes` starting at time `t`, integrating the
+    /// (piecewise-sampled) fluctuating bandwidth in small steps.
+    pub fn transmit_secs(&mut self, bytes: u64, t: f64) -> f64 {
+        // Sample the rate at most every 10 ms of virtual time so long
+        // transmissions see fluctuation, while short blocks cost one sample.
+        const STEP: f64 = 0.010;
+        let mut remaining = bytes as f64;
+        let mut now = t;
+        let mut guard = 0;
+        while remaining > 0.0 {
+            let bw = self.bandwidth_at(now);
+            let horizon = bw * STEP;
+            if remaining <= horizon {
+                now += remaining / bw;
+                break;
+            }
+            remaining -= horizon;
+            now += STEP;
+            guard += 1;
+            debug_assert!(guard < 100_000_000, "transmit_secs runaway");
+        }
+        now - t
+    }
+
+    /// Guest CPU capacity factor under co-location: each background VM's
+    /// I/O backend work shaves a slice off the cycles effectively available
+    /// to the foreground guest's compression + TCP path.
+    pub fn cpu_capacity_factor(&self) -> f64 {
+        (1.0 - 0.10 * self.background_flows as f64).max(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fluctuation::{Constant, OnOff};
+
+    #[test]
+    fn nominal_share_decreases_with_flows() {
+        let bw = 100e6;
+        let shares: Vec<f64> = (0..4)
+            .map(|n| SharedLink::new(bw, n, Box::new(Constant)).nominal_share_bps())
+            .collect();
+        assert_eq!(shares[0], bw);
+        assert!(shares.windows(2).all(|w| w[1] < w[0]));
+        // β = 0.65 matches the Table II degradation pattern: ~0.61, ~0.43,
+        // ~0.34 of solo capacity.
+        assert!((shares[1] / bw - 0.606).abs() < 0.01);
+        assert!((shares[3] / bw - 0.339).abs() < 0.01);
+    }
+
+    #[test]
+    fn transmit_time_is_bytes_over_bandwidth_when_constant() {
+        let mut l = SharedLink::new(100e6, 0, Box::new(Constant));
+        let secs = l.transmit_secs(50_000_000, 0.0);
+        assert!((secs - 0.5).abs() < 1e-9, "got {secs}");
+    }
+
+    #[test]
+    fn transmit_time_scales_with_contention() {
+        let mut solo = SharedLink::new(100e6, 0, Box::new(Constant));
+        let mut busy = SharedLink::new(100e6, 2, Box::new(Constant));
+        let a = solo.transmit_secs(10_000_000, 0.0);
+        let b = busy.transmit_secs(10_000_000, 0.0);
+        assert!((b / a - 2.3).abs() < 0.01, "ratio {}", b / a);
+    }
+
+    #[test]
+    fn onoff_fluctuation_stretches_transfers() {
+        // 50 % duty cycle on/off: long transfers take ~2× the constant time.
+        let mut l = SharedLink::new(100e6, 0, Box::new(OnOff::new(1.0, 0.0, 0.05, 0.05, 3)));
+        let secs = l.transmit_secs(200_000_000, 0.0);
+        assert!((1.6..2.6).contains(&(secs / 2.0)), "got {secs}");
+    }
+
+    #[test]
+    fn zero_bytes_transmit_instantly() {
+        let mut l = SharedLink::new(100e6, 0, Box::new(Constant));
+        assert_eq!(l.transmit_secs(0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn cpu_capacity_shrinks_with_background_flows() {
+        let f: Vec<f64> = (0..4)
+            .map(|n| SharedLink::new(1e6, n, Box::new(Constant)).cpu_capacity_factor())
+            .collect();
+        assert_eq!(f[0], 1.0);
+        assert!(f.windows(2).all(|w| w[1] < w[0]));
+        assert!(f[3] >= 0.5);
+    }
+
+    #[test]
+    fn beta_override() {
+        let l = SharedLink::new(100e6, 1, Box::new(Constant)).with_beta(1.0);
+        assert!((l.nominal_share_bps() - 50e6).abs() < 1e-6);
+    }
+}

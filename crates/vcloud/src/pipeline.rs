@@ -1,0 +1,455 @@
+//! Virtual-time simulation of the paper's sample job: a sender task
+//! streaming data through a compressing network channel to a receiver task
+//! on another VM, with co-located background flows on the shared link.
+//!
+//! ## Pipeline model
+//!
+//! The paper's guests have **one CPU core**, so compression and the TCP
+//! stack serialize on the sender's vCPU while wire transmission (NIC DMA)
+//! overlaps. Each 128 KiB block passes three stages:
+//!
+//! 1. **Sender CPU** — `block/compress_bps + wire/tcp_proc_bps`, inflated
+//!    by co-location CPU pressure and jitter; blocked when the send queue
+//!    (socket buffer) is full.
+//! 2. **Wire** — `wire_bytes` at the fluctuating contended share.
+//! 3. **Receiver CPU** — decompression + TCP receive cost; backpressure
+//!    propagates to the sender through the bounded queues, so the
+//!    application data rate "also includes the decompression time at the
+//!    receiver because of the network's flow control" (paper §III-A).
+//!
+//! The decision model runs inside the loop: every epoch (t = 2 s of
+//! *virtual* time) it sees the application data rate and picks the level
+//! for subsequent blocks.
+
+use crate::link::SharedLink;
+use crate::platform::{IoOp, Platform};
+use crate::speed::SpeedModel;
+use adcomp_codecs::frame::HEADER_LEN;
+use adcomp_core::epoch::{EpochContext, EpochDriver};
+use adcomp_core::model::{DecisionModel, GuestMetrics};
+use adcomp_corpus::{Class, Prng};
+use adcomp_metrics::TimeSeries;
+use std::collections::VecDeque;
+
+/// Assigns a compressibility class to every byte offset of the stream.
+pub trait ClassSchedule: Send {
+    fn class_at(&mut self, byte_offset: u64) -> Class;
+}
+
+/// A single class for the whole stream (Table II, Figs. 4–5).
+pub struct ConstantClass(pub Class);
+
+impl ClassSchedule for ConstantClass {
+    fn class_at(&mut self, _byte_offset: u64) -> Class {
+        self.0
+    }
+}
+
+/// Cycles through classes every `period_bytes` (Fig. 6: HIGH ↔ LOW every
+/// 10 GB).
+pub struct AlternatingClass {
+    pub classes: Vec<Class>,
+    pub period_bytes: u64,
+}
+
+impl ClassSchedule for AlternatingClass {
+    fn class_at(&mut self, byte_offset: u64) -> Class {
+        let idx = (byte_offset / self.period_bytes) as usize % self.classes.len();
+        self.classes[idx]
+    }
+}
+
+/// Transfer experiment parameters.
+#[derive(Debug, Clone)]
+pub struct TransferConfig {
+    /// Platform whose link/CPU characteristics apply (the paper's §IV setup
+    /// is KVM-paravirtualized).
+    pub platform: Platform,
+    /// Co-located competing TCP connections (0–3 in Table II).
+    pub background_flows: usize,
+    /// Total application bytes to move (paper: 50 GB).
+    pub total_bytes: u64,
+    /// Block size (paper: ≤ 128 KiB).
+    pub block_len: usize,
+    /// Decision epoch `t` in seconds (paper: 2 s).
+    pub epoch_secs: f64,
+    /// Bounded send queue between compression and wire, in blocks.
+    pub send_queue_blocks: usize,
+    /// Bounded receive queue between wire and decompression, in blocks.
+    pub recv_queue_blocks: usize,
+    /// Relative jitter on per-block CPU time.
+    pub cpu_jitter: f64,
+    /// Disables bandwidth fluctuation (deterministic tests).
+    pub deterministic: bool,
+    /// RNG / fluctuation seed — vary per repetition.
+    pub seed: u64,
+}
+
+impl TransferConfig {
+    /// The paper's §IV configuration (50 GB may take a second or two of
+    /// host time to simulate; tests use smaller volumes).
+    pub fn paper_default() -> Self {
+        TransferConfig {
+            platform: Platform::KvmPara,
+            background_flows: 0,
+            total_bytes: 50_000_000_000,
+            block_len: 128 * 1024,
+            epoch_secs: 2.0,
+            send_queue_blocks: 8,
+            recv_queue_blocks: 8,
+            cpu_jitter: 0.02,
+            deterministic: false,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of one simulated transfer.
+#[derive(Debug, Clone)]
+pub struct TransferOutcome {
+    /// Virtual seconds until the receiver finished the last block — the
+    /// paper's "completion time".
+    pub completion_secs: f64,
+    pub app_bytes: u64,
+    pub wire_bytes: u64,
+    /// `(t, level)` — Figs. 4–6 bottom panels.
+    pub level_trace: TimeSeries,
+    /// `(t, app bytes/s)` per epoch — "Application Throughput".
+    pub app_rate_trace: TimeSeries,
+    /// `(t, wire bytes/s)` per epoch — "Network Throughput".
+    pub net_rate_trace: TimeSeries,
+    /// `(t, sender CPU utilization %)` per epoch.
+    pub cpu_trace: TimeSeries,
+    /// Blocks emitted at each level.
+    pub blocks_per_level: Vec<u64>,
+    pub epochs: u64,
+}
+
+impl TransferOutcome {
+    /// Mean application throughput over the whole run, bytes/second.
+    pub fn mean_app_rate(&self) -> f64 {
+        self.app_bytes as f64 / self.completion_secs
+    }
+
+    /// Overall wire/app ratio.
+    pub fn wire_ratio(&self) -> f64 {
+        self.wire_bytes as f64 / self.app_bytes.max(1) as f64
+    }
+}
+
+/// Runs one transfer under the given decision model.
+pub fn run_transfer(
+    cfg: &TransferConfig,
+    speed: &SpeedModel,
+    schedule: &mut dyn ClassSchedule,
+    model: Box<dyn DecisionModel>,
+) -> TransferOutcome {
+    assert_eq!(model.num_levels(), speed.num_levels());
+    assert!(cfg.block_len > 0 && cfg.total_bytes > 0);
+
+    let fluct = if cfg.deterministic {
+        Platform::no_fluctuation()
+    } else {
+        cfg.platform.net_fluctuation(cfg.seed)
+    };
+    let mut link =
+        SharedLink::new(cfg.platform.net_bandwidth_bps(), cfg.background_flows, fluct);
+    let cpu_factor = link.cpu_capacity_factor();
+    let mut rng = Prng::new(cfg.seed ^ 0x51D);
+    let mut driver = EpochDriver::new(model, cfg.epoch_secs, 0.0);
+
+    // Pipeline clocks.
+    let mut cpu_free = 0.0f64;
+    let mut net_free = 0.0f64;
+    let mut rx_free = 0.0f64;
+    let mut net_done_q: VecDeque<f64> = VecDeque::with_capacity(cfg.send_queue_blocks);
+    let mut rx_done_q: VecDeque<f64> = VecDeque::with_capacity(cfg.recv_queue_blocks);
+
+    // Per-epoch accumulators for the CPU/network traces.
+    let mut epoch_cpu_busy = 0.0f64;
+    let mut epoch_wire_bytes = 0u64;
+    let mut last_epoch_count = 0u64;
+    let mut last_epoch_t = 0.0f64;
+
+    let mut produced = 0u64;
+    let mut wire_total = 0u64;
+    let mut blocks_per_level = vec![0u64; speed.num_levels()];
+    let mut net_rate_trace = TimeSeries::new();
+    let mut cpu_trace = TimeSeries::new();
+
+    // Guest-displayed metric distortion for the metric-based baseline: the
+    // guest sees only a fraction of its true CPU cost (Fig. 1) and believes
+    // the NIC's nominal solo bandwidth is available.
+    let display_model = cfg.platform.cpu_accuracy(IoOp::NetSend);
+    let display_factor = match display_model.gap() {
+        Some(gap) if gap > 0.0 => 1.0 / gap,
+        _ => 1.0,
+    };
+    let displayed_bw = cfg.platform.net_bandwidth_bps();
+
+    while produced < cfg.total_bytes {
+        let block = (cfg.block_len as u64).min(cfg.total_bytes - produced) as usize;
+        let class = schedule.class_at(produced);
+        let level = driver.level();
+        let prof = speed.profile(class, level);
+        let wire = (block as f64 * prof.ratio) as u64 + HEADER_LEN as u64;
+
+        // Stage 1: sender CPU.
+        let mut comp_secs =
+            (block as f64 / prof.compress_bps + wire as f64 / speed.tcp_proc_bps) / cpu_factor;
+        if cfg.cpu_jitter > 0.0 {
+            comp_secs *= (1.0 + rng.normal(0.0, cfg.cpu_jitter)).clamp(0.5, 2.0);
+        }
+        let backpressure = if net_done_q.len() >= cfg.send_queue_blocks {
+            net_done_q.pop_front().unwrap()
+        } else {
+            0.0
+        };
+        let cpu_start = cpu_free.max(backpressure);
+        let cpu_done = cpu_start + comp_secs;
+        cpu_free = cpu_done;
+
+        // Stage 2: wire.
+        let rx_backpressure = if rx_done_q.len() >= cfg.recv_queue_blocks {
+            rx_done_q.pop_front().unwrap()
+        } else {
+            0.0
+        };
+        let net_start = cpu_done.max(net_free).max(rx_backpressure);
+        let net_secs = link.transmit_secs(wire, net_start);
+        let net_done = net_start + net_secs;
+        net_free = net_done;
+        net_done_q.push_back(net_done);
+
+        // Stage 3: receiver CPU.
+        let rx_secs =
+            block as f64 / prof.decompress_bps + wire as f64 / speed.tcp_proc_bps;
+        let rx_done = net_done.max(rx_free) + rx_secs;
+        rx_free = rx_done;
+        rx_done_q.push_back(rx_done);
+
+        produced += block as u64;
+        wire_total += wire;
+        blocks_per_level[level] += 1;
+        epoch_cpu_busy += comp_secs;
+        epoch_wire_bytes += wire;
+
+        // Decision epoch bookkeeping: application bytes count at the moment
+        // they were handed (compressed) to the I/O layer.
+        let queue_depth = net_done_q.iter().filter(|&&d| d > cpu_done).count();
+        let true_busy_frac = 1.0f64.min(epoch_cpu_busy / cfg.epoch_secs);
+        let ctx = EpochContext {
+            queue_depth,
+            queue_capacity: cfg.send_queue_blocks,
+            guest: Some(GuestMetrics {
+                cpu_idle_frac: (1.0 - true_busy_frac * display_factor).clamp(0.0, 1.0),
+                net_bandwidth: displayed_bw,
+            }),
+            observed_ratio: Some(prof.ratio),
+            // What an in-channel entropy probe of this class's data reports
+            // (order-0 bits/byte, measured once on the generated corpus).
+            data_entropy: Some(match class {
+                Class::High => 1.4,
+                Class::Moderate => 4.3,
+                Class::Low => 8.0,
+            }),
+        };
+        driver.record(block as u64, cpu_done, &ctx);
+        if driver.epochs() != last_epoch_count {
+            let dt = (cpu_done - last_epoch_t).max(1e-9);
+            net_rate_trace.push(cpu_done, epoch_wire_bytes as f64 / dt);
+            cpu_trace.push(cpu_done, 100.0 * (epoch_cpu_busy / dt).min(1.0));
+            epoch_cpu_busy = 0.0;
+            epoch_wire_bytes = 0;
+            last_epoch_count = driver.epochs();
+            last_epoch_t = cpu_done;
+        }
+    }
+
+    TransferOutcome {
+        completion_secs: rx_free,
+        app_bytes: produced,
+        wire_bytes: wire_total,
+        level_trace: driver.level_trace().clone(),
+        app_rate_trace: driver.rate_trace().clone(),
+        net_rate_trace,
+        cpu_trace,
+        blocks_per_level,
+        epochs: driver.epochs(),
+    }
+}
+
+/// Convenience: run the same configuration `reps` times with distinct
+/// seeds; returns completion times in seconds.
+pub fn run_repeated(
+    cfg: &TransferConfig,
+    speed: &SpeedModel,
+    make_schedule: impl Fn() -> Box<dyn ClassSchedule>,
+    make_model: impl Fn() -> Box<dyn DecisionModel>,
+    reps: usize,
+) -> Vec<f64> {
+    (0..reps)
+        .map(|r| {
+            let cfg_r = TransferConfig {
+                seed: cfg.seed.wrapping_add(r as u64 * 7919 + 13),
+                ..cfg.clone()
+            };
+            let mut sched = make_schedule();
+            run_transfer(&cfg_r, speed, sched.as_mut(), make_model()).completion_secs
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcomp_core::model::{RateBasedModel, StaticModel};
+
+    fn small_cfg(total_mb: u64, flows: usize) -> TransferConfig {
+        TransferConfig {
+            total_bytes: total_mb * 1_000_000,
+            background_flows: flows,
+            deterministic: true,
+            cpu_jitter: 0.0,
+            ..TransferConfig::paper_default()
+        }
+    }
+
+    fn static_run(class: Class, level: usize, total_mb: u64, flows: usize) -> TransferOutcome {
+        let cfg = small_cfg(total_mb, flows);
+        let speed = SpeedModel::paper_fit();
+        run_transfer(&cfg, &speed, &mut ConstantClass(class), Box::new(StaticModel::new(level, 4)))
+    }
+
+    #[test]
+    fn uncompressed_run_is_wire_bound() {
+        // 1 GB at ~100 MB/s nominal KVM-para bandwidth → ≈ 10 s.
+        let out = static_run(Class::High, 0, 1000, 0);
+        let rate = out.mean_app_rate() / 1e6;
+        assert!((85.0..105.0).contains(&rate), "NO rate {rate} MB/s");
+        assert_eq!(out.app_bytes, 1_000_000_000);
+        assert!(out.wire_ratio() > 1.0 && out.wire_ratio() < 1.01);
+    }
+
+    #[test]
+    fn light_on_high_data_beats_no_compression() {
+        let no = static_run(Class::High, 0, 1000, 0);
+        let light = static_run(Class::High, 1, 1000, 0);
+        let speedup = no.completion_secs / light.completion_secs;
+        // Paper Table II: 569 / 252 ≈ 2.26×.
+        assert!((1.8..2.8).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn heavy_is_cpu_bound_and_slow() {
+        let heavy = static_run(Class::High, 3, 200, 0);
+        let rate = heavy.mean_app_rate() / 1e6;
+        // Paper: 50 GB in 1881 s ≈ 27 MB/s.
+        assert!((22.0..30.0).contains(&rate), "HEAVY rate {rate}");
+    }
+
+    #[test]
+    fn light_on_low_data_is_slower_than_no() {
+        // Paper Table II LOW column: NO 566 s < LIGHT 629 s (wasted CPU).
+        let no = static_run(Class::Low, 0, 1000, 0);
+        let light = static_run(Class::Low, 1, 1000, 0);
+        assert!(
+            light.completion_secs > no.completion_secs * 1.05,
+            "LIGHT {} vs NO {}",
+            light.completion_secs,
+            no.completion_secs
+        );
+    }
+
+    #[test]
+    fn contention_slows_uncompressed_transfers_like_table2() {
+        let base = static_run(Class::High, 0, 500, 0).completion_secs;
+        let one = static_run(Class::High, 0, 500, 1).completion_secs;
+        let three = static_run(Class::High, 0, 500, 3).completion_secs;
+        // Paper: 569 → 908 (×1.60) → 1642 (×2.89).
+        assert!((1.4..1.9).contains(&(one / base)), "×{}", one / base);
+        assert!((2.4..3.4).contains(&(three / base)), "×{}", three / base);
+    }
+
+    #[test]
+    fn dynamic_tracks_best_static_on_high_data() {
+        let cfg = small_cfg(2000, 0);
+        let speed = SpeedModel::paper_fit();
+        let dynamic = run_transfer(
+            &cfg,
+            &speed,
+            &mut ConstantClass(Class::High),
+            Box::new(RateBasedModel::paper_default()),
+        );
+        let light = static_run(Class::High, 1, 2000, 0);
+        let slowdown = dynamic.completion_secs / light.completion_secs;
+        // Paper: DYNAMIC within 22 % of the best static level.
+        assert!(slowdown < 1.25, "DYNAMIC {slowdown}× of LIGHT");
+        assert!(
+            dynamic.blocks_per_level[1] > dynamic.blocks_per_level[3],
+            "most blocks should be LIGHT: {:?}",
+            dynamic.blocks_per_level
+        );
+    }
+
+    #[test]
+    fn dynamic_follows_compressibility_switch() {
+        let cfg = TransferConfig {
+            total_bytes: 3_000_000_000,
+            deterministic: true,
+            cpu_jitter: 0.0,
+            ..TransferConfig::paper_default()
+        };
+        let speed = SpeedModel::paper_fit();
+        let mut sched = AlternatingClass {
+            classes: vec![Class::High, Class::Low],
+            period_bytes: 1_000_000_000,
+        };
+        let out = run_transfer(&cfg, &speed, &mut sched, Box::new(RateBasedModel::paper_default()));
+        // Level must move: HIGH phases favour LIGHT+, LOW phases favour NO.
+        assert!(out.level_trace.len() > 4, "level changes: {}", out.level_trace.len());
+        assert!(out.blocks_per_level[0] > 0, "{:?}", out.blocks_per_level);
+        assert!(out.blocks_per_level[1] > 0, "{:?}", out.blocks_per_level);
+    }
+
+    #[test]
+    fn traces_are_populated_and_causal() {
+        let out = static_run(Class::Moderate, 1, 500, 1);
+        assert!(out.epochs > 2);
+        assert_eq!(out.app_rate_trace.len() as u64, out.epochs);
+        assert!(out.net_rate_trace.len() as u64 <= out.epochs);
+        for w in out.app_rate_trace.points().windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert!(out.completion_secs > 0.0);
+    }
+
+    #[test]
+    fn repeated_runs_with_noise_vary_but_cluster() {
+        let cfg = TransferConfig {
+            total_bytes: 300_000_000,
+            deterministic: false,
+            ..TransferConfig::paper_default()
+        };
+        let speed = SpeedModel::paper_fit();
+        let times = run_repeated(
+            &cfg,
+            &speed,
+            || Box::new(ConstantClass(Class::High)),
+            || Box::new(StaticModel::new(1, 4)),
+            5,
+        );
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        for t in &times {
+            assert!((t / mean - 1.0).abs() < 0.2, "outlier {t} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn deterministic_runs_reproduce_exactly() {
+        let a = static_run(Class::Moderate, 2, 200, 2);
+        let b = static_run(Class::Moderate, 2, 200, 2);
+        assert_eq!(a.completion_secs, b.completion_secs);
+        assert_eq!(a.wire_bytes, b.wire_bytes);
+    }
+}

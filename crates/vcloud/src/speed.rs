@@ -1,0 +1,173 @@
+//! Per-(compressibility, level) codec performance profiles used by the
+//! virtual-time transfer pipeline.
+//!
+//! Two sources:
+//!
+//! * [`SpeedModel::paper_fit`] — constants back-fitted from the paper's
+//!   Table II under the pipeline model (single-core guest: compression and
+//!   TCP processing share the vCPU; wire transmission overlaps). These give
+//!   deterministic, repeatable experiments whose absolute completion times
+//!   track the paper's.
+//! * [`SpeedModel::measure`] — runs this repository's real codecs over the
+//!   generated corpus and re-scales the measured speeds to the paper's
+//!   hardware era, keeping measured *ratios* exactly. Slower to construct,
+//!   but ties the simulation to the actual implementation.
+
+use adcomp_codecs::calibrate;
+use adcomp_codecs::CodecId;
+use adcomp_corpus::{generate, Class};
+
+/// One (class, level) cell: how fast the codec runs and what it achieves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelProfile {
+    /// Compression speed, bytes of input per second.
+    pub compress_bps: f64,
+    /// Decompression speed, bytes of output per second.
+    pub decompress_bps: f64,
+    /// Wire bytes / application bytes.
+    pub ratio: f64,
+}
+
+/// Full profile table plus platform CPU constants.
+#[derive(Debug, Clone)]
+pub struct SpeedModel {
+    /// `table[class][level]`.
+    table: [[LevelProfile; 4]; 3],
+    /// Guest TCP/IP stack processing cost, bytes of wire data per CPU
+    /// second (paravirtualized virtio path).
+    pub tcp_proc_bps: f64,
+}
+
+fn class_idx(c: Class) -> usize {
+    match c {
+        Class::High => 0,
+        Class::Moderate => 1,
+        Class::Low => 2,
+    }
+}
+
+impl SpeedModel {
+    /// Constants back-fitted from Table II (see DESIGN.md).
+    ///
+    /// Example fits, single-core Xeon E5430 guest: QuickLZ-light runs at
+    /// ~220 MB/s on fax-like data but only ~90 MB/s on text; LZMA crawls at
+    /// 5–27 MB/s; ratios match the paper's quoted compressibilities.
+    pub fn paper_fit() -> Self {
+        const P: fn(f64, f64, f64) -> LevelProfile = |c, d, r| LevelProfile {
+            compress_bps: c * 1e6,
+            decompress_bps: d * 1e6,
+            ratio: r,
+        };
+        SpeedModel {
+            table: [
+                // HIGH (ptt5-like)
+                [
+                    P(2000.0, 2000.0, 1.0002),
+                    P(220.0, 420.0, 0.105),
+                    P(150.0, 450.0, 0.080),
+                    P(27.0, 120.0, 0.055),
+                ],
+                // MODERATE (alice29-like)
+                [
+                    P(2000.0, 2000.0, 1.0002),
+                    P(90.0, 250.0, 0.450),
+                    P(68.0, 280.0, 0.400),
+                    P(8.7, 60.0, 0.300),
+                ],
+                // LOW (jpeg-like)
+                [
+                    P(2000.0, 2000.0, 1.0002),
+                    P(94.0, 350.0, 0.950),
+                    P(53.0, 330.0, 0.930),
+                    P(5.6, 60.0, 0.910),
+                ],
+            ],
+            tcp_proc_bps: 300.0e6,
+        }
+    }
+
+    /// Measures the real codecs of this repository on freshly generated
+    /// corpus samples and re-scales compression/decompression speeds by
+    /// `hw_scale` (e.g. < 1 to emulate 2008-era cores). Ratios are taken
+    /// as measured.
+    pub fn measure(sample_len: usize, seconds_per_cell: f64, hw_scale: f64, seed: u64) -> Self {
+        assert!(sample_len > 0 && hw_scale > 0.0);
+        let mut table = [[LevelProfile { compress_bps: 0.0, decompress_bps: 0.0, ratio: 1.0 }; 4];
+            3];
+        for class in Class::ALL {
+            let sample = generate(class, sample_len, seed);
+            for (level, &id) in CodecId::ALL.iter().enumerate() {
+                let p = calibrate::measure(id, &sample, seconds_per_cell);
+                table[class_idx(class)][level] = LevelProfile {
+                    compress_bps: p.compress_mbps * 1e6 * hw_scale,
+                    decompress_bps: p.decompress_mbps * 1e6 * hw_scale,
+                    ratio: p.ratio,
+                };
+            }
+        }
+        SpeedModel { table, tcp_proc_bps: 300.0e6 }
+    }
+
+    /// Profile for one (class, level) cell. Panics on a level ≥ 4.
+    pub fn profile(&self, class: Class, level: usize) -> LevelProfile {
+        self.table[class_idx(class)][level]
+    }
+
+    /// Number of modelled levels (the paper's 4).
+    pub fn num_levels(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fit_orderings() {
+        let m = SpeedModel::paper_fit();
+        for class in Class::ALL {
+            let p: Vec<LevelProfile> = (0..4).map(|l| m.profile(class, l)).collect();
+            // Speed strictly decreases with level (beyond raw).
+            assert!(p[1].compress_bps > p[2].compress_bps);
+            assert!(p[2].compress_bps > p[3].compress_bps);
+            // Ratio strictly improves with level.
+            assert!(p[0].ratio > p[1].ratio);
+            assert!(p[1].ratio > p[2].ratio);
+            assert!(p[2].ratio > p[3].ratio);
+        }
+    }
+
+    #[test]
+    fn paper_fit_ratio_bands_match_quoted_compressibilities() {
+        let m = SpeedModel::paper_fit();
+        // ptt5: 10–15 %; alice29: 30–50 %; image.jpg: 90–95 %.
+        assert!((0.05..=0.15).contains(&m.profile(Class::High, 1).ratio));
+        assert!((0.30..=0.50).contains(&m.profile(Class::Moderate, 1).ratio));
+        assert!((0.90..=0.96).contains(&m.profile(Class::Low, 1).ratio));
+    }
+
+    #[test]
+    fn high_class_is_fastest_to_compress() {
+        let m = SpeedModel::paper_fit();
+        for level in 1..4 {
+            assert!(
+                m.profile(Class::High, level).compress_bps
+                    > m.profile(Class::Moderate, level).compress_bps
+            );
+        }
+    }
+
+    #[test]
+    fn measured_model_keeps_orderings() {
+        let m = SpeedModel::measure(256 * 1024, 0.0, 0.5, 3);
+        for class in Class::ALL {
+            let light = m.profile(class, 1);
+            let heavy = m.profile(class, 3);
+            assert!(light.compress_bps > heavy.compress_bps, "{class}");
+            assert!(heavy.ratio <= light.ratio + 0.02, "{class}");
+        }
+        // hw_scale re-scales speeds but never ratios.
+        assert!(m.profile(Class::Low, 1).ratio > 0.85);
+    }
+}

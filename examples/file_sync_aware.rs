@@ -1,0 +1,118 @@
+//! The paper's future work on a REAL disk: adaptive compression for file
+//! I/O, where the OS page cache absorbs writes at memory speed and fools a
+//! naive rate-based controller — and the sync-aware fix (fsync per decision
+//! epoch) that restores correct adaptation.
+//!
+//! Writes compressible data to a real temp file under three schemes and
+//! reports the time to durability (final `fsync` included):
+//!   * NO / LIGHT static baselines,
+//!   * DYNAMIC (naive): rates measured against the page-cache mirage,
+//!   * DYNAMIC (sync-aware): fsync at every epoch boundary.
+//!
+//! Run with: `cargo run --release --example file_sync_aware [-- <MB>]`
+
+use adcomp::codecs::frame::FrameWriter;
+use adcomp::codecs::LevelSet;
+use adcomp::core::epoch::{EpochContext, EpochDriver};
+use adcomp::core::model::{DecisionModel, RateBasedModel, StaticModel};
+use adcomp::corpus::{ByteSource, Class, CyclicSource};
+use std::time::Instant;
+
+const BLOCK: usize = 128 * 1024;
+const EPOCH_SECS: f64 = 0.25;
+
+struct RunResult {
+    durable_secs: f64,
+    wire_bytes: u64,
+    level_mix: Vec<u64>,
+}
+
+fn run(
+    path: &std::path::Path,
+    total_bytes: u64,
+    model: Box<dyn DecisionModel>,
+    sync_per_epoch: bool,
+) -> std::io::Result<RunResult> {
+    let levels = LevelSet::paper_default();
+    let file = std::fs::File::create(path)?;
+    let mut frames = FrameWriter::new(file);
+    let mut driver = EpochDriver::new(model, EPOCH_SECS, 0.0);
+    let mut source = CyclicSource::of_class(Class::High, adcomp::corpus::DEFAULT_FILE_LEN, 42);
+    let mut block = vec![0u8; BLOCK];
+    let mut level_mix = vec![0u64; levels.len()];
+    let mut written = 0u64;
+    let mut last_epochs = 0u64;
+    let start = Instant::now();
+    while written < total_bytes {
+        let n = (BLOCK as u64).min(total_bytes - written) as usize;
+        source.fill(&mut block[..n]);
+        let level = driver.level();
+        frames.write_block(levels.codec(level), &block[..n])?;
+        level_mix[level] += 1;
+        written += n as u64;
+        // Sync-aware: make the data durable *before* the epoch closes, so
+        // the measured rate is the durable rate, not the cache mirage.
+        let now = start.elapsed().as_secs_f64();
+        if sync_per_epoch && now - (last_epochs as f64 * EPOCH_SECS) >= EPOCH_SECS {
+            frames.get_ref().sync_all()?;
+        }
+        driver.record(n as u64, start.elapsed().as_secs_f64(), &EpochContext::default());
+        last_epochs = driver.epochs();
+    }
+    let wire_bytes = frames.wire_bytes;
+    let file = frames.into_inner();
+    file.sync_all()?; // durability for everyone
+    Ok(RunResult { durable_secs: start.elapsed().as_secs_f64(), wire_bytes, level_mix })
+}
+
+/// Scheme: display name, model factory, sync-per-epoch flag.
+type Scheme = (&'static str, Box<dyn Fn() -> Box<dyn DecisionModel>>, bool);
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+    let total_mb: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let total = total_mb * 1_000_000;
+    let dir = std::env::temp_dir();
+    println!(
+        "Real-disk file write of {total_mb} MB of HIGH-compressibility data\n\
+         (epoch t = {EPOCH_SECS} s; durability = final fsync included)\n"
+    );
+    println!(
+        "{:<22} {:>11} {:>12} {:>9}  level mix",
+        "scheme", "durable [s]", "MB/s durable", "ratio"
+    );
+    let names = ["NO", "LIGHT", "MEDIUM", "HEAVY"];
+    let schemes: Vec<Scheme> = vec![
+        ("NO (static)", Box::new(|| Box::new(StaticModel::new(0, 4))), false),
+        ("LIGHT (static)", Box::new(|| Box::new(StaticModel::new(1, 4))), false),
+        ("DYNAMIC (naive)", Box::new(|| Box::new(RateBasedModel::paper_default())), false),
+        ("DYNAMIC (sync-aware)", Box::new(|| Box::new(RateBasedModel::paper_default())), true),
+    ];
+    for (name, make, sync) in schemes {
+        let path = dir.join(format!("adcomp-sync-demo-{}.bin", std::process::id()));
+        let r = run(&path, total, make(), sync)?;
+        let _ = std::fs::remove_file(&path);
+        let mix: Vec<String> = r
+            .level_mix
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(l, c)| format!("{}×{}", names[l], c))
+            .collect();
+        println!(
+            "{:<22} {:>11.2} {:>12.0} {:>9.3}  {}",
+            name,
+            r.durable_secs,
+            total as f64 / r.durable_secs / 1e6,
+            r.wire_bytes as f64 / total as f64,
+            mix.join(", ")
+        );
+    }
+    println!(
+        "\nOn a machine whose disk is slower than its page cache, the naive controller\n\
+         under-compresses (the apparent rate is memory speed) while the sync-aware\n\
+         variant converges to the durable-rate-optimal level — the paper's stated\n\
+         future-work direction, on real hardware."
+    );
+    Ok(())
+}

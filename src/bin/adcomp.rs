@@ -1,0 +1,220 @@
+//! `adcomp` — command-line adaptive compression.
+//!
+//! A gzip-style utility around the library: compresses any file or stream
+//! into the self-describing block-frame format, choosing the level
+//! adaptively (or statically), and decompresses it back. Useful for piping
+//! through bandwidth-constrained transports exactly the way the paper's
+//! scheme is meant to be deployed — no coordination with the receiver.
+//!
+//! ```text
+//! adcomp compress   [-l NO|LIGHT|MEDIUM|HEAVY|DYNAMIC] [-b BLOCK_KB] [-t EPOCH_S] [IN] [OUT]
+//! adcomp decompress [IN] [OUT]
+//! adcomp probe      [IN]          # report compressibility + per-level ratios
+//! ```
+//!
+//! `IN`/`OUT` default to stdin/stdout; `-` selects them explicitly.
+
+use adcomp::codecs::{codec_for, CodecId, LevelSet};
+use adcomp::core::model::{DecisionModel, RateBasedModel, StaticModel};
+use adcomp::core::stream::{AdaptiveReader, AdaptiveWriter};
+use adcomp::core::WallClock;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+
+struct Options {
+    level: Option<usize>, // None = DYNAMIC
+    block_kb: usize,
+    epoch_secs: f64,
+    input: Option<String>,
+    output: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: adcomp compress   [-l LEVEL] [-b BLOCK_KB] [-t EPOCH_S] [IN] [OUT]\n\
+         \x20      adcomp decompress [IN] [OUT]\n\
+         \x20      adcomp probe      [IN]\n\
+         LEVEL: NO | LIGHT | MEDIUM | HEAVY | DYNAMIC (default DYNAMIC)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_level(s: &str) -> Option<usize> {
+    match s.to_ascii_uppercase().as_str() {
+        "NO" | "0" => Some(0),
+        "LIGHT" | "1" => Some(1),
+        "MEDIUM" | "2" => Some(2),
+        "HEAVY" | "3" => Some(3),
+        "DYNAMIC" | "ADAPTIVE" => None,
+        _ => usage(),
+    }
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        level: None,
+        block_kb: 128,
+        epoch_secs: 2.0,
+        input: None,
+        output: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-l" | "--level" => {
+                i += 1;
+                opts.level = parse_level(args.get(i).unwrap_or_else(|| usage()));
+            }
+            "-b" | "--block-kb" => {
+                i += 1;
+                opts.block_kb =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if opts.block_kb == 0 || opts.block_kb > 4096 {
+                    eprintln!("block size must be 1..=4096 KiB");
+                    std::process::exit(2);
+                }
+            }
+            "-t" | "--epoch" => {
+                i += 1;
+                opts.epoch_secs =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if !(opts.epoch_secs > 0.0) {
+                    eprintln!("epoch length must be positive seconds");
+                    std::process::exit(2);
+                }
+            }
+            "-h" | "--help" => usage(),
+            other => {
+                if opts.input.is_none() {
+                    opts.input = Some(other.to_string());
+                } else if opts.output.is_none() {
+                    opts.output = Some(other.to_string());
+                } else {
+                    usage();
+                }
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn open_input(path: &Option<String>) -> io::Result<Box<dyn Read>> {
+    match path.as_deref() {
+        None | Some("-") => Ok(Box::new(io::stdin().lock())),
+        Some(p) => Ok(Box::new(BufReader::new(std::fs::File::open(p)?))),
+    }
+}
+
+fn open_output(path: &Option<String>) -> io::Result<Box<dyn Write>> {
+    match path.as_deref() {
+        None | Some("-") => Ok(Box::new(io::stdout().lock())),
+        Some(p) => Ok(Box::new(BufWriter::new(std::fs::File::create(p)?))),
+    }
+}
+
+fn cmd_compress(opts: Options) -> io::Result<()> {
+    let mut input = open_input(&opts.input)?;
+    let output = open_output(&opts.output)?;
+    let model: Box<dyn DecisionModel> = match opts.level {
+        Some(l) => Box::new(StaticModel::new(l, 4)),
+        None => Box::new(RateBasedModel::paper_default()),
+    };
+    let mut writer = AdaptiveWriter::with_params(
+        output,
+        LevelSet::paper_default(),
+        model,
+        opts.block_kb * 1024,
+        opts.epoch_secs,
+        Box::new(WallClock::new()),
+    );
+    io::copy(&mut input, &mut writer)?;
+    let (mut out, stats) = writer.finish()?;
+    out.flush()?;
+    let names = ["NO", "LIGHT", "MEDIUM", "HEAVY"];
+    let mix: Vec<String> = stats
+        .blocks_per_level
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(l, c)| format!("{}x{}", names[l], c))
+        .collect();
+    eprintln!(
+        "adcomp: {} -> {} bytes (ratio {:.3}), {} epochs, levels {}",
+        stats.app_bytes,
+        stats.wire_bytes,
+        stats.wire_ratio(),
+        stats.epochs,
+        mix.join(",")
+    );
+    Ok(())
+}
+
+fn cmd_decompress(opts: Options) -> io::Result<()> {
+    let input = open_input(&opts.input)?;
+    let mut output = open_output(&opts.output)?;
+    let mut reader = AdaptiveReader::new(input);
+    io::copy(&mut reader, &mut output)?;
+    output.flush()?;
+    eprintln!(
+        "adcomp: {} wire bytes -> {} bytes in {} blocks",
+        reader.wire_bytes(),
+        reader.app_bytes(),
+        reader.blocks()
+    );
+    Ok(())
+}
+
+fn cmd_probe(opts: Options) -> io::Result<()> {
+    let mut input = open_input(&opts.input)?;
+    // Probe on up to 8 MiB.
+    let mut sample = Vec::new();
+    input.by_ref().take(8 * 1024 * 1024).read_to_end(&mut sample)?;
+    if sample.is_empty() {
+        eprintln!("adcomp: empty input");
+        return Ok(());
+    }
+    println!(
+        "bytes sampled : {}\nshannon       : {:.3} bits/byte\ndigram        : {:.3} bits/byte\nscore         : {:.3} (0 = incompressible)",
+        sample.len(),
+        adcomp::corpus::entropy::shannon_bits_per_byte(&sample),
+        adcomp::corpus::entropy::digram_bits_per_byte(&sample),
+        adcomp::corpus::entropy::compressibility_score(&sample),
+    );
+    for id in CodecId::ALL {
+        if id == CodecId::Raw {
+            continue;
+        }
+        let codec = codec_for(id);
+        let start = std::time::Instant::now();
+        let mut out = Vec::new();
+        codec.compress(&sample, &mut out);
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "{:<7}: ratio {:.3}, {:7.1} MB/s",
+            id.level_name(),
+            out.len() as f64 / sample.len() as f64,
+            sample.len() as f64 / 1e6 / secs.max(1e-9)
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let opts = parse_options(&args[1..]);
+    let result = match cmd.as_str() {
+        "compress" | "c" => cmd_compress(opts),
+        "decompress" | "d" => cmd_decompress(opts),
+        "probe" | "p" => cmd_probe(opts),
+        _ => usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("adcomp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! End-to-end tests of the `adcomp` command-line tool, driving the real
+//! binary through files and pipes.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_adcomp")
+}
+
+
+/// Writes `data` to the child's stdin from a thread (avoids the classic
+/// pipe deadlock when the child's stdout fills while stdin is still being
+/// written) and returns the child's collected output.
+fn feed_and_collect(mut child: std::process::Child, data: Vec<u8>) -> std::process::Output {
+    let mut stdin = child.stdin.take().unwrap();
+    let writer = std::thread::spawn(move || {
+        let _ = stdin.write_all(&data);
+    });
+    let out = child.wait_with_output().unwrap();
+    writer.join().unwrap();
+    out
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("adcomp-cli-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn compress_decompress_file_roundtrip() {
+    let input = tmp("in.bin");
+    let packed = tmp("packed.adc");
+    let output = tmp("out.bin");
+    let data = adcomp::corpus::generate(adcomp::corpus::Class::Moderate, 3_000_000, 5);
+    std::fs::write(&input, &data).unwrap();
+
+    let status = Command::new(bin())
+        .args(["compress", "-l", "MEDIUM"])
+        .arg(&input)
+        .arg(&packed)
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let packed_len = std::fs::metadata(&packed).unwrap().len();
+    assert!(packed_len < data.len() as u64 / 2, "packed {packed_len}");
+
+    let status = Command::new(bin()).arg("decompress").arg(&packed).arg(&output).status().unwrap();
+    assert!(status.success());
+    assert_eq!(std::fs::read(&output).unwrap(), data);
+
+    for p in [&input, &packed, &output] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn stdin_stdout_pipeline_roundtrip() {
+    let data = adcomp::corpus::generate(adcomp::corpus::Class::High, 1_000_000, 9);
+    let compress = Command::new(bin())
+        .args(["compress", "-l", "LIGHT", "-b", "64"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let packed = feed_and_collect(compress, data.clone());
+    assert!(packed.status.success());
+    assert!(packed.stdout.len() < data.len() / 4);
+
+    let decompress = Command::new(bin())
+        .arg("decompress")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let out = feed_and_collect(decompress, packed.stdout);
+    assert!(out.status.success());
+    assert_eq!(out.stdout, data);
+}
+
+#[test]
+fn adaptive_mode_roundtrips() {
+    let data = adcomp::corpus::generate(adcomp::corpus::Class::Low, 2_000_000, 3);
+    let compress = Command::new(bin())
+        .args(["compress", "-t", "0.05"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let packed = feed_and_collect(compress, data.clone());
+    assert!(packed.status.success());
+    // Incompressible input: raw fallback caps expansion near 1.0.
+    assert!(packed.stdout.len() < data.len() + data.len() / 100 + 64);
+
+    let decompress = Command::new(bin())
+        .arg("d")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let out = feed_and_collect(decompress, packed.stdout);
+    assert_eq!(out.stdout, data);
+}
+
+#[test]
+fn probe_reports_entropy_and_ratios() {
+    let input = tmp("probe.bin");
+    std::fs::write(&input, adcomp::corpus::generate(adcomp::corpus::Class::High, 500_000, 1))
+        .unwrap();
+    let out = Command::new(bin()).arg("probe").arg(&input).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("shannon"), "{text}");
+    assert!(text.contains("LIGHT"), "{text}");
+    assert!(text.contains("HEAVY"), "{text}");
+    let _ = std::fs::remove_file(&input);
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = Command::new(bin()).arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let out = Command::new(bin()).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn corrupted_stream_fails_cleanly() {
+    let data = adcomp::corpus::generate(adcomp::corpus::Class::Moderate, 500_000, 2);
+    let compress = Command::new(bin())
+        .args(["compress", "-l", "LIGHT"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut packed = feed_and_collect(compress, data).stdout;
+    let mid = packed.len() / 2;
+    packed[mid] ^= 0xFF;
+
+    let decompress = Command::new(bin())
+        .arg("decompress")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let out = feed_and_collect(decompress, packed);
+    assert!(!out.status.success(), "corrupted stream must not decode successfully");
+}

@@ -1,0 +1,167 @@
+//! Integration: full Nephele jobs across every channel type × compression
+//! mode combination, verifying payload integrity and compression effect.
+
+use adcomp::corpus::Class;
+use adcomp::nephele::prelude::*;
+use adcomp::nephele::{ChannelStats, NepheleError, SinkTask};
+
+fn sample_job(
+    channel: ChannelType,
+    mode: CompressionMode,
+    class: Class,
+    bytes: u64,
+) -> (u64, u64, ChannelStats) {
+    let mut g = JobGraph::new("it-sample");
+    let s = g.add_vertex(
+        "sender",
+        Box::new(SourceTask { class, total_bytes: bytes, record_len: 4096, seed: 3 }),
+    );
+    let r = g.add_vertex("receiver", Box::new(SinkTask::new()));
+    g.connect(s, r, channel, mode).unwrap();
+    let report = Executor::default().run(g).unwrap();
+    let sink: &SinkTask = report.task("receiver").unwrap();
+    (sink.bytes, sink.checksum, report.edges[0].stats.clone())
+}
+
+#[test]
+fn all_channel_and_mode_combinations_preserve_payload() {
+    let bytes = 2_000_000u64;
+    let mut checksums = Vec::new();
+    for channel in [ChannelType::InMemory, ChannelType::Network, ChannelType::File] {
+        for mode in [
+            CompressionMode::Off,
+            CompressionMode::Static(1),
+            CompressionMode::Static(3),
+            CompressionMode::Adaptive(Default::default()),
+        ] {
+            let (got, checksum, _) = sample_job(channel.clone(), mode, Class::Moderate, bytes);
+            assert_eq!(got, bytes, "{channel:?}");
+            checksums.push(checksum);
+        }
+    }
+    // Same source data => identical checksum through every combination.
+    assert!(checksums.windows(2).all(|w| w[0] == w[1]), "checksums diverged: {checksums:?}");
+}
+
+#[test]
+fn compression_shrinks_wire_traffic_on_compressible_data() {
+    let (_, _, off) =
+        sample_job(ChannelType::InMemory, CompressionMode::Off, Class::High, 3_000_000);
+    let (_, _, light) =
+        sample_job(ChannelType::InMemory, CompressionMode::Static(1), Class::High, 3_000_000);
+    assert!(off.wire_ratio() > 0.99);
+    assert!(
+        light.wire_bytes < off.wire_bytes / 4,
+        "LIGHT {} vs OFF {}",
+        light.wire_bytes,
+        off.wire_bytes
+    );
+}
+
+#[test]
+fn incompressible_data_does_not_blow_up_wire_traffic() {
+    let (_, _, heavy) =
+        sample_job(ChannelType::InMemory, CompressionMode::Static(3), Class::Low, 2_000_000);
+    assert!(heavy.wire_ratio() < 1.02, "ratio {}", heavy.wire_ratio());
+}
+
+#[test]
+fn multi_stage_job_with_mixed_channels() {
+    // src --mem--> stage --net--> sink, different compression per hop.
+    let mut g = JobGraph::new("mixed");
+    let src = g.add_vertex(
+        "src",
+        Box::new(SourceTask {
+            class: Class::High,
+            total_bytes: 1_000_000,
+            record_len: 2048,
+            seed: 5,
+        }),
+    );
+    let stage = g.add_vertex(
+        "stage",
+        Box::new(FnTask(|ctx: &mut TaskContext| -> Result<(), NepheleError> {
+            while let Some(rec) = ctx.read(0)? {
+                ctx.write(0, &rec)?;
+            }
+            Ok(())
+        })),
+    );
+    let sink = g.add_vertex("sink", Box::new(SinkTask::new()));
+    g.connect(src, stage, ChannelType::InMemory, CompressionMode::Static(1)).unwrap();
+    g.connect(stage, sink, ChannelType::Network, CompressionMode::Adaptive(Default::default()))
+        .unwrap();
+    let report = Executor::default().run(g).unwrap();
+    assert_eq!(report.task::<SinkTask>("sink").unwrap().bytes, 1_000_000);
+    assert_eq!(report.edges.len(), 2);
+    assert!(report.edges[0].stats.wire_ratio() < 0.5);
+}
+
+#[test]
+fn many_parallel_edges_do_not_deadlock() {
+    // A source fanning out to 4 sinks over mixed channel types.
+    let mut g = JobGraph::new("fan4");
+    let src = g.add_vertex(
+        "src",
+        Box::new(FnTask(|ctx: &mut TaskContext| -> Result<(), NepheleError> {
+            for i in 0..2000u32 {
+                let payload = i.to_le_bytes().repeat(64);
+                ctx.write((i % 4) as usize, &payload)?;
+            }
+            Ok(())
+        })),
+    );
+    for (i, ch) in [
+        ChannelType::InMemory,
+        ChannelType::Network,
+        ChannelType::File,
+        ChannelType::InMemory,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let sink = g.add_vertex(format!("sink{i}"), Box::new(SinkTask::new()));
+        g.connect(src, sink, ch, CompressionMode::Static(1)).unwrap();
+    }
+    let report = Executor::default().run(g).unwrap();
+    let total: u64 =
+        (0..4).map(|i| report.task::<SinkTask>(&format!("sink{i}")).unwrap().records).sum();
+    assert_eq!(total, 2000);
+}
+
+#[test]
+fn split_merge_diamond_preserves_every_record() {
+    use adcomp::nephele::{MergeTask, SplitTask};
+    let mut g = JobGraph::new("diamond");
+    let src = g.add_vertex(
+        "src",
+        Box::new(SourceTask {
+            class: Class::Moderate,
+            total_bytes: 2_000_000,
+            record_len: 1024,
+            seed: 21,
+        }),
+    );
+    let split = g.add_vertex("split", Box::new(SplitTask));
+    let m1 = g.add_vertex(
+        "worker1",
+        Box::new(adcomp::nephele::MapTask(|r: Vec<u8>| r)),
+    );
+    let m2 = g.add_vertex(
+        "worker2",
+        Box::new(adcomp::nephele::MapTask(|r: Vec<u8>| r)),
+    );
+    let merge = g.add_vertex("merge", Box::new(MergeTask));
+    let sink = g.add_vertex("sink", Box::new(SinkTask::new()));
+    g.connect(src, split, ChannelType::InMemory, CompressionMode::Off).unwrap();
+    g.connect(split, m1, ChannelType::InMemory, CompressionMode::Static(1)).unwrap();
+    g.connect(split, m2, ChannelType::Network, CompressionMode::Static(1)).unwrap();
+    g.connect(m1, merge, ChannelType::InMemory, CompressionMode::Off).unwrap();
+    g.connect(m2, merge, ChannelType::InMemory, CompressionMode::Off).unwrap();
+    g.connect(merge, sink, ChannelType::InMemory, CompressionMode::Adaptive(Default::default()))
+        .unwrap();
+    let report = Executor::default().run(g).unwrap();
+    let s: &SinkTask = report.task("sink").unwrap();
+    assert_eq!(s.bytes, 2_000_000);
+    assert_eq!(s.records, 2_000_000 / 1024 + 1); // 1953 full + 1 tail record
+}
