@@ -1,8 +1,19 @@
 //! Criterion micro-benchmarks: compression and decompression throughput of
 //! every codec on every corpus class — the raw speed/ratio trade-off the
 //! adaptive scheme navigates.
+//!
+//! Two compression variants are measured:
+//!
+//! * `compress` — the fresh-allocation convenience path (`Codec::compress`),
+//!   which builds new hash tables per call; and
+//! * `compress_scratch` — the steady-state hot path
+//!   (`Codec::compress_with` + reused [`Scratch`]), which is what the
+//!   adaptive writer actually runs per block: zero heap allocation.
+//!
+//! Set `ADCOMP_BENCH_JSON=BENCH_codecs.json` to append machine-readable
+//! results (see the baseline file at the repo root).
 
-use adcomp_codecs::{codec_for, CodecId};
+use adcomp_codecs::{codec_for, CodecId, Scratch};
 use adcomp_corpus::{generate, Class};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -26,6 +37,34 @@ fn bench_compress(c: &mut Criterion) {
                     b.iter(|| {
                         out.clear();
                         codec.compress(data, &mut out);
+                        out.len()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_compress_scratch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_scratch");
+    group.throughput(Throughput::Bytes(SAMPLE_LEN as u64));
+    for class in Class::ALL {
+        let data = generate(class, SAMPLE_LEN, 42);
+        for id in CodecId::ALL {
+            if id == CodecId::Raw {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(id.level_name(), class.name()),
+                &data,
+                |b, data| {
+                    let codec = codec_for(id);
+                    let mut scratch = Scratch::new();
+                    let mut out = Vec::with_capacity(SAMPLE_LEN * 2);
+                    b.iter(|| {
+                        out.clear();
+                        codec.compress_with(&mut scratch, data, &mut out);
                         out.len()
                     });
                 },
@@ -67,6 +106,6 @@ fn bench_decompress(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_compress, bench_decompress
+    targets = bench_compress, bench_compress_scratch, bench_decompress
 }
 criterion_main!(benches);

@@ -15,9 +15,13 @@
 //!   every cycle.
 //! * `DYNAMIC` (this paper): application data rate only.
 //!
+//! Cells run in parallel on the deterministic experiment runner
+//! (`ADCOMP_THREADS` pins the worker count; output is bit-identical for any
+//! setting — see `adcomp_bench::runner`).
+//!
 //! Run: `cargo run --release -p adcomp-bench --bin baseline_models [--quick]`
 
-use adcomp_bench::{experiment_bytes, to_paper_scale};
+use adcomp_bench::{experiment_bytes, runner, speed_model, to_paper_scale};
 use adcomp_core::model::{
     DecisionModel, MetricBasedModel, QueueBasedModel, RateBasedModel, SensorThresholdModel,
     StaticModel, ThresholdSamplingModel, TrainedLevel,
@@ -38,69 +42,80 @@ fn trained_levels(speed: &SpeedModel, class: Class) -> Vec<TrainedLevel> {
         .collect()
 }
 
-/// Factory producing a decision model for a given data class.
-type ModelFactory = Box<dyn Fn(Class) -> Box<dyn DecisionModel>>;
+/// Model roster in table order. `BEST-STATIC` is the oracle (fastest static
+/// level per cell) and is special-cased in the cell function.
+const MODELS: [&str; 6] = [
+    "BEST-STATIC",
+    "DYNAMIC (paper)",
+    "QUEUE (HPDC'02)",
+    "METRIC (TPDS'06)",
+    "SAMPLING (ICDCS'04)",
+    "SENSOR (ITCC'01)",
+];
+
+/// Builds the decision model for roster index `mi` (1..=5).
+fn model_for(mi: usize, class: Class, speed: &SpeedModel) -> Box<dyn DecisionModel> {
+    match mi {
+        1 => Box::new(RateBasedModel::paper_default()),
+        2 => Box::new(QueueBasedModel::new(4)),
+        3 => Box::new(MetricBasedModel::new(trained_levels(speed, class))),
+        4 => Box::new(ThresholdSamplingModel::new(4, 30)),
+        5 => Box::new(SensorThresholdModel::paper_scale()),
+        _ => unreachable!("BEST-STATIC is handled inline"),
+    }
+}
+
+const FLOWS: [usize; 2] = [0, 2];
 
 fn main() {
     let total = experiment_bytes();
-    let speed = SpeedModel::paper_fit();
+    let speed = speed_model();
     println!(
         "BASELINES: completion time [s, 50 GB scale] under distorted guest metrics\n\
          (displayed CPU utilization off by the Fig. 1 gap; displayed bandwidth = nominal NIC)\n"
     );
-    for flows in [0usize, 2] {
+    // 2 contention settings × 6 models × 3 classes fan out at once (the
+    // oracle cell runs its 4 static levels internally). Seeds are fixed per
+    // cell, so the grid is independent of scheduling.
+    let nclasses = Class::ALL.len();
+    let cells = runner::run_cells(FLOWS.len() * MODELS.len() * nclasses, |idx| {
+        let per_flow = MODELS.len() * nclasses;
+        let (fi, mi, ci) = (idx / per_flow, (idx % per_flow) / nclasses, idx % nclasses);
+        let class = Class::ALL[ci];
+        let cfg = TransferConfig {
+            total_bytes: total,
+            background_flows: FLOWS[fi],
+            seed: 51,
+            ..TransferConfig::paper_default()
+        };
+        let secs = if mi == 0 {
+            // Oracle: the fastest static level for this cell.
+            (0..4)
+                .map(|l| {
+                    run_transfer(
+                        &cfg,
+                        &speed,
+                        &mut ConstantClass(class),
+                        Box::new(StaticModel::new(l, 4)),
+                    )
+                    .completion_secs
+                })
+                .fold(f64::INFINITY, f64::min)
+        } else {
+            run_transfer(&cfg, &speed, &mut ConstantClass(class), model_for(mi, class, &speed))
+                .completion_secs
+        };
+        to_paper_scale(secs)
+    });
+    for (fi, flows) in FLOWS.iter().enumerate() {
         println!("-- {flows} concurrent TCP connection(s) --");
-        let mut table =
-            Table::new(vec!["model", "HIGH [s]", "MODERATE [s]", "LOW [s]"]);
-        let make: Vec<(&str, ModelFactory)> = vec![
-            ("BEST-STATIC", Box::new(|_c| Box::new(StaticModel::new(0, 4)))), // placeholder, handled below
-            ("DYNAMIC (paper)", Box::new(|_c| Box::new(RateBasedModel::paper_default()))),
-            ("QUEUE (HPDC'02)", Box::new(|_c| Box::new(QueueBasedModel::new(4)))),
-            (
-                "METRIC (TPDS'06)",
-                {
-                    let speed = speed.clone();
-                    Box::new(move |c| Box::new(MetricBasedModel::new(trained_levels(&speed, c))))
-                },
-            ),
-            ("SAMPLING (ICDCS'04)", Box::new(|_c| Box::new(ThresholdSamplingModel::new(4, 30)))),
-            ("SENSOR (ITCC'01)", Box::new(|_c| Box::new(SensorThresholdModel::paper_scale()))),
-        ];
-        for (name, factory) in &make {
-            let mut cells = vec![name.to_string()];
-            for class in Class::ALL {
-                let secs = if *name == "BEST-STATIC" {
-                    // Oracle: the fastest static level for this cell.
-                    (0..4)
-                        .map(|l| {
-                            let cfg = TransferConfig {
-                                total_bytes: total,
-                                background_flows: flows,
-                                seed: 51,
-                                ..TransferConfig::paper_default()
-                            };
-                            run_transfer(
-                                &cfg,
-                                &speed,
-                                &mut ConstantClass(class),
-                                Box::new(StaticModel::new(l, 4)),
-                            )
-                            .completion_secs
-                        })
-                        .fold(f64::INFINITY, f64::min)
-                } else {
-                    let cfg = TransferConfig {
-                        total_bytes: total,
-                        background_flows: flows,
-                        seed: 51,
-                        ..TransferConfig::paper_default()
-                    };
-                    run_transfer(&cfg, &speed, &mut ConstantClass(class), factory(class))
-                        .completion_secs
-                };
-                cells.push(format!("{:.0}", to_paper_scale(secs)));
+        let mut table = Table::new(vec!["model", "HIGH [s]", "MODERATE [s]", "LOW [s]"]);
+        for (mi, name) in MODELS.iter().enumerate() {
+            let mut row = vec![name.to_string()];
+            for ci in 0..nclasses {
+                row.push(format!("{:.0}", cells[(fi * MODELS.len() + mi) * nclasses + ci]));
             }
-            table.row(cells);
+            table.row(row);
         }
         println!("{}", table.render());
     }

@@ -2,8 +2,14 @@
 //! criteria. Runs fast, deterministic versions of every experiment and
 //! prints PASS/FAIL per criterion; exits non-zero if anything fails.
 //!
-//! Run: `cargo run --release -p adcomp-bench --bin check_shapes`
+//! The simulation cells fan out on the deterministic experiment runner
+//! (`ADCOMP_THREADS` pins the worker count; verdicts are bit-identical for
+//! any setting — see `adcomp_bench::runner`). `--quick` scales simulated
+//! volumes down 2× for CI smoke runs; the shape criteria are volume-robust.
+//!
+//! Run: `cargo run --release -p adcomp-bench --bin check_shapes [--quick]`
 
+use adcomp_bench::{quick_mode, runner, speed_model};
 use adcomp_core::model::{DecisionModel, RateBasedModel, StaticModel};
 use adcomp_corpus::Class;
 use adcomp_metrics::Table;
@@ -14,6 +20,8 @@ use adcomp_vcloud::{
 };
 
 const GB: u64 = 1_000_000_000;
+const NFLOWS: usize = 4;
+const NLEVELS: usize = 4;
 
 struct Checker {
     table: Table,
@@ -37,9 +45,9 @@ impl Checker {
     }
 }
 
-fn static_secs(speed: &SpeedModel, class: Class, flows: usize, level: usize) -> f64 {
+fn static_secs(speed: &SpeedModel, vol: u64, class: Class, flows: usize, level: usize) -> f64 {
     let cfg = TransferConfig {
-        total_bytes: 2 * GB,
+        total_bytes: vol,
         background_flows: flows,
         deterministic: true,
         cpu_jitter: 0.0,
@@ -49,9 +57,9 @@ fn static_secs(speed: &SpeedModel, class: Class, flows: usize, level: usize) -> 
         .completion_secs
 }
 
-fn dynamic_secs(speed: &SpeedModel, class: Class, flows: usize) -> f64 {
+fn dynamic_secs(speed: &SpeedModel, vol: u64, class: Class, flows: usize) -> f64 {
     let cfg = TransferConfig {
-        total_bytes: 2 * GB,
+        total_bytes: vol,
         background_flows: flows,
         deterministic: true,
         cpu_jitter: 0.0,
@@ -67,12 +75,34 @@ fn dynamic_secs(speed: &SpeedModel, class: Class, flows: usize) -> f64 {
 }
 
 fn main() -> std::process::ExitCode {
-    let speed = SpeedModel::paper_fit();
+    let speed = speed_model();
+    // `--quick` shrinks the simulated volumes 2× (CI smoke); the checked
+    // *shapes* (orderings, ratios, variance structure) are volume-robust at
+    // that scale. FIG4's probe-decay criterion is inherently about run
+    // *length* and keeps its full volume.
+    let scale = if quick_mode() { 2 } else { 1 };
+    let gb = |x: u64| x * GB / scale;
     let mut c = Checker::new();
 
+    // The two TAB2 grids fan out on the runner: 3 classes × 4 contention
+    // settings × 4 static levels, plus 3 × 4 dynamic cells. Everything
+    // below reads from these precomputed grids.
+    let statics = runner::run_cells(Class::ALL.len() * NFLOWS * NLEVELS, |i| {
+        let (ci, fl, l) = (i / (NFLOWS * NLEVELS), (i / NLEVELS) % NFLOWS, i % NLEVELS);
+        static_secs(&speed, gb(2), Class::ALL[ci], fl, l)
+    });
+    let dynamics = runner::run_cells(Class::ALL.len() * NFLOWS, |i| {
+        dynamic_secs(&speed, gb(2), Class::ALL[i / NFLOWS], i % NFLOWS)
+    });
+    let cidx = |class: Class| Class::ALL.iter().position(|&c| c == class).unwrap();
+    let sgrid = |class: Class, flows: usize, level: usize| {
+        statics[(cidx(class) * NFLOWS + flows) * NLEVELS + level]
+    };
+    let dgrid = |class: Class, flows: usize| dynamics[cidx(class) * NFLOWS + flows];
+
     // TAB2 shapes.
-    for flows in 0..4 {
-        let times: Vec<f64> = (0..4).map(|l| static_secs(&speed, Class::High, flows, l)).collect();
+    for flows in 0..NFLOWS {
+        let times: Vec<f64> = (0..NLEVELS).map(|l| sgrid(Class::High, flows, l)).collect();
         let best = times
             .iter()
             .enumerate()
@@ -86,7 +116,7 @@ fn main() -> std::process::ExitCode {
         );
     }
     {
-        let times: Vec<f64> = (0..4).map(|l| static_secs(&speed, Class::Low, 0, l)).collect();
+        let times: Vec<f64> = (0..NLEVELS).map(|l| sgrid(Class::Low, 0, l)).collect();
         let best = times
             .iter()
             .enumerate()
@@ -98,9 +128,8 @@ fn main() -> std::process::ExitCode {
     {
         let mut worst_margin = f64::INFINITY;
         for class in Class::ALL {
-            let heavy = static_secs(&speed, class, 0, 3);
-            let others =
-                (0..3).map(|l| static_secs(&speed, class, 0, l)).fold(f64::INFINITY, f64::min);
+            let heavy = sgrid(class, 0, 3);
+            let others = (0..3).map(|l| sgrid(class, 0, l)).fold(f64::INFINITY, f64::min);
             worst_margin = worst_margin.min(heavy / others);
         }
         c.check(
@@ -114,8 +143,8 @@ fn main() -> std::process::ExitCode {
         for class in Class::ALL {
             for flows in [0usize, 2] {
                 let best =
-                    (0..4).map(|l| static_secs(&speed, class, flows, l)).fold(f64::INFINITY, f64::min);
-                let dynamic = dynamic_secs(&speed, class, flows);
+                    (0..NLEVELS).map(|l| sgrid(class, flows, l)).fold(f64::INFINITY, f64::min);
+                let dynamic = dgrid(class, flows);
                 worst = worst.max(dynamic / best - 1.0);
             }
         }
@@ -126,8 +155,8 @@ fn main() -> std::process::ExitCode {
         );
     }
     {
-        let no = static_secs(&speed, Class::High, 3, 0);
-        let dynamic = dynamic_secs(&speed, Class::High, 3);
+        let no = sgrid(Class::High, 3, 0);
+        let dynamic = dgrid(Class::High, 3);
         c.check(
             "Conclusion: up to ~4x throughput improvement",
             format!("{:.1}x on HIGH/3conn", no / dynamic),
@@ -135,28 +164,31 @@ fn main() -> std::process::ExitCode {
         );
     }
 
-    // FIG1 shapes.
+    // FIG1 shapes. The per-(platform, op) accuracy probes are independent —
+    // fan them out too.
     {
         let send = fig1_cpu_accuracy(Platform::KvmPara, IoOp::NetSend, 200, 1).gap().unwrap();
         let read = fig1_cpu_accuracy(Platform::XenPara, IoOp::FileRead, 200, 1).gap().unwrap();
         c.check("FIG1: KVM-para net send gap ~15x", format!("{send:.1}x"), send > 10.0);
         c.check("FIG1: XEN file read gap ~15x", format!("{read:.1}x"), read > 10.0);
-        let mut all_under = true;
-        for p in [Platform::KvmFull, Platform::KvmPara, Platform::XenPara] {
-            for op in IoOp::ALL {
-                all_under &= fig1_cpu_accuracy(p, op, 120, 2).gap().unwrap() > 1.0;
-            }
-        }
+        let cells: Vec<(Platform, IoOp)> = [Platform::KvmFull, Platform::KvmPara, Platform::XenPara]
+            .into_iter()
+            .flat_map(|p| IoOp::ALL.into_iter().map(move |op| (p, op)))
+            .collect();
+        let gaps = runner::map_cells(&cells, |_, &(p, op)| {
+            fig1_cpu_accuracy(p, op, 120, 2).gap().unwrap()
+        });
+        let all_under = gaps.iter().all(|&g| g > 1.0);
         c.check("FIG1: every virtualized guest under-reports", format!("{all_under}"), all_under);
     }
 
     // FIG2 / FIG3 shapes.
     {
-        let native = fig2_net_throughput(Platform::Native, 2 * GB, 3).summary();
-        let ec2 = fig2_net_throughput(Platform::Ec2, 2 * GB, 3).summary();
+        let native = fig2_net_throughput(Platform::Native, gb(2), 3).summary();
+        let ec2 = fig2_net_throughput(Platform::Ec2, gb(2), 3).summary();
         let ratio = (ec2.sd / ec2.mean) / (native.sd / native.mean);
         c.check("FIG2: EC2 variance >> native", format!("CV ratio {ratio:.0}x"), ratio > 5.0);
-        let xen = fig3_file_write(Platform::XenPara, 20 * GB, 7).summary();
+        let xen = fig3_file_write(Platform::XenPara, gb(20), 7).summary();
         c.check(
             "FIG3: XEN cache bursts and stalls",
             format!("min {:.1}, max {:.0} MB/s", xen.min / 1e6, xen.max / 1e6),
@@ -164,7 +196,9 @@ fn main() -> std::process::ExitCode {
         );
     }
 
-    // FIG4 probe decay.
+    // FIG4 probe decay. Full volume even under `--quick`: the criterion
+    // counts switches in the two halves of the run, which only separates
+    // once the backoff has had enough epochs to stretch.
     {
         let cfg = TransferConfig {
             total_bytes: 5 * GB,
@@ -191,13 +225,13 @@ fn main() -> std::process::ExitCode {
     // FIG6 level tracking.
     {
         let cfg = TransferConfig {
-            total_bytes: 10 * GB,
+            total_bytes: gb(10),
             deterministic: true,
             cpu_jitter: 0.0,
             ..TransferConfig::paper_default()
         };
         let mut sched =
-            AlternatingClass { classes: vec![Class::High, Class::Low], period_bytes: 2 * GB };
+            AlternatingClass { classes: vec![Class::High, Class::Low], period_bytes: gb(2) };
         let out = run_transfer(&cfg, &speed, &mut sched, Box::new(RateBasedModel::paper_default()));
         let total: u64 = out.blocks_per_level.iter().sum();
         let no_share = out.blocks_per_level[0] as f64 / total as f64;

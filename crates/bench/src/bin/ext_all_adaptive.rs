@@ -7,13 +7,17 @@
 //! heterogeneous compressibilities and report per-flow goodput, aggregate
 //! goodput, makespan, and Jain's fairness index.
 //!
+//! Cells run in parallel on the deterministic experiment runner
+//! (`ADCOMP_THREADS` pins the worker count; output is bit-identical for any
+//! setting — see `adcomp_bench::runner`).
+//!
 //! Run: `cargo run --release -p adcomp-bench --bin ext_all_adaptive [--quick]`
 
-use adcomp_bench::experiment_bytes;
+use adcomp_bench::{experiment_bytes, runner, speed_model};
 use adcomp_core::model::{RateBasedModel, StaticModel};
 use adcomp_corpus::Class;
 use adcomp_metrics::Table;
-use adcomp_vcloud::{run_multiflow, FlowSpec, MultiFlowConfig, SpeedModel};
+use adcomp_vcloud::{run_multiflow, FlowSpec, MultiFlowConfig};
 
 fn flows(classes: &[Class], adaptive: &[bool], bytes: u64) -> Vec<FlowSpec> {
     classes
@@ -33,17 +37,43 @@ fn flows(classes: &[Class], adaptive: &[bool], bytes: u64) -> Vec<FlowSpec> {
         .collect()
 }
 
+const CORPORA: [(&str, [Class; 3]); 2] = [
+    ("homogeneous HIGH", [Class::High; 3]),
+    ("heterogeneous HIGH/MODERATE/LOW", [Class::High, Class::Moderate, Class::Low]),
+];
+
+const DEPLOYMENTS: [(&str, [bool; 3]); 3] = [
+    ("none adaptive", [false, false, false]),
+    ("one adaptive", [true, false, false]),
+    ("all adaptive", [true, true, true]),
+];
+
 fn main() {
     let bytes = experiment_bytes() / 10; // per flow; 3 flows share the link
-    let speed = SpeedModel::paper_fit();
+    let speed = speed_model();
     println!(
         "EXT: three co-located senders, {:.1} GB each, shared KVM-para link\n",
         bytes as f64 / 1e9
     );
-    for (title, classes) in [
-        ("homogeneous HIGH", [Class::High; 3]),
-        ("heterogeneous HIGH/MODERATE/LOW", [Class::High, Class::Moderate, Class::Low]),
-    ] {
+    // 2 corpora × 3 deployment mixes fan out at once; every cell carries
+    // its own fixed seed, so the tables are independent of scheduling.
+    let cells = runner::run_cells(CORPORA.len() * DEPLOYMENTS.len(), |idx| {
+        let (ti, di) = (idx / DEPLOYMENTS.len(), idx % DEPLOYMENTS.len());
+        let (_, classes) = CORPORA[ti];
+        let (label, mask) = DEPLOYMENTS[di];
+        let cfg = MultiFlowConfig { seed: 61, ..Default::default() };
+        let out = run_multiflow(&cfg, &speed, flows(&classes, &mask, bytes));
+        let rates: Vec<String> =
+            out.flows.iter().map(|f| format!("{:.0}", f.mean_app_rate / 1e6)).collect();
+        vec![
+            label.to_string(),
+            format!("{:.0}", out.aggregate_goodput() / 1e6),
+            format!("{:.0}", out.makespan_secs),
+            format!("{:.3}", out.jain_fairness()),
+            rates.join(" / "),
+        ]
+    });
+    for (ti, (title, _)) in CORPORA.iter().enumerate() {
         println!("== {title} ==");
         let mut table = Table::new(vec![
             "deployment",
@@ -52,22 +82,8 @@ fn main() {
             "Jain fairness",
             "per-flow rates [MB/s]",
         ]);
-        for (label, mask) in [
-            ("none adaptive", [false, false, false]),
-            ("one adaptive", [true, false, false]),
-            ("all adaptive", [true, true, true]),
-        ] {
-            let cfg = MultiFlowConfig { seed: 61, ..Default::default() };
-            let out = run_multiflow(&cfg, &speed, flows(&classes, &mask, bytes));
-            let rates: Vec<String> =
-                out.flows.iter().map(|f| format!("{:.0}", f.mean_app_rate / 1e6)).collect();
-            table.row(vec![
-                label.to_string(),
-                format!("{:.0}", out.aggregate_goodput() / 1e6),
-                format!("{:.0}", out.makespan_secs),
-                format!("{:.3}", out.jain_fairness()),
-                rates.join(" / "),
-            ]);
+        for di in 0..DEPLOYMENTS.len() {
+            table.row(cells[ti * DEPLOYMENTS.len() + di].clone());
         }
         println!("{}", table.render());
     }

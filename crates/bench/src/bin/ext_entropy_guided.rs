@@ -2,8 +2,8 @@
 //! weakness.
 //!
 //! The paper (Fig. 6 discussion): "Large backoff values for compression
-//! level 0 [...] can lead to relatively late optimistic switches to a
-//! higher compression level [because] without compression the application
+//! level 0 \[...\] can lead to relatively late optimistic switches to a
+//! higher compression level \[because\] without compression the application
 //! data rate is not affected by the compressibility of the data."
 //!
 //! `EntropyGuidedModel` keeps the identical rate-based decision rule but

@@ -5,15 +5,19 @@
 //! {0, 1, 2, 3}, several repetitions per cell, reported as `mean (sd)`
 //! seconds — the exact shape of the paper's table.
 //!
+//! Cells run in parallel on the deterministic experiment runner
+//! (`ADCOMP_THREADS` pins the worker count; the printed table is
+//! bit-identical for any setting — see `adcomp_bench::runner`).
+//!
 //! Completion times are rescaled to the paper's 50 GB volume when `--quick`
 //! reduces the simulated volume, so cells remain directly comparable.
 //!
 //! Run: `cargo run --release -p adcomp-bench --bin table2_completion [--quick]`
 
-use adcomp_bench::{experiment_bytes, make_model, repetitions, schemes, to_paper_scale};
+use adcomp_bench::table2::{cell, compute_grid, FLOW_SETTINGS};
+use adcomp_bench::{experiment_bytes, repetitions, runner, schemes, speed_model};
 use adcomp_corpus::Class;
-use adcomp_metrics::{mean_sd_cell, OnlineStats, Table};
-use adcomp_vcloud::{run_transfer, ConstantClass, SpeedModel, TransferConfig};
+use adcomp_metrics::{mean_sd_cell, Table};
 
 /// Paper Table II reference values (seconds), `[flows][scheme][class]`.
 const PAPER: [[[f64; 3]; 5]; 4] = [
@@ -54,7 +58,11 @@ const PAPER: [[[f64; 3]; 5]; 4] = [
 fn main() {
     let total = experiment_bytes();
     let reps = repetitions();
-    let speed = SpeedModel::paper_fit();
+    let speed = speed_model();
+    let workers = runner::threads();
+    // Worker count goes to stderr so stdout is bit-identical for any
+    // ADCOMP_THREADS setting (the determinism contract we regression-test).
+    eprintln!("TAB2: fanning 60 cells across {workers} runner worker(s)");
     println!(
         "TAB2: completion time [s] of the sample job, {} GB per run, {} repetitions per cell.\n\
          Measured values are rescaled to the paper's 50 GB volume; paper values in brackets.\n",
@@ -62,7 +70,11 @@ fn main() {
         reps
     );
 
-    for (flows, paper_block) in PAPER.iter().enumerate() {
+    // The whole grid fans out at once: 4 contention settings × 5 schemes ×
+    // 3 classes = 60 independent cells.
+    let grid = compute_grid(total, reps, &speed, workers);
+
+    for (flows, paper_block) in PAPER.iter().enumerate().take(FLOW_SETTINGS) {
         println!("-- {flows} concurrent TCP connection(s) --");
         let mut table = Table::new(vec![
             "Compression Level",
@@ -74,28 +86,16 @@ fn main() {
         let mut dynamic_mean = [0.0f64; 3];
         for (si, (name, level)) in schemes().into_iter().enumerate() {
             let mut cells = vec![name.to_string()];
-            for (ci, class) in Class::ALL.into_iter().enumerate() {
-                let mut stats = OnlineStats::new();
-                for rep in 0..reps {
-                    let cfg = TransferConfig {
-                        total_bytes: total,
-                        background_flows: flows,
-                        seed: 1000 + rep as u64 * 7919 + flows as u64 * 31 + ci as u64,
-                        ..TransferConfig::paper_default()
-                    };
-                    let out =
-                        run_transfer(&cfg, &speed, &mut ConstantClass(class), make_model(level));
-                    stats.push(to_paper_scale(out.completion_secs));
-                }
-                let mean = stats.mean();
+            for ci in 0..Class::ALL.len() {
+                let c = cell(&grid, flows, si, ci);
                 if level.is_some() {
-                    best_static[ci] = best_static[ci].min(mean);
+                    best_static[ci] = best_static[ci].min(c.mean);
                 } else {
-                    dynamic_mean[ci] = mean;
+                    dynamic_mean[ci] = c.mean;
                 }
                 cells.push(format!(
                     "{} [{:.0}]",
-                    mean_sd_cell(mean, stats.std_dev()),
+                    mean_sd_cell(c.mean, c.sd),
                     paper_block[si][ci]
                 ));
             }

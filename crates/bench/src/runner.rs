@@ -1,0 +1,200 @@
+//! Parallel, deterministic experiment runner.
+//!
+//! Every table/figure binary sweeps a grid of independent simulation cells
+//! (compression scheme × data class × contention × repetition). Cells share
+//! nothing mutable, so they fan out across cores with a work-stealing
+//! counter over [`crossbeam::thread::scope`] workers.
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-identical for any worker count** (including 1) because
+//!
+//! 1. each cell derives *all* of its randomness from its own coordinates
+//!    via [`cell_seed`] — never from scheduling order, wall time or thread
+//!    identity; and
+//! 2. [`run_cells`] writes each result into its cell's slot and returns
+//!    them in cell order, regardless of which worker computed what.
+//!
+//! The `ADCOMP_THREADS` environment variable pins the worker count
+//! (`1` = fully serial in the calling thread; default = available cores).
+//!
+//! The module also hosts the process-wide calibration cache:
+//! [`measured_speed_model`] memoizes [`SpeedModel::measure`] runs so a grid
+//! whose cells all want the same measured profile pays for calibration
+//! once, not once per cell.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use adcomp_vcloud::SpeedModel;
+
+/// Worker count for [`run_cells`]: `ADCOMP_THREADS` if set (clamped to at
+/// least 1), otherwise the number of available cores.
+pub fn threads() -> usize {
+    match std::env::var("ADCOMP_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Derives a deterministic per-cell seed from a base seed and the cell's
+/// grid coordinates. Pure function of its inputs — independent of worker
+/// count and scheduling — so parallel and serial runs agree bit-for-bit.
+///
+/// Uses splitmix64 mixing; distinct coordinate vectors give uncorrelated
+/// seeds even when coordinates are small consecutive integers.
+pub fn cell_seed(base: u64, coords: &[u64]) -> u64 {
+    fn splitmix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    let mut s = splitmix(base);
+    for &c in coords {
+        s = splitmix(s ^ c.wrapping_mul(0x2545f4914f6cdd1d));
+    }
+    s
+}
+
+/// Runs `n` independent cells through `f` on [`threads`] workers and
+/// returns results in cell order. See the module docs for the determinism
+/// contract `f` must uphold.
+pub fn run_cells<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_cells_on(threads(), n, f)
+}
+
+/// [`run_cells`] with an explicit worker count (used by the determinism
+/// regression tests to compare worker counts without touching the
+/// process environment).
+pub fn run_cells_on<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // Work stealing via a shared claim counter: each worker repeatedly
+    // claims the next unclaimed cell, so long cells never serialize the
+    // grid behind a static partition.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let f = &f;
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    })
+    .expect("experiment cell panicked");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("cell never ran"))
+        .collect()
+}
+
+/// Convenience: maps every item of a slice through `f` in parallel,
+/// preserving order. `f` receives `(index, &item)`.
+pub fn map_cells<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    run_cells(items.len(), |i| f(i, &items[i]))
+}
+
+/// Cache key for [`measured_speed_model`]: `hw_scale` is keyed by bit
+/// pattern so the key is `Eq + Hash` without rounding surprises.
+type CalKey = (usize, u64, u64, u64);
+
+fn calibration_cache() -> &'static Mutex<HashMap<CalKey, Arc<SpeedModel>>> {
+    static CACHE: OnceLock<Mutex<HashMap<CalKey, Arc<SpeedModel>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Process-wide memoized [`SpeedModel::measure`]: measuring all 12
+/// (class, level) calibration cells costs real wall time, so grids whose
+/// cells share one measured profile calibrate once per process instead of
+/// once per cell. Cloning the returned [`Arc`] is free.
+pub fn measured_speed_model(
+    sample_len: usize,
+    seconds_per_cell: f64,
+    hw_scale: f64,
+    seed: u64,
+) -> Arc<SpeedModel> {
+    let key = (sample_len, seconds_per_cell.to_bits(), hw_scale.to_bits(), seed);
+    // Fast path under the lock; measure outside it would re-measure on a
+    // race, so hold the lock across the measurement — callers hitting the
+    // same key genuinely want the same (single) calibration run.
+    let mut cache = calibration_cache().lock().unwrap();
+    Arc::clone(cache.entry(key).or_insert_with(|| {
+        Arc::new(SpeedModel::measure(sample_len, seconds_per_cell, hw_scale, seed))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let f = |i: usize| cell_seed(7, &[i as u64]);
+        let serial = run_cells_on(1, 33, f);
+        let par = run_cells_on(4, 33, f);
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn results_in_cell_order() {
+        let out = run_cells_on(4, 100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cell_seed_distinguishes_coordinates() {
+        // Nearby coordinates must not collide or correlate trivially.
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                assert!(seen.insert(cell_seed(1, &[a, b])));
+            }
+        }
+        assert_ne!(cell_seed(1, &[2, 3]), cell_seed(1, &[3, 2]));
+        assert_ne!(cell_seed(1, &[5]), cell_seed(2, &[5]));
+    }
+
+    #[test]
+    fn empty_and_single_grids() {
+        assert!(run_cells_on(4, 0, |i| i).is_empty());
+        assert_eq!(run_cells_on(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn map_cells_passes_items() {
+        let items = ["a", "bb", "ccc"];
+        assert_eq!(map_cells(&items, |i, s| s.len() + i), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn calibration_cache_returns_same_model() {
+        let a = measured_speed_model(64 * 1024, 0.0, 0.5, 9);
+        let b = measured_speed_model(64 * 1024, 0.0, 0.5, 9);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = measured_speed_model(64 * 1024, 0.0, 0.5, 10);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

@@ -1,0 +1,84 @@
+//! The Table II grid (completion time per scheme × class × contention),
+//! factored out of the `table2_completion` binary so the determinism
+//! regression tests can recompute the identical grid under different
+//! worker counts.
+
+use crate::runner::run_cells_on;
+use crate::{make_model, schemes, to_paper_scale};
+use adcomp_corpus::Class;
+use adcomp_metrics::OnlineStats;
+use adcomp_vcloud::{run_transfer, ConstantClass, SpeedModel, TransferConfig};
+
+/// Number of contention settings (0..=3 concurrent TCP connections).
+pub const FLOW_SETTINGS: usize = 4;
+
+/// One aggregated grid cell: `mean (sd)` over the cell's repetitions, in
+/// paper-scale (50 GB) seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tab2Cell {
+    /// Concurrent background TCP connections (0..=3).
+    pub flows: usize,
+    /// Scheme index into [`schemes`] (NO..DYNAMIC).
+    pub scheme: usize,
+    /// Class index into [`Class::ALL`] (HIGH, MODERATE, LOW).
+    pub class: usize,
+    pub mean: f64,
+    pub sd: f64,
+}
+
+/// Flat cell index → (flows, scheme, class) coordinates.
+fn coords(idx: usize, nschemes: usize, nclasses: usize) -> (usize, usize, usize) {
+    let per_flow = nschemes * nclasses;
+    (idx / per_flow, (idx % per_flow) / nclasses, idx % nclasses)
+}
+
+/// Computes the full Table II grid on `workers` runner workers.
+///
+/// Each cell's transfer seeds depend only on its own coordinates
+/// `(flows, class, repetition)` — deliberately *not* on the scheme, so all
+/// five schemes face identical contention draws (paired comparison, as in
+/// the paper) — making the grid bit-identical for any worker count.
+pub fn compute_grid(total: u64, reps: usize, speed: &SpeedModel, workers: usize) -> Vec<Tab2Cell> {
+    let schemes = schemes();
+    let nclasses = Class::ALL.len();
+    let n = FLOW_SETTINGS * schemes.len() * nclasses;
+    run_cells_on(workers, n, |idx| {
+        let (flows, si, ci) = coords(idx, schemes.len(), nclasses);
+        let (_, level) = schemes[si];
+        let class = Class::ALL[ci];
+        let mut stats = OnlineStats::new();
+        for rep in 0..reps {
+            let cfg = TransferConfig {
+                total_bytes: total,
+                background_flows: flows,
+                seed: 1000 + rep as u64 * 7919 + flows as u64 * 31 + ci as u64,
+                ..TransferConfig::paper_default()
+            };
+            let out = run_transfer(&cfg, speed, &mut ConstantClass(class), make_model(level));
+            stats.push(to_paper_scale(out.completion_secs));
+        }
+        Tab2Cell { flows, scheme: si, class: ci, mean: stats.mean(), sd: stats.std_dev() }
+    })
+}
+
+/// Looks up one cell of a grid produced by [`compute_grid`].
+pub fn cell(grid: &[Tab2Cell], flows: usize, scheme: usize, class: usize) -> &Tab2Cell {
+    let nclasses = Class::ALL.len();
+    let nschemes = schemes().len();
+    &grid[(flows * nschemes + scheme) * nclasses + class]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let (ns, nc) = (5, 3);
+        for idx in 0..FLOW_SETTINGS * ns * nc {
+            let (f, s, c) = coords(idx, ns, nc);
+            assert_eq!((f * ns + s) * nc + c, idx);
+            assert!(f < FLOW_SETTINGS && s < ns && c < nc);
+        }
+    }
+}

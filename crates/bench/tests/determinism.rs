@@ -1,0 +1,69 @@
+//! Regression tests for the parallel runner's determinism contract: the
+//! TAB2 grid must be **bit-identical** for any worker count, because every
+//! cell derives its randomness from its own coordinates (never from
+//! scheduling order). Guards the seed-derivation scheme in
+//! `adcomp_bench::table2` and `adcomp_bench::runner`.
+
+use adcomp_bench::table2::{compute_grid, FLOW_SETTINGS};
+use adcomp_bench::{runner, schemes};
+use adcomp_corpus::Class;
+use adcomp_vcloud::SpeedModel;
+
+/// Small volume: the contract under test is about seed derivation, not
+/// simulated scale.
+const TOTAL: u64 = 200_000_000;
+const REPS: usize = 2;
+
+#[test]
+fn tab2_grid_bit_identical_for_1_and_4_workers() {
+    let speed = SpeedModel::paper_fit();
+    let serial = compute_grid(TOTAL, REPS, &speed, 1);
+    let par = compute_grid(TOTAL, REPS, &speed, 4);
+    assert_eq!(serial.len(), FLOW_SETTINGS * schemes().len() * Class::ALL.len());
+    assert_eq!(serial.len(), par.len());
+    for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+        assert_eq!((a.flows, a.scheme, a.class), (b.flows, b.scheme, b.class), "cell {i}");
+        // Bit-level comparison: even a last-ulp divergence (e.g. from
+        // accumulation order leaking into a cell) must fail the test.
+        assert_eq!(
+            a.mean.to_bits(),
+            b.mean.to_bits(),
+            "cell {i} mean diverged: {} vs {}",
+            a.mean,
+            b.mean
+        );
+        assert_eq!(
+            a.sd.to_bits(),
+            b.sd.to_bits(),
+            "cell {i} sd diverged: {} vs {}",
+            a.sd,
+            b.sd
+        );
+    }
+}
+
+#[test]
+fn tab2_grid_bit_identical_for_oversubscribed_workers() {
+    // More workers than cells must also agree (exercises the worker clamp).
+    let speed = SpeedModel::paper_fit();
+    let serial = compute_grid(TOTAL, REPS, &speed, 1);
+    let many = compute_grid(TOTAL, REPS, &speed, 128);
+    assert_eq!(serial, many);
+}
+
+#[test]
+fn runner_cell_order_is_execution_independent() {
+    // Cells that finish in scrambled order (longer work for earlier
+    // indices) still land in their own slots.
+    let out = runner::run_cells_on(4, 50, |i| {
+        // Unequal, deterministic busywork per cell.
+        let mut acc = 0u64;
+        for k in 0..((50 - i) * 1000) as u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+        }
+        (i, acc)
+    });
+    for (slot, (i, _)) in out.iter().enumerate() {
+        assert_eq!(slot, *i);
+    }
+}

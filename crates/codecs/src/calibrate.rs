@@ -7,8 +7,8 @@
 //! to the paper's hardware era with a single factor (the *shape* of the
 //! trade-off — ordering and relative gaps — comes from real measurements).
 
-use crate::frame::{encode_block, DEFAULT_BLOCK_LEN};
-use crate::{codec_for, CodecId};
+use crate::frame::{encode_block_with, DEFAULT_BLOCK_LEN};
+use crate::{codec_for, CodecId, Scratch};
 use std::time::Instant;
 
 /// Measured characteristics of one codec on one kind of data.
@@ -45,7 +45,10 @@ pub fn measure(codec_id: CodecId, sample: &[u8], min_duration_secs: f64) -> Code
     let codec = codec_for(codec_id);
     let blocks: Vec<&[u8]> = sample.chunks(DEFAULT_BLOCK_LEN).collect();
 
-    // Compression pass(es).
+    // Compression pass(es). Reuses one scratch across all blocks so the
+    // measurement reflects the steady-state (allocation-free) hot path that
+    // the adaptive writer actually runs.
+    let mut scratch = Scratch::new();
     let mut wire = Vec::new();
     let mut app_bytes = 0u64;
     let mut wire_bytes = 0u64;
@@ -53,7 +56,7 @@ pub fn measure(codec_id: CodecId, sample: &[u8], min_duration_secs: f64) -> Code
     loop {
         wire.clear();
         for b in &blocks {
-            let info = encode_block(codec, b, &mut wire);
+            let info = encode_block_with(&mut scratch, codec, b, &mut wire);
             app_bytes += info.uncompressed_len as u64;
             wire_bytes += info.frame_len as u64;
         }

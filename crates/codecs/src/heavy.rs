@@ -17,7 +17,8 @@
 //! frame header); frame CRC covers residual corruption.
 
 use crate::rangecoder::{RangeDecoder, RangeEncoder, PROB_INIT};
-use crate::{CodecError, Result};
+use crate::scratch::{ensure_len_uninit, reset_table};
+use crate::{CodecError, Result, Scratch};
 
 const MIN_MATCH: usize = 2;
 const MAX_MATCH: usize = MIN_MATCH + 7 + 8 + 256; // 273
@@ -46,6 +47,23 @@ impl Model {
             len_mid: [PROB_INIT; 8],
             len_high: [PROB_INIT; 256],
             dist_slot: [[PROB_INIT; 32]; 2],
+        }
+    }
+
+    /// Resets every probability to 0.5 without touching the heap, so the
+    /// model can be reused across independently-decodable blocks.
+    fn reset(&mut self) {
+        self.is_match.fill(PROB_INIT);
+        for ctx in self.literal.iter_mut() {
+            ctx.fill(PROB_INIT);
+        }
+        self.len_choice = PROB_INIT;
+        self.len_choice2 = PROB_INIT;
+        self.len_low.fill(PROB_INIT);
+        self.len_mid.fill(PROB_INIT);
+        self.len_high.fill(PROB_INIT);
+        for slot in self.dist_slot.iter_mut() {
+            slot.fill(PROB_INIT);
         }
     }
 }
@@ -133,22 +151,46 @@ fn hash4(data: &[u8], i: usize) -> usize {
     (x.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
 }
 
-struct MatchFinder {
+/// Reusable HEAVY working memory: probability model plus match-finder
+/// tables. Owned by [`crate::Scratch`]; reset (not reallocated) per block.
+pub(crate) struct HeavyScratch {
+    model: Model,
     head: Vec<u32>,
+    /// Hash-chain links; grown to the largest block seen, never cleared
+    /// (stale entries are unreachable: chains start at `head` entries reset
+    /// for every block, and `prev[pos]` is written before `head` points at
+    /// `pos`).
     prev: Vec<u32>,
-    /// Last position of each 2-byte pair, for short matches.
     pair: Vec<u32>,
 }
 
-impl MatchFinder {
-    fn new(n: usize) -> Self {
-        MatchFinder {
-            head: vec![u32::MAX; 1 << HASH_BITS],
-            prev: vec![u32::MAX; n],
-            pair: vec![u32::MAX; 1 << 16],
-        }
+impl HeavyScratch {
+    pub(crate) fn new() -> Self {
+        HeavyScratch { model: Model::new(), head: Vec::new(), prev: Vec::new(), pair: Vec::new() }
     }
 
+    /// Prepares tables and model for a block of `n` input bytes.
+    fn prepare(&mut self, n: usize) {
+        self.model.reset();
+        reset_table(&mut self.head, 1 << HASH_BITS);
+        reset_table(&mut self.pair, 1 << 16);
+        ensure_len_uninit(&mut self.prev, n);
+    }
+
+    pub(crate) fn table_bytes(&self) -> usize {
+        (self.head.capacity() + self.prev.capacity() + self.pair.capacity()) * 4
+            + LIT_CTX * 256 * 2
+    }
+}
+
+struct MatchFinder<'s> {
+    head: &'s mut [u32],
+    prev: &'s mut [u32],
+    /// Last position of each 2-byte pair, for short matches.
+    pair: &'s mut [u32],
+}
+
+impl MatchFinder<'_> {
     #[inline]
     fn insert(&mut self, data: &[u8], pos: usize) {
         let n = data.len();
@@ -179,10 +221,7 @@ impl MatchFinder {
                 if best.0 == 0
                     || (pos + best.0 < n && data[c + best.0] == data[pos + best.0])
                 {
-                    let mut l = 0;
-                    while l < limit && data[c + l] == data[pos + l] {
-                        l += 1;
-                    }
+                    let l = crate::qlz::match_len(data, c, pos, limit);
                     if l > best.0 {
                         best = (l, pos - c);
                         if l == limit {
@@ -202,10 +241,7 @@ impl MatchFinder {
                 let c = c as usize;
                 if c < pos && pos - c < 1 << MAX_DIST_BITS {
                     let dist = pos - c;
-                    let mut l = 0;
-                    while l < limit && data[c + l] == data[pos + l] {
-                        l += 1;
-                    }
+                    let l = crate::qlz::match_len(data, c, pos, limit);
                     if l >= MIN_MATCH && l > best.0 && worth_taking(l, dist) {
                         best = (l, dist);
                     }
@@ -220,13 +256,27 @@ impl MatchFinder {
     }
 }
 
-/// Compresses `input` into `out` (appending).
+/// Compresses `input` into `out` (appending), allocating fresh working
+/// memory. Thin wrapper over [`compress_with`]; hot paths should hold a
+/// [`Scratch`] and call that instead.
 pub fn compress(input: &[u8], out: &mut Vec<u8>) {
+    compress_with(&mut Scratch::new(), input, out);
+}
+
+/// Compresses `input` into `out` (appending) using reusable working memory.
+/// In steady state (same-size blocks) this performs no heap allocation: the
+/// probability model is reset in place and the range coder writes directly
+/// into `out`.
+pub fn compress_with(scratch: &mut Scratch, input: &[u8], out: &mut Vec<u8>) {
     let n = input.len();
-    let mut rc = RangeEncoder::new();
-    let mut m = Model::new();
+    out.reserve(scratch.out_hint(crate::CodecId::Heavy, n));
+    let out_start = out.len();
+    let hs = scratch.heavy.get_or_insert_with(|| Box::new(HeavyScratch::new()));
+    hs.prepare(n);
+    let HeavyScratch { model: m, head, prev, pair } = &mut **hs;
+    let mut rc = RangeEncoder::new(out);
     if n > 0 {
-        let mut mf = MatchFinder::new(n);
+        let mut mf = MatchFinder { head, prev, pair };
         let mut i = 0usize;
         let mut prev_byte = 0u8;
         let mut state = 0usize; // 0 = after literal, 1 = after match
@@ -255,8 +305,8 @@ pub fn compress(input: &[u8], out: &mut Vec<u8>) {
             };
             if take_match {
                 rc.encode_bit(&mut m.is_match[state], 1);
-                encode_len(&mut rc, &mut m, len);
-                encode_dist(&mut rc, &mut m, len, dist);
+                encode_len(&mut rc, m, len);
+                encode_dist(&mut rc, m, len, dist);
                 let end = i + len;
                 let step = if len > 96 { 11 } else { 1 };
                 while i < end {
@@ -277,7 +327,9 @@ pub fn compress(input: &[u8], out: &mut Vec<u8>) {
             }
         }
     }
-    out.extend_from_slice(&rc.finish());
+    rc.finish();
+    let produced = out.len() - out_start;
+    scratch.note_out(crate::CodecId::Heavy, produced);
 }
 
 /// Decompresses exactly `expected_len` bytes from `input` into `out`

@@ -23,6 +23,9 @@ pub mod frame;
 pub mod heavy;
 pub mod qlz;
 pub mod rangecoder;
+pub mod scratch;
+
+pub use scratch::Scratch;
 
 use std::fmt;
 
@@ -117,6 +120,18 @@ pub trait Codec: Send + Sync {
     /// Compresses `input`, appending to `out`.
     fn compress(&self, input: &[u8], out: &mut Vec<u8>);
 
+    /// Compresses `input`, appending to `out`, reusing the working memory
+    /// in `scratch` so steady-state block encoding is allocation-free.
+    ///
+    /// Produces output **bit-identical** to [`Codec::compress`] (a fresh
+    /// scratch and a reused one parse identically; see [`Scratch`]). The
+    /// default implementation ignores `scratch` for codecs without working
+    /// memory.
+    fn compress_with(&self, scratch: &mut Scratch, input: &[u8], out: &mut Vec<u8>) {
+        let _ = scratch;
+        self.compress(input, out);
+    }
+
     /// Decompresses `input` (exactly `expected_len` output bytes), appending
     /// to `out`.
     fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()>;
@@ -153,6 +168,9 @@ impl Codec for QlzLightCodec {
     fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
         qlz::compress_light(input, out);
     }
+    fn compress_with(&self, scratch: &mut Scratch, input: &[u8], out: &mut Vec<u8>) {
+        qlz::compress_light_with(scratch, input, out);
+    }
     fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
         qlz::decompress(input, expected_len, out)
     }
@@ -169,6 +187,9 @@ impl Codec for QlzMediumCodec {
     fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
         qlz::compress_medium(input, out);
     }
+    fn compress_with(&self, scratch: &mut Scratch, input: &[u8], out: &mut Vec<u8>) {
+        qlz::compress_medium_with(scratch, input, out);
+    }
     fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
         qlz::decompress(input, expected_len, out)
     }
@@ -184,6 +205,9 @@ impl Codec for HeavyCodec {
     }
     fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
         heavy::compress(input, out);
+    }
+    fn compress_with(&self, scratch: &mut Scratch, input: &[u8], out: &mut Vec<u8>) {
+        heavy::compress_with(scratch, input, out);
     }
     fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
         heavy::decompress(input, expected_len, out)

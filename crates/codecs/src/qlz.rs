@@ -23,7 +23,8 @@
 //! stops when the expected uncompressed length has been produced, so no
 //! end-of-stream marker is needed (the frame header carries the length).
 
-use crate::{CodecError, Result};
+use crate::scratch::{ensure_len_uninit, reset_table};
+use crate::{CodecError, Result, Scratch};
 
 /// Shortest encodable match.
 pub const MIN_MATCH: usize = 4;
@@ -33,14 +34,52 @@ pub const MAX_MATCH: usize = MIN_MATCH + 255;
 pub const MAX_OFFSET: usize = u16::MAX as usize;
 
 #[inline]
-fn hash4(data: &[u8], i: usize, bits: u32) -> usize {
-    let x = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+fn read_u32(data: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes(data[i..i + 4].try_into().unwrap())
+}
+
+#[inline]
+fn hash_u32(x: u32, bits: u32) -> usize {
     (x.wrapping_mul(2654435761) >> (32 - bits)) as usize
 }
 
 #[inline]
-fn match_len(data: &[u8], a: usize, b: usize, limit: usize) -> usize {
-    // a < b; counts equal bytes starting at (a, b), capped at `limit`.
+fn hash4(data: &[u8], i: usize, bits: u32) -> usize {
+    hash_u32(read_u32(data, i), bits)
+}
+
+/// Counts equal bytes starting at `(a, b)` (with `a < b`), capped at
+/// `limit`. Word-oriented: compares 8 bytes at a time via `u64` XOR and
+/// extends into the first differing word with `trailing_zeros`, falling back
+/// to a byte loop for the tail near `limit`/end of buffer.
+///
+/// Requires `a < b` and `b + limit <= data.len()` (so both windows are in
+/// bounds); this is what the compressors guarantee via
+/// `limit = min(n - b, MAX_MATCH)`.
+#[inline]
+pub fn match_len(data: &[u8], a: usize, b: usize, limit: usize) -> usize {
+    debug_assert!(a < b);
+    debug_assert!(b + limit <= data.len());
+    let mut n = 0;
+    while n + 8 <= limit {
+        let x = u64::from_le_bytes(data[a + n..a + n + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(data[b + n..b + n + 8].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            return n + (diff.trailing_zeros() >> 3) as usize;
+        }
+        n += 8;
+    }
+    while n < limit && data[a + n] == data[b + n] {
+        n += 1;
+    }
+    n
+}
+
+/// Byte-at-a-time reference implementation of [`match_len`]; kept for
+/// differential property tests.
+#[inline]
+pub fn match_len_naive(data: &[u8], a: usize, b: usize, limit: usize) -> usize {
     let mut n = 0;
     while n < limit && data[a + n] == data[b + n] {
         n += 1;
@@ -103,10 +142,20 @@ impl<'a> TokenWriter<'a> {
     }
 }
 
-/// Greedy single-probe compression (QuickLZ level-1 analogue).
+/// Greedy single-probe compression (QuickLZ level-1 analogue), allocating
+/// fresh working memory. Thin wrapper over [`compress_light_with`]; hot
+/// paths should hold a [`Scratch`] and call that instead.
 pub fn compress_light(input: &[u8], out: &mut Vec<u8>) {
+    compress_light_with(&mut Scratch::new(), input, out);
+}
+
+/// Greedy single-probe compression using reusable working memory. In steady
+/// state (same-size blocks) this performs no heap allocation.
+pub fn compress_light_with(scratch: &mut Scratch, input: &[u8], out: &mut Vec<u8>) {
     const HASH_BITS: u32 = 14;
     let n = input.len();
+    out.reserve(scratch.out_hint(crate::CodecId::QlzLight, n));
+    let out_start = out.len();
     let mut w = TokenWriter::new(out);
     if n < MIN_MATCH {
         for &b in input {
@@ -115,16 +164,18 @@ pub fn compress_light(input: &[u8], out: &mut Vec<u8>) {
         w.finish();
         return;
     }
-    let mut table = vec![u32::MAX; 1 << HASH_BITS];
+    reset_table(&mut scratch.light_table, 1 << HASH_BITS);
+    let table = &mut scratch.light_table[..];
     let mut i = 0usize;
     let mut misses = 0u32;
     while i + MIN_MATCH <= n {
-        let h = hash4(input, i, HASH_BITS);
+        let v = read_u32(input, i);
+        let h = hash_u32(v, HASH_BITS);
         let cand = table[h] as usize;
         table[h] = i as u32;
         let found = cand != u32::MAX as usize
             && i - cand <= MAX_OFFSET
-            && input[cand..cand + MIN_MATCH] == input[i..i + MIN_MATCH];
+            && read_u32(input, cand) == v;
         if found {
             let limit = (n - i).min(MAX_MATCH);
             let len = match_len(input, cand, i, limit);
@@ -154,14 +205,28 @@ pub fn compress_light(input: &[u8], out: &mut Vec<u8>) {
         i += 1;
     }
     w.finish();
+    let produced = out.len() - out_start;
+    scratch.note_out(crate::CodecId::QlzLight, produced);
 }
 
 /// Hash-chain lazy compression (QuickLZ level-2 analogue: better ratio,
-/// lower speed).
+/// lower speed), allocating fresh working memory. Thin wrapper over
+/// [`compress_medium_with`].
 pub fn compress_medium(input: &[u8], out: &mut Vec<u8>) {
+    compress_medium_with(&mut Scratch::new(), input, out);
+}
+
+/// Hash-chain lazy compression using reusable working memory. In steady
+/// state (same-size blocks) this performs no heap allocation: the chain
+/// array is only grown, never cleared — stale entries are unreachable
+/// because chains start at heads reset for every block and each `prev[pos]`
+/// is written before `head` can point at `pos`.
+pub fn compress_medium_with(scratch: &mut Scratch, input: &[u8], out: &mut Vec<u8>) {
     const HASH_BITS: u32 = 15;
     const MAX_DEPTH: u32 = 48;
     let n = input.len();
+    out.reserve(scratch.out_hint(crate::CodecId::QlzMedium, n));
+    let out_start = out.len();
     let mut w = TokenWriter::new(out);
     if n < MIN_MATCH {
         for &b in input {
@@ -170,8 +235,10 @@ pub fn compress_medium(input: &[u8], out: &mut Vec<u8>) {
         w.finish();
         return;
     }
-    let mut head = vec![u32::MAX; 1 << HASH_BITS];
-    let mut prev = vec![u32::MAX; n];
+    reset_table(&mut scratch.med_head, 1 << HASH_BITS);
+    ensure_len_uninit(&mut scratch.med_prev, n);
+    let head = &mut scratch.med_head[..];
+    let prev = &mut scratch.med_prev[..];
 
     let insert = |head: &mut [u32], prev: &mut [u32], input: &[u8], pos: usize| {
         if pos + MIN_MATCH <= n {
@@ -220,8 +287,8 @@ pub fn compress_medium(input: &[u8], out: &mut Vec<u8>) {
 
     let mut i = 0usize;
     while i + MIN_MATCH <= n {
-        let (len, off) = find_best(&head, &prev, input, i);
-        insert(&mut head, &mut prev, input, i);
+        let (len, off) = find_best(head, prev, input, i);
+        insert(head, prev, input, i);
         if len == 0 {
             w.literal(input[i]);
             i += 1;
@@ -229,7 +296,7 @@ pub fn compress_medium(input: &[u8], out: &mut Vec<u8>) {
         }
         // One-step lazy match: prefer a strictly longer match at i + 1.
         if i + 1 + MIN_MATCH <= n {
-            let (len2, _off2) = find_best(&head, &prev, input, i + 1);
+            let (len2, _off2) = find_best(head, prev, input, i + 1);
             if len2 > len + 1 {
                 w.literal(input[i]);
                 i += 1;
@@ -241,7 +308,7 @@ pub fn compress_medium(input: &[u8], out: &mut Vec<u8>) {
         let mut j = i + 1;
         let end = i + len;
         while j < end {
-            insert(&mut head, &mut prev, input, j);
+            insert(head, prev, input, j);
             j += if len > 64 { 7 } else { 1 };
         }
         i = end;
@@ -251,6 +318,8 @@ pub fn compress_medium(input: &[u8], out: &mut Vec<u8>) {
         i += 1;
     }
     w.finish();
+    let produced = out.len() - out_start;
+    scratch.note_out(crate::CodecId::QlzMedium, produced);
 }
 
 /// Decompresses a token stream produced by either setting.
@@ -427,5 +496,73 @@ mod tests {
         let data = vec![b'a'; 1000];
         roundtrip(compress_light, &data);
         roundtrip(compress_medium, &data);
+    }
+
+    /// The word-oriented fast path must agree with the byte-wise reference
+    /// at every word boundary and for every tail length, including matches
+    /// that run exactly to the end of the buffer.
+    #[test]
+    fn match_len_word_boundaries_and_tails() {
+        for n in [8usize, 9, 15, 16, 17, 23, 24, 31, 64, 100] {
+            // Two copies of an `n`-byte pattern; then break it at every
+            // position to exercise every trailing_zeros outcome.
+            for break_at in 0..n {
+                let mut data = vec![0xABu8; 2 * n];
+                for (i, b) in data.iter_mut().enumerate() {
+                    *b = (i % n) as u8; // same pattern in both halves
+                }
+                data[n + break_at] ^= 0x80;
+                for limit in 0..=n {
+                    assert_eq!(
+                        match_len(&data, 0, n, limit),
+                        match_len_naive(&data, 0, n, limit),
+                        "n={n} break_at={break_at} limit={limit}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn match_len_full_limit_at_buffer_end() {
+        // A match running exactly to the end of the buffer: limit = n - b.
+        let data = b"abcdefgh".repeat(8); // 64 bytes, period 8
+        let limit = data.len() - 8;
+        assert_eq!(match_len(&data, 0, 8, limit), limit);
+        assert_eq!(match_len_naive(&data, 0, 8, limit), limit);
+    }
+
+    /// A reused scratch must produce bit-identical output to a fresh one;
+    /// stale hash-table/chain contents must never leak into the parse.
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // Adversarial sequence: sizes shrink and grow so `med_prev` retains
+        // stale entries from larger earlier blocks.
+        let blocks: Vec<Vec<u8>> = vec![
+            b"abcabcabc".repeat(4000),               // 36 KB repetitive
+            vec![b'x'; 100],                         // tiny
+            (0..50_000u32).flat_map(|i| i.to_le_bytes()).collect(), // structured
+            Vec::new(),                              // empty
+            b"the quick brown fox ".repeat(5000),    // 100 KB text
+        ];
+        type FreshFn = fn(&[u8], &mut Vec<u8>);
+        type WithFn = fn(&mut Scratch, &[u8], &mut Vec<u8>);
+        let variants: [(usize, FreshFn, WithFn); 2] = [
+            (0, compress_light, compress_light_with),
+            (1, compress_medium, compress_medium_with),
+        ];
+        let mut scratch = Scratch::new();
+        for (i, block) in blocks.iter().enumerate() {
+            for (which, fresh, with) in variants {
+                let mut a = Vec::new();
+                fresh(block, &mut a);
+                let mut b = Vec::new();
+                with(&mut scratch, block, &mut b);
+                assert_eq!(a, b, "block {i} codec {which}: reused scratch diverged");
+                let mut d = Vec::new();
+                decompress(&b, block.len(), &mut d).unwrap();
+                assert_eq!(&d, block, "block {i} codec {which}: roundtrip failed");
+            }
+        }
     }
 }

@@ -12,17 +12,21 @@ const TOP: u32 = 1 << 24;
 
 /// Encoder half of the range coder. Produces a byte stream whose first byte
 /// is always zero (an artifact of the carry-cache construction).
-pub struct RangeEncoder {
+///
+/// Appends directly into a borrowed output buffer so callers (the HEAVY
+/// codec hot path) pay no intermediate allocation or copy.
+pub struct RangeEncoder<'a> {
     low: u64,
     range: u32,
     cache: u8,
     cache_size: u64,
-    out: Vec<u8>,
+    out: &'a mut Vec<u8>,
 }
 
-impl RangeEncoder {
-    pub fn new() -> Self {
-        RangeEncoder { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new() }
+impl<'a> RangeEncoder<'a> {
+    /// Creates an encoder appending to `out` (existing contents are kept).
+    pub fn new(out: &'a mut Vec<u8>) -> Self {
+        RangeEncoder { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out }
     }
 
     /// Encodes one bit under the adaptive probability `prob`.
@@ -82,18 +86,11 @@ impl RangeEncoder {
         self.low = (self.low << 8) & 0xFFFF_FFFF;
     }
 
-    /// Flushes remaining state and returns the encoded bytes.
-    pub fn finish(mut self) -> Vec<u8> {
+    /// Flushes remaining state into the output buffer.
+    pub fn finish(mut self) {
         for _ in 0..5 {
             self.shift_low();
         }
-        self.out
-    }
-}
-
-impl Default for RangeEncoder {
-    fn default() -> Self {
-        Self::new()
     }
 }
 
@@ -185,12 +182,13 @@ mod tests {
     #[test]
     fn bit_roundtrip_adaptive() {
         let bits: Vec<u32> = (0..4000).map(|i| ((i * 7) % 13 < 4) as u32).collect();
-        let mut enc = RangeEncoder::new();
+        let mut data = Vec::new();
+        let mut enc = RangeEncoder::new(&mut data);
         let mut p = PROB_INIT;
         for &b in &bits {
             enc.encode_bit(&mut p, b);
         }
-        let data = enc.finish();
+        enc.finish();
         let mut dec = RangeDecoder::new(&data);
         let mut p = PROB_INIT;
         for &b in &bits {
@@ -202,23 +200,25 @@ mod tests {
     fn skewed_bits_compress_well() {
         // 4000 zeros with adaptive probability should shrink far below
         // 4000/8 = 500 bytes.
-        let mut enc = RangeEncoder::new();
+        let mut data = Vec::new();
+        let mut enc = RangeEncoder::new(&mut data);
         let mut p = PROB_INIT;
         for _ in 0..4000 {
             enc.encode_bit(&mut p, 0);
         }
-        let data = enc.finish();
+        enc.finish();
         assert!(data.len() < 60, "got {}", data.len());
     }
 
     #[test]
     fn direct_bits_roundtrip() {
         let values = [(0u32, 1u32), (1, 1), (5, 3), (0xFFFF, 16), (0x12345, 20), (0, 24)];
-        let mut enc = RangeEncoder::new();
+        let mut data = Vec::new();
+        let mut enc = RangeEncoder::new(&mut data);
         for &(v, n) in &values {
             enc.encode_direct(v, n);
         }
-        let data = enc.finish();
+        enc.finish();
         let mut dec = RangeDecoder::new(&data);
         for &(v, n) in &values {
             assert_eq!(dec.decode_direct(n), v);
@@ -228,12 +228,13 @@ mod tests {
     #[test]
     fn tree_roundtrip() {
         let symbols: Vec<u32> = (0..500).map(|i| (i * 37) % 256).collect();
-        let mut enc = RangeEncoder::new();
+        let mut data = Vec::new();
+        let mut enc = RangeEncoder::new(&mut data);
         let mut probs = vec![PROB_INIT; 256];
         for &s in &symbols {
             enc.encode_tree(&mut probs, 8, s);
         }
-        let data = enc.finish();
+        enc.finish();
         let mut dec = RangeDecoder::new(&data);
         let mut probs = vec![PROB_INIT; 256];
         for &s in &symbols {
@@ -243,7 +244,8 @@ mod tests {
 
     #[test]
     fn mixed_stream_roundtrip() {
-        let mut enc = RangeEncoder::new();
+        let mut data = Vec::new();
+        let mut enc = RangeEncoder::new(&mut data);
         let mut p1 = PROB_INIT;
         let mut tree = vec![PROB_INIT; 32];
         for i in 0..300u32 {
@@ -251,7 +253,7 @@ mod tests {
             enc.encode_direct(i % 64, 6);
             enc.encode_tree(&mut tree, 5, i % 32);
         }
-        let data = enc.finish();
+        enc.finish();
         let mut dec = RangeDecoder::new(&data);
         let mut p1 = PROB_INIT;
         let mut tree = vec![PROB_INIT; 32];

@@ -1,0 +1,144 @@
+//! Reusable per-encoder working memory for the compression hot path.
+//!
+//! Every compressing channel pays `compress + transmit` per 128 KiB block on
+//! one vCPU, so per-block heap allocation is pure overhead on the reproduced
+//! result. A [`Scratch`] owns every table the codecs need (hash tables,
+//! hash-chain arrays, the HEAVY probability model) and is reused across
+//! blocks: in steady state the adaptive write path performs **zero heap
+//! allocations per block**.
+//!
+//! Determinism contract: compressing a block through a reused `Scratch`
+//! produces *bit-identical* output to compressing it through a fresh one.
+//! Hash tables are reset between blocks; hash-chain arrays are only
+//! reachable through the (reset) table heads, so their stale contents can
+//! never influence the parse. A regression test in `qlz` asserts the
+//! bit-identity.
+
+/// Reusable codec working memory. Create once per writer/encoder and pass to
+/// `compress_with`-style entry points. All tables grow lazily on first use,
+/// so an unused `Scratch` costs nothing.
+pub struct Scratch {
+    /// LIGHT: single-probe hash table (`1 << 14` entries once used).
+    pub(crate) light_table: Vec<u32>,
+    /// MEDIUM: hash-chain heads (`1 << 15` entries once used).
+    pub(crate) med_head: Vec<u32>,
+    /// MEDIUM: hash-chain links, one per input byte (grown to the largest
+    /// block seen; stale contents are unreachable by construction).
+    pub(crate) med_prev: Vec<u32>,
+    /// HEAVY: match-finder tables + probability model (boxed so the common
+    /// LIGHT/MEDIUM path does not pay for them).
+    pub(crate) heavy: Option<Box<crate::heavy::HeavyScratch>>,
+    /// Last compressed payload size per codec id — used as a capacity hint
+    /// for the next block's output.
+    pub(crate) last_out: [usize; 4],
+}
+
+impl Scratch {
+    pub fn new() -> Self {
+        Scratch {
+            light_table: Vec::new(),
+            med_head: Vec::new(),
+            med_prev: Vec::new(),
+            heavy: None,
+            last_out: [0; 4],
+        }
+    }
+
+    /// Capacity hint for the output of the next block: the previous block's
+    /// compressed size plus slack, bounded by the worst-case expansion.
+    #[inline]
+    pub(crate) fn out_hint(&self, codec: crate::CodecId, input_len: usize) -> usize {
+        let worst = input_len + input_len / 8 + 16;
+        let last = self.last_out[codec as usize];
+        if last == 0 {
+            // First block: assume mild compression.
+            (input_len / 2).max(64).min(worst)
+        } else {
+            (last + last / 8 + 64).min(worst)
+        }
+    }
+
+    /// Records the compressed payload size of the block just produced.
+    #[inline]
+    pub(crate) fn note_out(&mut self, codec: crate::CodecId, len: usize) {
+        self.last_out[codec as usize] = len;
+    }
+
+    /// Bytes of table memory currently held (diagnostics / tests).
+    pub fn table_bytes(&self) -> usize {
+        let heavy = self.heavy.as_ref().map_or(0, |h| h.table_bytes());
+        (self.light_table.capacity() + self.med_head.capacity() + self.med_prev.capacity()) * 4
+            + heavy
+    }
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Scratch::new()
+    }
+}
+
+/// Resets `v` to `len` entries of `u32::MAX` without shrinking capacity;
+/// allocates only when `len` grows beyond the current capacity.
+#[inline]
+pub(crate) fn reset_table(v: &mut Vec<u32>, len: usize) {
+    if v.len() == len {
+        v.fill(u32::MAX);
+    } else {
+        v.clear();
+        v.resize(len, u32::MAX);
+    }
+}
+
+/// Ensures `v.len() >= len` without initializing newly *or* previously held
+/// contents — for chain arrays whose entries are provably written before
+/// read (each `prev[pos]` is stored before the table head can point at
+/// `pos`, and chains only start at heads set in the current block).
+#[inline]
+pub(crate) fn ensure_len_uninit(v: &mut Vec<u32>, len: usize) {
+    if v.len() < len {
+        v.resize(len, u32::MAX);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_starts_empty() {
+        let s = Scratch::new();
+        assert_eq!(s.table_bytes(), 0);
+    }
+
+    #[test]
+    fn reset_table_reuses_capacity() {
+        let mut v = Vec::new();
+        reset_table(&mut v, 16);
+        v[3] = 7;
+        let ptr = v.as_ptr();
+        reset_table(&mut v, 16);
+        assert_eq!(v[3], u32::MAX);
+        assert_eq!(v.as_ptr(), ptr, "reset must not reallocate at same size");
+    }
+
+    #[test]
+    fn ensure_len_uninit_grows_only() {
+        let mut v = vec![1, 2, 3];
+        ensure_len_uninit(&mut v, 2);
+        assert_eq!(v.len(), 3, "never shrinks");
+        ensure_len_uninit(&mut v, 5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(&v[..3], &[1, 2, 3], "existing contents untouched");
+    }
+
+    #[test]
+    fn out_hint_tracks_previous_block() {
+        let mut s = Scratch::new();
+        let first = s.out_hint(crate::CodecId::QlzLight, 128 * 1024);
+        assert!(first >= 64);
+        s.note_out(crate::CodecId::QlzLight, 40_000);
+        let next = s.out_hint(crate::CodecId::QlzLight, 128 * 1024);
+        assert!((40_000..=128 * 1024 + 128 * 1024 / 8 + 16).contains(&next));
+    }
+}

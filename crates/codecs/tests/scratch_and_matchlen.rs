@@ -1,0 +1,105 @@
+//! Property tests for the zero-alloc codec hot path:
+//!
+//! * the word-oriented `match_len` is a drop-in replacement for the
+//!   byte-wise reference (differential testing across generated inputs,
+//!   including matches that run into the end of the buffer), and
+//! * a `Scratch` reused across blocks of different sizes and corpus
+//!   classes produces bit-identical frames to fresh-allocation compression.
+
+use adcomp_codecs::frame::{encode_block, encode_block_with};
+use adcomp_codecs::qlz::{match_len, match_len_naive};
+use adcomp_codecs::{codec_for, CodecId, Scratch};
+use adcomp_corpus::{generate, Class};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Differential: fast vs naive on small-alphabet data (small alphabets
+    /// make long matches — the interesting regime for the u64 fast path).
+    #[test]
+    fn match_len_equals_naive(
+        data in proptest::collection::vec(0u8..4, 2..600),
+        bi in any::<prop::sample::Index>(),
+        ai in any::<prop::sample::Index>(),
+        li in any::<prop::sample::Index>(),
+    ) {
+        let n = data.len();
+        let b = 1 + bi.index(n - 1); // 1..n
+        let a = ai.index(b); // 0..b  (a < b)
+        let limit = li.index(n - b + 1); // 0..=n-b, includes the exact tail
+        prop_assert_eq!(
+            match_len(&data, a, b, limit),
+            match_len_naive(&data, a, b, limit)
+        );
+    }
+
+    /// Same, on full-alphabet (near-incompressible) data: first-word
+    /// mismatches dominate here.
+    #[test]
+    fn match_len_equals_naive_full_alphabet(
+        data in proptest::collection::vec(any::<u8>(), 2..300),
+        bi in any::<prop::sample::Index>(),
+        li in any::<prop::sample::Index>(),
+    ) {
+        let n = data.len();
+        let b = 1 + bi.index(n - 1);
+        let limit = li.index(n - b + 1);
+        prop_assert_eq!(
+            match_len(&data, 0, b, limit),
+            match_len_naive(&data, 0, b, limit)
+        );
+    }
+}
+
+/// One `Scratch` carried across every codec level and every corpus class,
+/// with block sizes that shrink and grow — frames must match the
+/// fresh-allocation path bit for bit, and still decode.
+#[test]
+fn scratch_reuse_across_classes_and_sizes() {
+    let sizes = [128 * 1024, 700, 128 * 1024, 32 * 1024, 1, 96 * 1024];
+    let mut scratch = Scratch::new();
+    for id in [CodecId::QlzLight, CodecId::QlzMedium, CodecId::Heavy] {
+        let codec = codec_for(id);
+        for (i, (&len, class)) in sizes
+            .iter()
+            .zip([Class::High, Class::Moderate, Class::Low].into_iter().cycle())
+            .enumerate()
+        {
+            let block = generate(class, len, 7 + i as u64);
+            let mut fresh = Vec::new();
+            let info_fresh = encode_block(codec, &block, &mut fresh);
+            let mut reused = Vec::new();
+            let info_reused = encode_block_with(&mut scratch, codec, &block, &mut reused);
+            assert_eq!(fresh, reused, "{id:?} block {i} ({class:?}, {len} B) frame diverged");
+            assert_eq!(info_fresh, info_reused);
+            let mut out = Vec::new();
+            let (_, consumed) = adcomp_codecs::frame::decode_block(&reused, &mut out)
+                .expect("reused-scratch frame must decode");
+            assert_eq!(consumed, reused.len());
+            assert_eq!(out, block, "{id:?} block {i} roundtrip");
+        }
+    }
+}
+
+/// Scratch tables grow to the high-water mark and stay there — reuse must
+/// not shrink or reallocate when a smaller block follows a larger one.
+#[test]
+fn scratch_tables_reach_steady_state() {
+    let mut scratch = Scratch::new();
+    let codec = codec_for(CodecId::QlzMedium);
+    let big = generate(Class::Moderate, 128 * 1024, 3);
+    let small = generate(Class::Moderate, 4 * 1024, 4);
+    let mut out = Vec::new();
+    encode_block_with(&mut scratch, codec, &big, &mut out);
+    let high_water = scratch.table_bytes();
+    assert!(high_water > 0);
+    for _ in 0..4 {
+        out.clear();
+        encode_block_with(&mut scratch, codec, &small, &mut out);
+        assert_eq!(scratch.table_bytes(), high_water, "tables must not shrink or grow");
+        out.clear();
+        encode_block_with(&mut scratch, codec, &big, &mut out);
+        assert_eq!(scratch.table_bytes(), high_water);
+    }
+}

@@ -1,0 +1,86 @@
+//! Verifies the headline property of the scratch API: **zero heap
+//! allocation per block in the steady-state adaptive write path.**
+//!
+//! A counting global allocator tallies every `alloc`/`realloc`. After a
+//! short warm-up (which grows the scratch tables and the output buffer to
+//! their high-water marks), encoding further blocks — across *all* codec
+//! levels and corpus classes — must not touch the heap at all.
+//!
+//! This file intentionally contains a single `#[test]` so no concurrent
+//! test can disturb the allocation counter.
+
+use adcomp_codecs::frame::encode_block_with;
+use adcomp_codecs::{codec_for, CodecId, Scratch};
+use adcomp_corpus::{generate, Class};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers to `System` for all operations; only adds relaxed
+// counter bumps.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const BLOCK_LEN: usize = 128 * 1024;
+
+#[test]
+fn steady_state_block_encoding_allocates_nothing() {
+    // Setup (may allocate freely): corpus blocks for every class, one
+    // scratch, one output buffer.
+    let blocks: Vec<Vec<u8>> = Class::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(i, class)| generate(class, BLOCK_LEN, 11 + i as u64))
+        .collect();
+    let codecs = [CodecId::QlzLight, CodecId::QlzMedium, CodecId::Heavy, CodecId::Raw]
+        .map(codec_for);
+    let mut scratch = Scratch::new();
+    let mut out = Vec::new();
+
+    // Warm-up: two rounds over every (codec, class) pair grow every table
+    // and the output buffer to their high-water marks.
+    for _ in 0..2 {
+        for codec in &codecs {
+            for block in &blocks {
+                out.clear();
+                encode_block_with(&mut scratch, *codec, block, &mut out);
+            }
+        }
+    }
+
+    // Steady state: adaptive writers switch levels and see class changes
+    // block to block; none of it may allocate.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut wire_bytes = 0usize;
+    for round in 0..8 {
+        for (ci, codec) in codecs.iter().enumerate() {
+            let block = &blocks[(round + ci) % blocks.len()];
+            out.clear();
+            let info = encode_block_with(&mut scratch, *codec, block, &mut out);
+            wire_bytes += info.frame_len;
+        }
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert!(wire_bytes > 0);
+    assert_eq!(
+        delta, 0,
+        "steady-state adaptive write path performed {delta} heap allocation(s)"
+    );
+}

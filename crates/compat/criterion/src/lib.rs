@@ -1,0 +1,255 @@
+//! Minimal, dependency-free benchmarking shim exposing the subset of the
+//! `criterion` API this workspace uses. Vendored so the workspace builds in
+//! fully offline environments.
+//!
+//! Measurement model: each benchmark is auto-calibrated (iteration count
+//! doubled until a round takes ≥ ~25 ms), then `sample_size`-capped rounds
+//! are timed and the **median** ns/iter is reported, plus MB/s when a
+//! [`Throughput`] is configured.
+//!
+//! Set `ADCOMP_BENCH_JSON=/path/file.json` to also append one JSON object
+//! per benchmark (`{"name":…,"ns_per_iter":…,"mbps":…}`) — used by the
+//! repo's `BENCH_*.json` baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque measurement hint for per-iteration throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifies a benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_id}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Re-export-compatible `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, discarding return values through
+    /// `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone)]
+struct Config {
+    sample_size: usize,
+    /// Total measurement budget per benchmark.
+    measure: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { sample_size: 20, measure: Duration::from_millis(300) }
+    }
+}
+
+/// Top-level benchmark driver (criterion-compatible subset).
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { config: Config::default() }
+    }
+}
+
+impl Criterion {
+    /// Caps the number of timed rounds per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measure = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(&self.config, name, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.config.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&self.criterion.config, &full, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_bench(&self.criterion.config, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(config: &Config, name: &str, throughput: Option<Throughput>, mut f: F) {
+    // Calibrate: double the iteration count until one round costs ≥ 25 ms
+    // (or we hit a safety cap for extremely slow bodies).
+    let round_target = Duration::from_millis(25);
+    let mut iters = 1u64;
+    let mut bench = Bencher { iters, elapsed: Duration::ZERO };
+    loop {
+        bench.iters = iters;
+        f(&mut bench);
+        if bench.elapsed >= round_target || iters >= 1 << 24 {
+            break;
+        }
+        // Jump straight toward the target once we have a measurement.
+        let scale = if bench.elapsed.as_nanos() == 0 {
+            8
+        } else {
+            (round_target.as_nanos() / bench.elapsed.as_nanos().max(1)).clamp(2, 8) as u64
+        };
+        iters = iters.saturating_mul(scale);
+    }
+
+    // Measure: up to `sample_size` rounds within the time budget; median.
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
+    samples_ns.push(bench.elapsed.as_nanos() as f64 / bench.iters as f64);
+    let deadline = Instant::now() + config.measure;
+    while samples_ns.len() < config.sample_size && Instant::now() < deadline {
+        f(&mut bench);
+        samples_ns.push(bench.elapsed.as_nanos() as f64 / bench.iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples_ns[samples_ns.len() / 2];
+
+    let mbps = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let secs = median / 1e9;
+            Some(n as f64 / secs.max(1e-12) / 1e6)
+        }
+        _ => None,
+    };
+
+    match mbps {
+        Some(m) => println!("bench  {name:<44} {median:>14.1} ns/iter  {m:>10.1} MB/s"),
+        None => println!("bench  {name:<44} {median:>14.1} ns/iter"),
+    }
+
+    if let Ok(path) = std::env::var("ADCOMP_BENCH_JSON") {
+        if !path.is_empty() {
+            use std::io::Write;
+            let line = match mbps {
+                Some(m) => format!(
+                    "{{\"name\":\"{name}\",\"ns_per_iter\":{median:.1},\"mbps\":{m:.2}}}\n"
+                ),
+                None => format!("{{\"name\":\"{name}\",\"ns_per_iter\":{median:.1}}}\n"),
+            };
+            if let Ok(mut fh) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+                let _ = fh.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+/// Defines a benchmark group function (both criterion macro forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(30));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| {
+            let v: Vec<u64> = (0..256).collect();
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("len", "case"), &[1u8, 2, 3][..], |b, s| {
+            b.iter(|| s.len())
+        });
+        group.finish();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -9,8 +9,8 @@
 //! code.
 
 use crate::error::{NepheleError, Result};
-use adcomp_codecs::frame::{decode_block, encode_block, DEFAULT_BLOCK_LEN};
-use adcomp_codecs::LevelSet;
+use adcomp_codecs::frame::{decode_block, encode_block_with, DEFAULT_BLOCK_LEN};
+use adcomp_codecs::{LevelSet, Scratch};
 use adcomp_core::controller::ControllerConfig;
 use adcomp_core::epoch::{Clock, EpochContext, EpochDriver, WallClock};
 use adcomp_core::model::{DecisionModel, RateBasedModel, StaticModel};
@@ -322,6 +322,7 @@ pub struct RecordWriter {
     buf: Vec<u8>,
     block_len: usize,
     frame_scratch: Vec<u8>,
+    codec_scratch: Scratch,
     stats: ChannelStats,
 }
 
@@ -344,6 +345,7 @@ impl RecordWriter {
             buf: Vec::with_capacity(DEFAULT_BLOCK_LEN),
             block_len: DEFAULT_BLOCK_LEN,
             frame_scratch: Vec::new(),
+            codec_scratch: Scratch::new(),
             stats: ChannelStats { blocks_per_level: vec![0; nlevels], ..Default::default() },
         }
     }
@@ -376,7 +378,12 @@ impl RecordWriter {
         }
         let level = self.driver.level();
         self.frame_scratch.clear();
-        let info = encode_block(self.levels.codec(level), &self.buf, &mut self.frame_scratch);
+        let info = encode_block_with(
+            &mut self.codec_scratch,
+            self.levels.codec(level),
+            &self.buf,
+            &mut self.frame_scratch,
+        );
         self.transport.send(&self.frame_scratch)?;
         self.stats.app_bytes += info.uncompressed_len as u64;
         self.stats.wire_bytes += info.frame_len as u64;
@@ -640,7 +647,11 @@ mod tests {
         let mut payload = Vec::new();
         payload.extend_from_slice(&100u32.to_le_bytes());
         payload.extend_from_slice(b"only ten b");
-        encode_block(adcomp_codecs::codec_for(adcomp_codecs::CodecId::Raw), &payload, &mut wire);
+        adcomp_codecs::frame::encode_block(
+            adcomp_codecs::codec_for(adcomp_codecs::CodecId::Raw),
+            &payload,
+            &mut wire,
+        );
         tx.send(&wire).unwrap();
         tx.close().unwrap();
         let mut reader = RecordReader::new(Box::new(rx));

@@ -78,7 +78,8 @@ fn parse_options(args: &[String]) -> Options {
                 i += 1;
                 opts.epoch_secs =
                     args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
-                if !(opts.epoch_secs > 0.0) {
+                // NaN parses successfully but must be rejected too.
+                if opts.epoch_secs.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                     eprintln!("epoch length must be positive seconds");
                     std::process::exit(2);
                 }
