@@ -1,9 +1,13 @@
 //! Criterion micro-benchmarks: block-frame encode/decode overhead (header,
-//! CRC-32, raw fallback) on the paper's 128 KiB block size.
+//! CRC-32, raw fallback) on the paper's 128 KiB block size, plus the
+//! tracing layer's overhead guard (`frame_trace`): a [`FrameWriter`] with
+//! the statically-disabled `NullSink` and one with a runtime-disabled
+//! `TraceHandle` must run at the untraced hot path's speed (<1% apart).
 
-use adcomp_codecs::frame::{decode_block, encode_block, DEFAULT_BLOCK_LEN};
+use adcomp_codecs::frame::{decode_block, encode_block, FrameWriter, DEFAULT_BLOCK_LEN};
 use adcomp_codecs::{codec_for, CodecId};
 use adcomp_corpus::{generate, Class};
+use adcomp_trace::{NullSink, TraceHandle};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_frame_raw_path(c: &mut Criterion) {
@@ -52,9 +56,31 @@ fn bench_fallback_path(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_trace_overhead(c: &mut Criterion) {
+    // The zero-cost-when-disabled guard: writing blocks through a
+    // `FrameWriter` must cost the same whether the sink is the
+    // statically-disabled `NullSink` (trace branches are dead code) or a
+    // runtime-disabled `TraceHandle` (one predictable branch per block).
+    // Compare the two `frame_trace` rows — they should sit within noise of
+    // each other (<1%).
+    let mut group = c.benchmark_group("frame_trace");
+    group.throughput(Throughput::Bytes(DEFAULT_BLOCK_LEN as u64));
+    let data = generate(Class::High, DEFAULT_BLOCK_LEN, 42);
+    let codec = codec_for(CodecId::QlzLight);
+    group.bench_with_input(BenchmarkId::from_parameter("null_sink"), &data, |b, data| {
+        let mut w = FrameWriter::with_sink(std::io::sink(), NullSink);
+        b.iter(|| w.write_block(codec, data).unwrap().frame_len);
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("disabled_handle"), &data, |b, data| {
+        let mut w = FrameWriter::with_sink(std::io::sink(), TraceHandle::disabled());
+        b.iter(|| w.write_block(codec, data).unwrap().frame_len);
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_frame_raw_path, bench_fallback_path
+    targets = bench_frame_raw_path, bench_fallback_path, bench_trace_overhead
 }
 criterion_main!(benches);

@@ -9,15 +9,18 @@
 //!
 //! Run: `cargo run --release -p adcomp-bench --bin check_shapes [--quick]`
 
-use adcomp_bench::{quick_mode, runner, speed_model};
+use adcomp_bench::{quick_mode, runner, speed_model, trace_path, write_run_trace};
 use adcomp_core::model::{DecisionModel, RateBasedModel, StaticModel};
 use adcomp_corpus::Class;
 use adcomp_metrics::Table;
+use adcomp_trace::{MemorySink, RunManifest, TraceHandle};
 use adcomp_vcloud::experiments::{fig1_cpu_accuracy, fig2_net_throughput, fig3_file_write};
 use adcomp_vcloud::platform::IoOp;
 use adcomp_vcloud::{
-    run_transfer, AlternatingClass, ConstantClass, Platform, SpeedModel, TransferConfig,
+    run_transfer, run_transfer_traced, AlternatingClass, ConstantClass, Platform, SpeedModel,
+    TransferConfig,
 };
+use std::sync::Arc;
 
 const GB: u64 = 1_000_000_000;
 const NFLOWS: usize = 4;
@@ -240,6 +243,38 @@ fn main() -> std::process::ExitCode {
             "FIG6: level follows compressibility",
             format!("NO {:.0}%, LIGHT {:.0}%", no_share * 100.0, light_share * 100.0),
             no_share > 0.10 && light_share > 0.10,
+        );
+    }
+
+    // `--trace <path>`: emit the structured trace of one representative
+    // Table-2 cell (DYNAMIC, HIGH, 2 connections, deterministic) — the CI
+    // smoke step lints this JSONL against the event schema.
+    if let Some(path) = trace_path() {
+        let sink = Arc::new(MemorySink::new());
+        let cfg = TransferConfig {
+            total_bytes: gb(2),
+            background_flows: 2,
+            deterministic: true,
+            cpu_jitter: 0.0,
+            ..TransferConfig::paper_default()
+        };
+        let out = run_transfer_traced(
+            &cfg,
+            &speed,
+            &mut ConstantClass(Class::High),
+            Box::new(RateBasedModel::paper_default()),
+            TraceHandle::new(sink.clone()),
+        );
+        let manifest = RunManifest::new("check_shapes_cell", cfg.seed)
+            .coord("scheme", "DYNAMIC")
+            .coord("class", Class::High.name())
+            .coord("flows", cfg.background_flows)
+            .cfg("deterministic", true)
+            .volume(cfg.total_bytes);
+        write_run_trace(&path, &manifest, &sink.take());
+        eprintln!(
+            "CHECK: traced cell completed in {:.0} s over {} epochs",
+            out.completion_secs, out.epochs
         );
     }
 

@@ -13,11 +13,13 @@
 //!
 //! Run: `cargo run --release -p adcomp-bench --bin ext_all_adaptive [--quick]`
 
-use adcomp_bench::{experiment_bytes, runner, speed_model};
+use adcomp_bench::{experiment_bytes, runner, speed_model, trace_path};
 use adcomp_core::model::{RateBasedModel, StaticModel};
 use adcomp_corpus::Class;
 use adcomp_metrics::Table;
-use adcomp_vcloud::{run_multiflow, FlowSpec, MultiFlowConfig};
+use adcomp_trace::{JsonlWriter, MemorySink, RunManifest, TraceHandle};
+use adcomp_vcloud::{run_multiflow_traced, FlowSpec, MultiFlowConfig};
+use std::sync::Arc;
 
 fn flows(classes: &[Class], adaptive: &[bool], bytes: u64) -> Vec<FlowSpec> {
     classes
@@ -57,22 +59,50 @@ fn main() {
     );
     // 2 corpora × 3 deployment mixes fan out at once; every cell carries
     // its own fixed seed, so the tables are independent of scheduling.
+    let traced = trace_path();
+    let want_trace = traced.is_some();
     let cells = runner::run_cells(CORPORA.len() * DEPLOYMENTS.len(), |idx| {
         let (ti, di) = (idx / DEPLOYMENTS.len(), idx % DEPLOYMENTS.len());
-        let (_, classes) = CORPORA[ti];
+        let (title, classes) = CORPORA[ti];
         let (label, mask) = DEPLOYMENTS[di];
         let cfg = MultiFlowConfig { seed: 61, ..Default::default() };
-        let out = run_multiflow(&cfg, &speed, flows(&classes, &mask, bytes));
+        let sink = if want_trace { Some(Arc::new(MemorySink::new())) } else { None };
+        let handle = sink
+            .as_ref()
+            .map_or_else(TraceHandle::disabled, |s| TraceHandle::new(s.clone()));
+        let out = run_multiflow_traced(&cfg, &speed, flows(&classes, &mask, bytes), handle);
         let rates: Vec<String> =
             out.flows.iter().map(|f| format!("{:.0}", f.mean_app_rate / 1e6)).collect();
-        vec![
+        let row = vec![
             label.to_string(),
             format!("{:.0}", out.aggregate_goodput() / 1e6),
             format!("{:.0}", out.makespan_secs),
             format!("{:.3}", out.jain_fairness()),
             rates.join(" / "),
-        ]
+        ];
+        let cell_trace = sink.map(|s| {
+            let manifest = RunManifest::new("ext_all_adaptive_cell", cfg.seed)
+                .coord("corpus", title)
+                .coord("deployment", label)
+                .cfg("flows", classes.len())
+                .volume(bytes * classes.len() as u64);
+            (manifest, s.take())
+        });
+        (row, cell_trace)
     });
+    // Per-cell traces serialize in canonical cell order, so the JSONL bytes
+    // are independent of ADCOMP_THREADS.
+    if let Some(path) = traced {
+        let mut w = JsonlWriter::create(&path).expect("create trace file");
+        for (_, cell_trace) in &cells {
+            let (manifest, events) = cell_trace.as_ref().expect("traced cell");
+            w.write_run(manifest, events).expect("write cell trace");
+        }
+        let n = w.counts().total();
+        w.finish().expect("flush trace file");
+        eprintln!("EXT: wrote {} cell traces ({} events) to {}", cells.len(), n, path.display());
+    }
+    let cells: Vec<Vec<String>> = cells.into_iter().map(|(row, _)| row).collect();
     for (ti, (title, _)) in CORPORA.iter().enumerate() {
         println!("== {title} ==");
         let mut table = Table::new(vec![

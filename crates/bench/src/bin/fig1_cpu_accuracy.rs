@@ -8,7 +8,9 @@
 //!
 //! Run: `cargo run --release -p adcomp-bench --bin fig1_cpu_accuracy`
 
+use adcomp_bench::trace_path;
 use adcomp_metrics::Table;
+use adcomp_trace::{JsonlWriter, RunManifest, SimEvent, TraceEvent};
 use adcomp_vcloud::experiments::fig1_cpu_accuracy;
 use adcomp_vcloud::platform::{IoOp, Platform};
 use adcomp_vcloud::CpuBreakdown;
@@ -27,6 +29,9 @@ fn parts(b: &CpuBreakdown) -> String {
 fn main() {
     const SAMPLES: usize = 120; // "at least 120 individual samples"
     println!("FIG1: displayed vs host-accounted CPU utilization [%] ({SAMPLES} samples per cell)\n");
+    let mut tracer = trace_path().map(|p| {
+        (JsonlWriter::create(&p).expect("create trace file"), p)
+    });
     for op in IoOp::ALL {
         println!("== {} ==", op.name());
         let mut table = Table::new(vec!["Platform", "VM [%]", "Host [%]", "Gap", "VM breakdown"]);
@@ -37,6 +42,38 @@ fn main() {
             Platform::Ec2,
         ] {
             let r = fig1_cpu_accuracy(platform, op, SAMPLES, 42);
+            if let Some((w, _)) = tracer.as_mut() {
+                // One manifest per (op, platform) cell; the averaged
+                // guest/host utilizations become two "sample" events
+                // (value = displayed total %, aux = sample count).
+                let manifest = RunManifest::new("fig1_cpu_accuracy", 42)
+                    .coord("op", op.name())
+                    .coord("platform", platform.name())
+                    .cfg("samples", SAMPLES);
+                let mut events: Vec<TraceEvent> = vec![SimEvent {
+                    epoch: 0,
+                    t: 0.0,
+                    kind: "sample",
+                    flow: 0, // guest view
+                    value: r.guest_mean.total(),
+                    aux: r.samples as f64,
+                }
+                .into()];
+                if let Some(host) = r.host_mean {
+                    events.push(
+                        SimEvent {
+                            epoch: 0,
+                            t: 0.0,
+                            kind: "sample",
+                            flow: 1, // host view
+                            value: host.total(),
+                            aux: r.samples as f64,
+                        }
+                        .into(),
+                    );
+                }
+                w.write_run(&manifest, &events).expect("write cell trace");
+            }
             table.row(vec![
                 platform.name().to_string(),
                 cell(&r.guest_mean),
@@ -46,6 +83,11 @@ fn main() {
             ]);
         }
         println!("{}", table.render());
+    }
+    if let Some((w, path)) = tracer.take() {
+        let n = w.counts().total();
+        w.finish().expect("flush trace file");
+        eprintln!("FIG1: wrote {} events to {}", n, path.display());
     }
     println!(
         "Paper findings to compare against:\n\

@@ -7,8 +7,9 @@
 //!
 //! Run: `cargo run --release -p adcomp-bench --bin fig2_net_throughput [--quick]`
 
-use adcomp_bench::experiment_bytes;
+use adcomp_bench::{distribution_events, experiment_bytes, trace_path};
 use adcomp_metrics::{bps_to_mbit, Histogram, Table};
+use adcomp_trace::{JsonlWriter, RunManifest};
 use adcomp_vcloud::experiments::fig2_net_throughput;
 use adcomp_vcloud::Platform;
 
@@ -18,12 +19,21 @@ fn main() {
         "FIG2: network send throughput distribution, {} GB per platform, one sample per 20 MB\n",
         total / 1_000_000_000
     );
+    let mut tracer = trace_path().map(|p| {
+        (JsonlWriter::create(&p).expect("create trace file"), p)
+    });
     let mut table = Table::new(vec![
         "Platform", "n", "mean", "sd", "min", "q1", "median", "q3", "max",
     ]);
     let mut shapes = Vec::new();
     for platform in Platform::ALL {
         let dist = fig2_net_throughput(platform, total, 42);
+        if let Some((w, _)) = tracer.as_mut() {
+            let manifest = RunManifest::new("fig2_net_throughput", 42)
+                .coord("platform", platform.name())
+                .volume(total);
+            w.write_run(&manifest, &distribution_events(&dist)).expect("write platform trace");
+        }
         let s = dist.summary();
         table.row(vec![
             platform.name().to_string(),
@@ -41,6 +51,11 @@ fn main() {
             h.push(bps_to_mbit(x));
         }
         shapes.push((platform, h.sparkline()));
+    }
+    if let Some((w, path)) = tracer.take() {
+        let n = w.counts().total();
+        w.finish().expect("flush trace file");
+        eprintln!("FIG2: wrote {} events to {}", n, path.display());
     }
     println!("{}", table.render());
     println!("Distribution shapes (0..1000 MBit/s):");

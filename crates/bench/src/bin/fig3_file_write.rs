@@ -9,8 +9,9 @@
 //!
 //! Run: `cargo run --release -p adcomp-bench --bin fig3_file_write [--quick]`
 
-use adcomp_bench::experiment_bytes;
+use adcomp_bench::{distribution_events, experiment_bytes, trace_path};
 use adcomp_metrics::{bps_to_mb, Table};
+use adcomp_trace::{JsonlWriter, RunManifest};
 use adcomp_vcloud::experiments::fig3_file_write;
 use adcomp_vcloud::Platform;
 
@@ -23,11 +24,20 @@ fn main() {
         "FIG3: file write throughput distribution, {} GB per platform, one sample per 20 MB\n",
         total / 1_000_000_000
     );
+    let mut tracer = trace_path().map(|p| {
+        (JsonlWriter::create(&p).expect("create trace file"), p)
+    });
     let mut table = Table::new(vec![
         "Platform", "n", "mean", "sd", "min", "q1", "median", "q3", "max",
     ]);
     for platform in Platform::ALL {
         let dist = fig3_file_write(platform, total, 42);
+        if let Some((w, _)) = tracer.as_mut() {
+            let manifest = RunManifest::new("fig3_file_write", 42)
+                .coord("platform", platform.name())
+                .volume(total);
+            w.write_run(&manifest, &distribution_events(&dist)).expect("write platform trace");
+        }
         let s = dist.summary();
         table.row(vec![
             platform.name().to_string(),
@@ -40,6 +50,11 @@ fn main() {
             format!("{:.1}", bps_to_mb(s.q3)),
             format!("{:.1}", bps_to_mb(s.max)),
         ]);
+    }
+    if let Some((w, path)) = tracer.take() {
+        let n = w.counts().total();
+        w.finish().expect("flush trace file");
+        eprintln!("FIG3: wrote {} events to {}", n, path.display());
     }
     println!("{}  (all values MB/s)", table.render());
     println!(

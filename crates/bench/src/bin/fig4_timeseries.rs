@@ -7,10 +7,14 @@
 //!
 //! Run: `cargo run --release -p adcomp-bench --bin fig4_timeseries [--quick]`
 
-use adcomp_bench::{experiment_bytes, probes_per_window, render_timeseries};
+use adcomp_bench::{
+    experiment_bytes, probes_per_window, render_timeseries, trace_path, write_run_trace,
+};
 use adcomp_core::model::RateBasedModel;
 use adcomp_corpus::Class;
-use adcomp_vcloud::{run_transfer, ConstantClass, SpeedModel, TransferConfig};
+use adcomp_trace::{MemorySink, RunManifest, TraceHandle};
+use adcomp_vcloud::{run_transfer_traced, ConstantClass, SpeedModel, TransferConfig};
+use std::sync::Arc;
 
 fn main() {
     let total = experiment_bytes();
@@ -21,12 +25,26 @@ fn main() {
         ..TransferConfig::paper_default()
     };
     let speed = SpeedModel::paper_fit();
-    let out = run_transfer(
+    let trace = trace_path();
+    let sink = trace.as_ref().map(|_| Arc::new(MemorySink::new()));
+    let handle = sink
+        .as_ref()
+        .map_or_else(TraceHandle::disabled, |s| TraceHandle::new(s.clone()));
+    let out = run_transfer_traced(
         &cfg,
         &speed,
         &mut ConstantClass(Class::High),
         Box::new(RateBasedModel::paper_default()),
+        handle,
     );
+    if let (Some(path), Some(sink)) = (trace, sink) {
+        let manifest = RunManifest::new("fig4_timeseries", cfg.seed)
+            .coord("class", Class::High.name())
+            .coord("flows", cfg.background_flows)
+            .cfg("model", "rate_based")
+            .volume(total);
+        write_run_trace(&path, &manifest, &sink.take());
+    }
 
     println!(
         "FIG4: adaptive scheme, HIGH data, no background traffic ({} GB, t = 2 s, α = 0.2)\n",

@@ -10,10 +10,12 @@
 //!
 //! Run: `cargo run --release -p adcomp-bench --bin fig6_switching [--quick]`
 
-use adcomp_bench::{experiment_bytes, render_timeseries};
+use adcomp_bench::{experiment_bytes, render_timeseries, trace_path, write_run_trace};
 use adcomp_core::model::RateBasedModel;
 use adcomp_corpus::Class;
-use adcomp_vcloud::{run_transfer, AlternatingClass, SpeedModel, TransferConfig};
+use adcomp_trace::{MemorySink, RunManifest, TraceHandle};
+use adcomp_vcloud::{run_transfer_traced, AlternatingClass, SpeedModel, TransferConfig};
+use std::sync::Arc;
 
 fn main() {
     // Phases must span dozens of epochs for the adaptation dynamics to show
@@ -29,7 +31,27 @@ fn main() {
     let speed = SpeedModel::paper_fit();
     let mut schedule =
         AlternatingClass { classes: vec![Class::High, Class::Low], period_bytes: period };
-    let out = run_transfer(&cfg, &speed, &mut schedule, Box::new(RateBasedModel::paper_default()));
+    let trace = trace_path();
+    let sink = trace.as_ref().map(|_| Arc::new(MemorySink::new()));
+    let handle = sink
+        .as_ref()
+        .map_or_else(TraceHandle::disabled, |s| TraceHandle::new(s.clone()));
+    let out = run_transfer_traced(
+        &cfg,
+        &speed,
+        &mut schedule,
+        Box::new(RateBasedModel::paper_default()),
+        handle,
+    );
+    if let (Some(path), Some(sink)) = (trace, sink) {
+        let manifest = RunManifest::new("fig6_switching", cfg.seed)
+            .coord("classes", "HIGH/LOW")
+            .coord("flows", cfg.background_flows)
+            .cfg("model", "rate_based")
+            .cfg("period_bytes", period)
+            .volume(total);
+        write_run_trace(&path, &manifest, &sink.take());
+    }
 
     println!(
         "FIG6: adaptive scheme, HIGH ↔ LOW every {} GB, no background traffic\n",

@@ -14,10 +14,13 @@
 //!
 //! Run: `cargo run --release -p adcomp-bench --bin table2_completion [--quick]`
 
-use adcomp_bench::table2::{cell, compute_grid, FLOW_SETTINGS};
-use adcomp_bench::{experiment_bytes, repetitions, runner, schemes, speed_model};
+use adcomp_bench::table2::{
+    cell, compute_grid, compute_grid_traced, write_cell_traces, FLOW_SETTINGS,
+};
+use adcomp_bench::{experiment_bytes, repetitions, runner, schemes, speed_model, trace_path};
 use adcomp_corpus::Class;
 use adcomp_metrics::{mean_sd_cell, Table};
+use adcomp_trace::JsonlWriter;
 
 /// Paper Table II reference values (seconds), `[flows][scheme][class]`.
 const PAPER: [[[f64; 3]; 5]; 4] = [
@@ -72,7 +75,22 @@ fn main() {
 
     // The whole grid fans out at once: 4 contention settings × 5 schemes ×
     // 3 classes = 60 independent cells.
-    let grid = compute_grid(total, reps, &speed, workers);
+    let grid = if let Some(path) = trace_path() {
+        let (grid, traces) = compute_grid_traced(total, reps, &speed, workers);
+        let mut w = JsonlWriter::create(&path).expect("create trace file");
+        write_cell_traces(&mut w, &traces).expect("write cell traces");
+        let counts = w.counts();
+        w.finish().expect("flush trace file");
+        eprintln!(
+            "TAB2: wrote {} cell traces ({} events) to {}",
+            traces.len(),
+            counts.total(),
+            path.display()
+        );
+        grid
+    } else {
+        compute_grid(total, reps, &speed, workers)
+    };
 
     for (flows, paper_block) in PAPER.iter().enumerate().take(FLOW_SETTINGS) {
         println!("-- {flows} concurrent TCP connection(s) --");

@@ -21,6 +21,67 @@ pub fn quick_mode() -> bool {
         || std::env::var("ADCOMP_QUICK").is_ok_and(|v| v == "1")
 }
 
+/// `--trace <path>` on any experiment binary: where to write the JSONL
+/// structured trace for the run, or `None` when tracing is off.
+pub fn trace_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            match args.next() {
+                Some(p) => return Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--trace requires a file path argument");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Serializes one run's manifest + events to a JSONL trace file and reports
+/// the event count on stderr (stdout stays machine-parseable). Shared by the
+/// single-transfer experiment binaries' `--trace` paths.
+pub fn write_run_trace(
+    path: &std::path::Path,
+    manifest: &adcomp_trace::RunManifest,
+    events: &[adcomp_trace::TraceEvent],
+) {
+    let mut w = adcomp_trace::JsonlWriter::create(path).expect("create trace file");
+    w.write_run(manifest, events).expect("write trace events");
+    let n = w.counts().total();
+    w.finish().expect("flush trace file");
+    eprintln!("trace: wrote {} events to {}", n, path.display());
+}
+
+/// Converts a throughput distribution's per-20 MB samples into `"sample"`
+/// sim events on a reconstructed virtual-time axis (cumulative seconds per
+/// sample interval). Used by the Figure 2/3 binaries' `--trace` paths,
+/// whose experiment generators return sample vectors rather than running an
+/// instrumented epoch driver.
+pub fn distribution_events(
+    dist: &adcomp_vcloud::experiments::ThroughputDistribution,
+) -> Vec<adcomp_trace::TraceEvent> {
+    use adcomp_vcloud::experiments::SAMPLE_INTERVAL_BYTES;
+    let mut t = 0.0f64;
+    dist.samples
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            t += SAMPLE_INTERVAL_BYTES as f64 / rate.max(1e-9);
+            adcomp_trace::SimEvent {
+                epoch: i as u64,
+                t,
+                kind: "sample",
+                flow: adcomp_trace::SimEvent::NO_FLOW,
+                value: rate,
+                aux: ((i as u64 + 1) * SAMPLE_INTERVAL_BYTES) as f64,
+            }
+            .into()
+        })
+        .collect()
+}
+
 /// Experiment volume in bytes: the paper's 50 GB, or 5 GB in quick mode.
 pub fn experiment_bytes() -> u64 {
     if quick_mode() {

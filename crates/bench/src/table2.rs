@@ -7,7 +7,10 @@ use crate::runner::run_cells_on;
 use crate::{make_model, schemes, to_paper_scale};
 use adcomp_corpus::Class;
 use adcomp_metrics::OnlineStats;
-use adcomp_vcloud::{run_transfer, ConstantClass, SpeedModel, TransferConfig};
+use adcomp_trace::{JsonlWriter, MemorySink, RunManifest, TraceEvent, TraceHandle};
+use adcomp_vcloud::{run_transfer_traced, ConstantClass, SpeedModel, TransferConfig};
+use std::io::Write;
+use std::sync::Arc;
 
 /// Number of contention settings (0..=3 concurrent TCP connections).
 pub const FLOW_SETTINGS: usize = 4;
@@ -32,6 +35,15 @@ fn coords(idx: usize, nschemes: usize, nclasses: usize) -> (usize, usize, usize)
     (idx / per_flow, (idx % per_flow) / nclasses, idx % nclasses)
 }
 
+/// Everything one traced grid cell produced: a manifest (seed, coordinates,
+/// config) plus every structured event its repetitions emitted, in
+/// deterministic virtual-time order.
+#[derive(Debug, Clone)]
+pub struct CellTrace {
+    pub manifest: RunManifest,
+    pub events: Vec<TraceEvent>,
+}
+
 /// Computes the full Table II grid on `workers` runner workers.
 ///
 /// Each cell's transfer seeds depend only on its own coordinates
@@ -39,14 +51,43 @@ fn coords(idx: usize, nschemes: usize, nclasses: usize) -> (usize, usize, usize)
 /// five schemes face identical contention draws (paired comparison, as in
 /// the paper) — making the grid bit-identical for any worker count.
 pub fn compute_grid(total: u64, reps: usize, speed: &SpeedModel, workers: usize) -> Vec<Tab2Cell> {
+    compute_grid_impl(total, reps, speed, workers, false).0
+}
+
+/// [`compute_grid`] with per-cell structured traces: every cell collects
+/// its events in a private [`MemorySink`] during the parallel phase, and
+/// the traces come back **in cell order**, so the serialized JSONL is
+/// byte-identical for any `workers` (all events carry virtual time only).
+pub fn compute_grid_traced(
+    total: u64,
+    reps: usize,
+    speed: &SpeedModel,
+    workers: usize,
+) -> (Vec<Tab2Cell>, Vec<CellTrace>) {
+    let (cells, traces) = compute_grid_impl(total, reps, speed, workers, true);
+    (cells, traces.into_iter().map(|t| t.expect("traced cell")).collect())
+}
+
+fn compute_grid_impl(
+    total: u64,
+    reps: usize,
+    speed: &SpeedModel,
+    workers: usize,
+    traced: bool,
+) -> (Vec<Tab2Cell>, Vec<Option<CellTrace>>) {
     let schemes = schemes();
     let nclasses = Class::ALL.len();
     let n = FLOW_SETTINGS * schemes.len() * nclasses;
-    run_cells_on(workers, n, |idx| {
+    let results = run_cells_on(workers, n, |idx| {
         let (flows, si, ci) = coords(idx, schemes.len(), nclasses);
-        let (_, level) = schemes[si];
+        let (name, level) = schemes[si];
         let class = Class::ALL[ci];
+        let sink = if traced { Some(Arc::new(MemorySink::new())) } else { None };
+        let trace = sink
+            .as_ref()
+            .map_or_else(TraceHandle::disabled, |s| TraceHandle::new(s.clone()));
         let mut stats = OnlineStats::new();
+        let base_seed = 1000 + flows as u64 * 31 + ci as u64;
         for rep in 0..reps {
             let cfg = TransferConfig {
                 total_bytes: total,
@@ -54,11 +95,44 @@ pub fn compute_grid(total: u64, reps: usize, speed: &SpeedModel, workers: usize)
                 seed: 1000 + rep as u64 * 7919 + flows as u64 * 31 + ci as u64,
                 ..TransferConfig::paper_default()
             };
-            let out = run_transfer(&cfg, speed, &mut ConstantClass(class), make_model(level));
+            let out = run_transfer_traced(
+                &cfg,
+                speed,
+                &mut ConstantClass(class),
+                make_model(level),
+                trace.clone(),
+            );
             stats.push(to_paper_scale(out.completion_secs));
         }
-        Tab2Cell { flows, scheme: si, class: ci, mean: stats.mean(), sd: stats.std_dev() }
-    })
+        let cell = Tab2Cell { flows, scheme: si, class: ci, mean: stats.mean(), sd: stats.std_dev() };
+        let trace = sink.map(|s| CellTrace {
+            manifest: RunManifest::new("table2_cell", base_seed)
+                .coord("flows", flows)
+                .coord("scheme", name)
+                .coord("class", class.name())
+                .cfg("reps", reps)
+                .cfg("epoch_secs", 2.0)
+                .cfg("block_len", 128 * 1024)
+                .volume(total),
+            events: s.take(),
+        });
+        (cell, trace)
+    });
+    results.into_iter().unzip()
+}
+
+/// Serializes per-cell traces as one JSONL stream: each cell contributes a
+/// `manifest` line (with event counts filled in) followed by its events.
+/// Cell order is the grid's canonical cell order, so the bytes are
+/// independent of worker count.
+pub fn write_cell_traces<W: Write>(
+    w: &mut JsonlWriter<W>,
+    traces: &[CellTrace],
+) -> std::io::Result<()> {
+    for t in traces {
+        w.write_run(&t.manifest, &t.events)?;
+    }
+    Ok(())
 }
 
 /// Looks up one cell of a grid produced by [`compute_grid`].

@@ -67,3 +67,46 @@ fn runner_cell_order_is_execution_independent() {
         assert_eq!(slot, *i);
     }
 }
+
+#[test]
+fn tab2_traced_jsonl_bit_identical_across_worker_counts() {
+    use adcomp_bench::table2::{compute_grid_traced, write_cell_traces};
+    use adcomp_trace::JsonlWriter;
+
+    let speed = SpeedModel::paper_fit();
+    let serialize = |workers: usize| -> Vec<u8> {
+        let (_, traces) = compute_grid_traced(TOTAL, REPS, &speed, workers);
+        let mut w = JsonlWriter::new(Vec::new());
+        write_cell_traces(&mut w, &traces).expect("serialize traces");
+        w.finish().expect("flush")
+    };
+    // The golden-trace contract: the serialized JSONL — manifests, event
+    // order, every float — is *byte*-identical for any worker count,
+    // because cells trace into private sinks (virtual time only) and
+    // serialize in canonical grid order.
+    let one = serialize(1);
+    let four = serialize(4);
+    assert!(!one.is_empty());
+    assert_eq!(one, four, "traced JSONL bytes diverged between 1 and 4 workers");
+
+    let text = String::from_utf8(one).expect("traces are UTF-8");
+    // One manifest per grid cell, stream starts with one.
+    let ncells = FLOW_SETTINGS * schemes().len() * Class::ALL.len();
+    assert!(text.starts_with("{\"ev\":\"manifest\""), "stream must open with a manifest");
+    let manifests = text.lines().filter(|l| l.starts_with("{\"ev\":\"manifest\"")).count();
+    assert_eq!(manifests, ncells);
+    // Every line passes the schema lint and is tagged with its event kind.
+    for (i, line) in text.lines().enumerate() {
+        let keys = adcomp_trace::json::validate_line(line)
+            .unwrap_or_else(|e| panic!("line {i} fails schema lint: {e}\n{line}"));
+        assert_eq!(keys.first().map(String::as_str), Some("ev"), "line {i}");
+    }
+    // The per-epoch DecisionCase sequence is present: every DYNAMIC cell
+    // starts from the algorithm's seed branch.
+    let seeds = text.lines().filter(|l| l.contains("\"case\":\"seed\"")).count();
+    let dynamic_cells = FLOW_SETTINGS * Class::ALL.len(); // one DYNAMIC scheme per (flows, class)
+    assert!(
+        seeds >= dynamic_cells,
+        "expected at least one seed decision per dynamic cell: {seeds} < {dynamic_cells}"
+    );
+}

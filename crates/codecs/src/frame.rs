@@ -21,6 +21,7 @@
 
 use crate::crc32::crc32;
 use crate::{codec_for, Codec, CodecError, CodecId, Result, Scratch};
+use adcomp_trace::{CodecEvent, NullSink, TraceEvent, TraceSink, NO_EPOCH};
 use std::io::{self, Read, Write};
 
 /// Frame magic bytes.
@@ -180,10 +181,20 @@ pub fn decode_block(input: &[u8], out: &mut Vec<u8>) -> Result<(FrameHeader, usi
 /// Holds both a reusable wire buffer and reusable codec working memory
 /// ([`Scratch`]), so steady-state block writing performs no heap
 /// allocation.
-pub struct FrameWriter<W: Write> {
+///
+/// The second type parameter is the trace sink (defaulting to the
+/// statically-disabled [`NullSink`]); with the default, every trace branch
+/// is dead code after monomorphization and the write path is bit- and
+/// allocation-identical to the untraced writer. An enabled sink receives
+/// one [`CodecEvent`] per block, tagged with the epoch/time mark last set
+/// via [`FrameWriter::set_trace_mark`].
+pub struct FrameWriter<W: Write, S: TraceSink = NullSink> {
     inner: W,
     wire_buf: Vec<u8>,
     codec_scratch: Scratch,
+    sink: S,
+    trace_epoch: u64,
+    trace_t: f64,
     /// Totals for reporting.
     pub app_bytes: u64,
     pub wire_bytes: u64,
@@ -192,20 +203,60 @@ pub struct FrameWriter<W: Write> {
 
 impl<W: Write> FrameWriter<W> {
     pub fn new(inner: W) -> Self {
+        FrameWriter::with_sink(inner, NullSink)
+    }
+}
+
+impl<W: Write, S: TraceSink> FrameWriter<W, S> {
+    /// A frame writer emitting one [`CodecEvent`] per block into `sink`.
+    pub fn with_sink(inner: W, sink: S) -> Self {
         FrameWriter {
             inner,
             wire_buf: Vec::new(),
             codec_scratch: Scratch::new(),
+            sink,
+            trace_epoch: NO_EPOCH,
+            trace_t: 0.0,
             app_bytes: 0,
             wire_bytes: 0,
             blocks: 0,
         }
     }
 
+    /// Replaces the trace sink (same sink type), keeping stream state.
+    pub fn set_sink(&mut self, sink: S) {
+        self.sink = sink;
+    }
+
+    /// Sets the epoch tag and timestamp stamped onto subsequent
+    /// [`CodecEvent`]s. The adaptive layer calls this as epochs roll over;
+    /// raw frame users may ignore it (events carry [`NO_EPOCH`]).
+    pub fn set_trace_mark(&mut self, epoch: u64, t: f64) {
+        self.trace_epoch = epoch;
+        self.trace_t = t;
+    }
+
     /// Encodes one block with the given codec and writes the frame.
     pub fn write_block(&mut self, codec: &dyn Codec, data: &[u8]) -> io::Result<BlockInfo> {
         self.wire_buf.clear();
-        let info = encode_block_with(&mut self.codec_scratch, codec, data, &mut self.wire_buf);
+        let info;
+        if self.sink.enabled() {
+            // Trace-only work (timestamping + event construction) lives
+            // entirely inside this branch, which `NullSink` compiles out.
+            let start = std::time::Instant::now();
+            info = encode_block_with(&mut self.codec_scratch, codec, data, &mut self.wire_buf);
+            self.sink.emit(&TraceEvent::Codec(CodecEvent {
+                epoch: self.trace_epoch,
+                t: self.trace_t,
+                level: codec.id().level_name(),
+                in_bytes: info.uncompressed_len as u64,
+                out_bytes: info.frame_len as u64,
+                compress_ns: start.elapsed().as_nanos() as u64,
+                raw_fallback: info.raw_fallback,
+            }));
+        } else {
+            info = encode_block_with(&mut self.codec_scratch, codec, data, &mut self.wire_buf);
+        }
         self.inner.write_all(&self.wire_buf)?;
         self.app_bytes += info.uncompressed_len as u64;
         self.wire_bytes += info.frame_len as u64;
@@ -451,6 +502,29 @@ mod tests {
         let mut r = FrameReader::new(&wire[..HEADER_LEN - 3]);
         let mut out = Vec::new();
         assert!(r.read_block(&mut out).is_err());
+    }
+
+    #[test]
+    fn traced_writer_emits_one_codec_event_per_block() {
+        use adcomp_trace::{MemorySink, TraceEvent};
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let mut w = FrameWriter::with_sink(Vec::new(), Arc::clone(&sink));
+        w.set_trace_mark(7, 14.5);
+        let data = b"traced block data, repeated for compression. ".repeat(50);
+        w.write_block(&QlzLightCodec, &data).unwrap();
+        w.write_block(&RawCodec, &data).unwrap();
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2);
+        let TraceEvent::Codec(first) = events[0] else { panic!("expected codec event") };
+        assert_eq!(first.epoch, 7);
+        assert_eq!(first.t, 14.5);
+        assert_eq!(first.level, "LIGHT");
+        assert_eq!(first.in_bytes, data.len() as u64);
+        assert!(first.out_bytes < first.in_bytes);
+        let TraceEvent::Codec(second) = events[1] else { panic!("expected codec event") };
+        assert_eq!(second.level, "NO");
+        assert_eq!(second.out_bytes, data.len() as u64 + HEADER_LEN as u64);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 /// Tuning parameters of the decision model.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "a config does nothing until a controller is built from it"]
 pub struct ControllerConfig {
     /// Relative dead-band α: rate changes within `α × pdr` count as "no
     /// change". The paper found 0.2 reasonable.
@@ -36,6 +37,31 @@ pub struct ControllerConfig {
 impl Default for ControllerConfig {
     fn default() -> Self {
         ControllerConfig { alpha: 0.2, num_levels: 4, max_backoff_exp: 16 }
+    }
+}
+
+impl ControllerConfig {
+    /// Hand-rolled JSON serialization (the build is offline; no serde).
+    /// Key order is fixed, so manifests embedding a config are
+    /// byte-deterministic.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = adcomp_trace::json::ObjWriter::new();
+        o.f64_field("alpha", self.alpha);
+        o.u64_field("num_levels", self.num_levels as u64);
+        o.u64_field("max_backoff_exp", self.max_backoff_exp as u64);
+        o.finish()
+    }
+
+    /// The config as ordered key/value pairs for
+    /// [`adcomp_trace::RunManifest`] `config` sections.
+    #[must_use]
+    pub fn to_kv(&self) -> Vec<(String, String)> {
+        vec![
+            ("alpha".to_string(), format!("{}", self.alpha)),
+            ("num_levels".to_string(), format!("{}", self.num_levels)),
+            ("max_backoff_exp".to_string(), format!("{}", self.max_backoff_exp)),
+        ]
     }
 }
 
@@ -54,8 +80,23 @@ pub enum DecisionCase {
     Degraded,
 }
 
+impl DecisionCase {
+    /// Stable lowercase name used in trace events and JSONL output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionCase::Seed => "seed",
+            DecisionCase::Stable => "stable",
+            DecisionCase::Probe => "probe",
+            DecisionCase::Improved => "improved",
+            DecisionCase::Degraded => "degraded",
+        }
+    }
+}
+
 /// Outcome of one epoch decision.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "dropping a Decision loses the DecisionCase the trace layer needs"]
 pub struct Decision {
     /// Level to apply for the next epoch.
     pub level: usize,
@@ -63,6 +104,9 @@ pub struct Decision {
     pub case: DecisionCase,
     /// The observed application data rate that drove the decision.
     pub cdr: f64,
+    /// The previous data rate the decision compared against (`None` on the
+    /// seeding call, where the paper sets `pdr := cdr`).
+    pub pdr: Option<f64>,
 }
 
 /// State of the paper's decision model (Table I variables).
@@ -125,6 +169,7 @@ impl RateController {
     /// This wraps Algorithm 1 plus the out-of-algorithm updates of `ccl`,
     /// `inc` and `pdr` described in the paper.
     pub fn observe(&mut self, cdr: f64) -> Decision {
+        let prev_pdr = self.pdr;
         let pdr = match self.pdr {
             Some(p) => p,
             None => {
@@ -182,7 +227,7 @@ impl RateController {
         }
         self.pdr = Some(cdr);
 
-        Decision { level: self.ccl, case, cdr }
+        Decision { level: self.ccl, case, cdr, pdr: prev_pdr }
     }
 
     /// Resets all adaptive state (fresh connection).
@@ -225,7 +270,7 @@ mod tests {
     #[test]
     fn improvement_rewards_level_with_backoff() {
         let mut c = ctl(4);
-        c.observe(100.0); // -> level 1
+        let _ = c.observe(100.0); // -> level 1
         let d = c.observe(200.0); // big improvement at level 1
         assert_eq!(d.case, DecisionCase::Improved);
         assert_eq!(d.level, 1, "improvement itself does not switch");
@@ -235,10 +280,10 @@ mod tests {
     #[test]
     fn degradation_reverts_within_one_epoch() {
         let mut c = ctl(4);
-        c.observe(100.0); // 0 -> 1
-        c.observe(200.0); // improved at 1
+        let _ = c.observe(100.0); // 0 -> 1
+        let _ = c.observe(200.0); // improved at 1
         // Stable epochs until probe to level 2 (backoff 2^1 = 2).
-        c.observe(200.0); // stable, c=1 < 2
+        let _ = c.observe(200.0); // stable, c=1 < 2
         let d = c.observe(200.0); // c=2 -> probe up to 2
         assert_eq!(d.level, 2);
         assert_eq!(d.case, DecisionCase::Probe);
@@ -252,8 +297,8 @@ mod tests {
     #[test]
     fn backoff_grows_probe_intervals_exponentially() {
         let mut c = ctl(4);
-        c.observe(100.0); // -> 1
-        c.observe(200.0); // improved, bck[1] = 1
+        let _ = c.observe(100.0); // -> 1
+        let _ = c.observe(200.0); // improved, bck[1] = 1
         // From now on the rate is flat at level 1; count epochs between
         // probes. After each probe + revert cycle bck[1] grows again.
         let mut probe_gaps = Vec::new();
@@ -288,7 +333,7 @@ mod tests {
     #[test]
     fn probe_reflects_at_bottom_boundary() {
         let mut c = ctl(4);
-        c.observe(100.0); // 0 -> 1 (probe)
+        let _ = c.observe(100.0); // 0 -> 1 (probe)
         let d = c.observe(50.0); // degraded -> revert to 0, inc=false
         assert_eq!(d.level, 0);
         assert!(!c.increasing());
@@ -301,8 +346,8 @@ mod tests {
     #[test]
     fn probe_reflects_at_top_boundary() {
         let mut c = ctl(2); // levels {0, 1}
-        c.observe(100.0); // 0 -> 1
-        c.observe(100.0); // stable at 1, c=1 >= 2^0 -> probe up, reflect to 0
+        let _ = c.observe(100.0); // 0 -> 1
+        let _ = c.observe(100.0); // stable at 1, c=1 >= 2^0 -> probe up, reflect to 0
         assert_eq!(c.level(), 0);
     }
 
@@ -317,7 +362,7 @@ mod tests {
     #[test]
     fn dead_band_alpha_suppresses_small_changes() {
         let mut c = ctl(4);
-        c.observe(100.0); // -> 1
+        let _ = c.observe(100.0); // -> 1
         // +15 % is within alpha = 0.2: stable case, not "improved".
         let d = c.observe(115.0);
         assert_ne!(d.case, DecisionCase::Improved);
@@ -329,8 +374,8 @@ mod tests {
     #[test]
     fn zero_rate_handled() {
         let mut c = ctl(4);
-        c.observe(0.0);
-        c.observe(0.0);
+        let _ = c.observe(0.0);
+        let _ = c.observe(0.0);
         let d = c.observe(0.0);
         // Never panics; stays within range.
         assert!(d.level < 4);
@@ -383,7 +428,7 @@ mod tests {
     fn reset_restores_initial_state() {
         let mut c = ctl(4);
         for r in [100.0, 180.0, 200.0, 210.0] {
-            c.observe(r);
+            let _ = c.observe(r);
         }
         c.reset();
         assert_eq!(c.level(), 0);
@@ -399,17 +444,52 @@ mod tests {
     }
 
     #[test]
+    fn decision_surfaces_pdr_and_case() {
+        let mut c = ctl(4);
+        let d = c.observe(100.0);
+        assert_eq!(d.pdr, None, "seeding call has no previous rate");
+        assert_eq!(d.case, DecisionCase::Seed);
+        assert_eq!(d.case.name(), "seed");
+        let d2 = c.observe(130.0);
+        assert_eq!(d2.pdr, Some(100.0), "second call compares against the first cdr");
+        assert_eq!(d2.cdr, 130.0);
+    }
+
+    #[test]
+    fn case_names_are_stable_and_distinct() {
+        let names: Vec<&str> = [
+            DecisionCase::Seed,
+            DecisionCase::Stable,
+            DecisionCase::Probe,
+            DecisionCase::Improved,
+            DecisionCase::Degraded,
+        ]
+        .into_iter()
+        .map(DecisionCase::name)
+        .collect();
+        assert_eq!(names, vec!["seed", "stable", "probe", "improved", "degraded"]);
+    }
+
+    #[test]
+    fn config_json_is_deterministic() {
+        let j = ControllerConfig::default().to_json();
+        assert_eq!(j, r#"{"alpha":0.2,"num_levels":4,"max_backoff_exp":16}"#);
+        let kv = ControllerConfig::default().to_kv();
+        assert_eq!(kv[0], ("alpha".to_string(), "0.2".to_string()));
+    }
+
+    #[test]
     fn backoff_exponent_capped() {
         let mut c = RateController::new(ControllerConfig {
             alpha: 0.2,
             num_levels: 4,
             max_backoff_exp: 3,
         });
-        c.observe(100.0); // -> 1
+        let _ = c.observe(100.0); // -> 1
         let mut rate = 100.0;
         for _ in 0..20 {
             rate *= 1.5; // perpetual improvement at level 1
-            c.observe(rate);
+            let _ = c.observe(rate);
         }
         assert_eq!(c.backoffs()[1], 3);
     }

@@ -50,6 +50,13 @@ impl<R: Read, W: Write> CompressedDuplex<R, W> {
         }
     }
 
+    /// Attaches a trace sink to the outbound adaptive channel (decision,
+    /// epoch and codec events); the inbound decode path has no decisions
+    /// to trace.
+    pub fn set_trace(&mut self, trace: adcomp_trace::TraceHandle) {
+        self.writer.set_trace(trace);
+    }
+
     /// Current outbound compression level.
     pub fn level(&self) -> usize {
         self.writer.level()

@@ -7,8 +7,12 @@
 //! and records the model's decision together with a level trace for the
 //! time-series figures.
 
+use crate::controller::DecisionCase;
 use crate::model::{DecisionModel, EpochObservation, GuestMetrics};
 use adcomp_metrics::{RateMeter, TimeSeries};
+use adcomp_trace::{
+    DecisionEvent, EpochEvent, TraceHandle, TraceSink as _, MAX_LEVELS,
+};
 use std::time::Instant;
 
 /// A monotonically nondecreasing time source in seconds.
@@ -79,6 +83,68 @@ pub struct EpochContext {
     pub data_entropy: Option<f64>,
 }
 
+/// Everything one completed epoch surfaced: the observation, the decision
+/// and — for rate-based models — the full Algorithm-1 detail that used to
+/// be computed and dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "an EpochStep carries the DecisionCase callers asked to surface"]
+pub struct EpochStep {
+    /// 0-based index of the epoch that just closed.
+    pub epoch: u64,
+    /// Time at the boundary (seconds).
+    pub t: f64,
+    /// Application data rate over the epoch (bytes/s).
+    pub rate: f64,
+    /// Epoch duration (seconds).
+    pub duration: f64,
+    /// Level in force during the epoch.
+    pub prev_level: usize,
+    /// Level chosen for the next epoch.
+    pub level: usize,
+    /// Algorithm-1 branch, when the model is rate-based.
+    pub case: Option<DecisionCase>,
+    /// The rate the decision consumed.
+    pub cdr: f64,
+    /// The previous rate it compared against, if any.
+    pub pdr: Option<f64>,
+    /// Backoff exponent table snapshot, if the model keeps one.
+    pub backoffs: Option<[u32; MAX_LEVELS]>,
+    /// Application bytes accounted to the epoch.
+    pub bytes: u64,
+    /// Number of levels the model drives.
+    pub num_levels: usize,
+}
+
+impl EpochStep {
+    /// The step as a trace [`EpochEvent`].
+    pub fn epoch_event(&self) -> EpochEvent {
+        EpochEvent {
+            epoch: self.epoch,
+            t: self.t,
+            duration: self.duration,
+            bytes: self.bytes,
+            rate: self.rate,
+            level: self.prev_level as u32,
+        }
+    }
+
+    /// The step as a trace [`DecisionEvent`] (`case` is `"static"` for
+    /// models without Algorithm-1 state).
+    pub fn decision_event(&self) -> DecisionEvent {
+        DecisionEvent {
+            epoch: self.epoch,
+            t: self.t,
+            cdr: self.cdr,
+            pdr: self.pdr.unwrap_or(f64::NAN),
+            ccl: self.level as u32,
+            prev_level: self.prev_level as u32,
+            case: self.case.map_or("static", DecisionCase::name),
+            backoffs: self.backoffs.unwrap_or([0; MAX_LEVELS]),
+            num_levels: self.num_levels.min(MAX_LEVELS) as u32,
+        }
+    }
+}
+
 /// Drives a [`DecisionModel`] from a stream of byte completions.
 pub struct EpochDriver {
     meter: RateMeter,
@@ -87,6 +153,7 @@ pub struct EpochDriver {
     level_trace: TimeSeries,
     rate_trace: TimeSeries,
     epochs: u64,
+    trace: TraceHandle,
 }
 
 impl EpochDriver {
@@ -103,7 +170,19 @@ impl EpochDriver {
             level_trace,
             rate_trace: TimeSeries::new(),
             epochs: 0,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attaches a trace sink; every completed epoch then emits an
+    /// [`EpochEvent`] followed by a [`DecisionEvent`].
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// The currently attached trace handle (disabled by default).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// Currently applied compression level.
@@ -134,38 +213,71 @@ impl EpochDriver {
     /// on an epoch boundary, consults the model. Returns the level to use
     /// for subsequent data.
     pub fn record(&mut self, app_bytes: u64, now: f64, ctx: &EpochContext) -> usize {
-        if let Some(epoch) = self.meter.record(app_bytes, now) {
-            self.on_epoch(epoch.rate, epoch.duration, now, ctx);
-        }
+        let _ = self.record_step(app_bytes, now, ctx);
         self.level
+    }
+
+    /// Like [`EpochDriver::record`], but surfaces the full [`EpochStep`]
+    /// when an epoch boundary was crossed instead of dropping it.
+    pub fn record_step(
+        &mut self,
+        app_bytes: u64,
+        now: f64,
+        ctx: &EpochContext,
+    ) -> Option<EpochStep> {
+        let epoch = self.meter.record(app_bytes, now)?;
+        Some(self.on_epoch(&epoch, now, ctx))
     }
 
     /// Forces an epoch check without new bytes (e.g. while stalled).
     pub fn poll(&mut self, now: f64, ctx: &EpochContext) -> usize {
-        if let Some(epoch) = self.meter.poll(now) {
-            self.on_epoch(epoch.rate, epoch.duration, now, ctx);
-        }
+        let _ = self.poll_step(now, ctx);
         self.level
     }
 
-    fn on_epoch(&mut self, rate: f64, duration: f64, now: f64, ctx: &EpochContext) {
+    /// Like [`EpochDriver::poll`], but surfaces the full [`EpochStep`].
+    pub fn poll_step(&mut self, now: f64, ctx: &EpochContext) -> Option<EpochStep> {
+        let epoch = self.meter.poll(now)?;
+        Some(self.on_epoch(&epoch, now, ctx))
+    }
+
+    fn on_epoch(&mut self, epoch: &adcomp_metrics::EpochRate, now: f64, ctx: &EpochContext) -> EpochStep {
         let obs = EpochObservation {
-            app_rate: rate,
-            epoch_secs: duration,
+            app_rate: epoch.rate,
+            epoch_secs: epoch.duration,
             queue_depth: ctx.queue_depth,
             queue_capacity: ctx.queue_capacity,
             guest: ctx.guest,
             observed_ratio: ctx.observed_ratio,
             data_entropy: ctx.data_entropy,
         };
-        let new_level = self.model.decide(&obs);
-        debug_assert!(new_level < self.model.num_levels());
+        let decision = self.model.decide_detailed(&obs);
+        debug_assert!(decision.level < self.model.num_levels());
+        let step = EpochStep {
+            epoch: self.epochs,
+            t: now,
+            rate: epoch.rate,
+            duration: epoch.duration,
+            prev_level: self.level,
+            level: decision.level,
+            case: decision.case,
+            cdr: decision.cdr,
+            pdr: decision.pdr,
+            backoffs: decision.backoffs,
+            bytes: epoch.bytes,
+            num_levels: self.model.num_levels(),
+        };
         self.epochs += 1;
-        self.rate_trace.push(now, rate);
-        if new_level != self.level {
-            self.level = new_level;
-            self.level_trace.push(now, new_level as f64);
+        self.rate_trace.push(now, epoch.rate);
+        if decision.level != self.level {
+            self.level = decision.level;
+            self.level_trace.push(now, decision.level as f64);
         }
+        if self.trace.enabled() {
+            self.trace.emit(&step.epoch_event().into());
+            self.trace.emit(&step.decision_event().into());
+        }
+        step
     }
 
     /// Total application bytes metered.
@@ -225,6 +337,60 @@ mod tests {
             assert_eq!(d.record(100, i as f64, &EpochContext::default()), 0);
         }
         assert_eq!(d.level_trace().len(), 1);
+    }
+
+    #[test]
+    fn record_step_surfaces_algorithm_state() {
+        let mut d = EpochDriver::new(Box::new(RateBasedModel::paper_default()), 2.0, 0.0);
+        assert!(d.record_step(1000, 0.5, &EpochContext::default()).is_none());
+        let step = d
+            .record_step(1000, 2.1, &EpochContext::default())
+            .expect("epoch boundary crossed");
+        assert_eq!(step.epoch, 0);
+        assert_eq!(step.prev_level, 0);
+        assert_eq!(step.level, 1, "first decision probes to level 1");
+        assert_eq!(step.case, Some(DecisionCase::Seed));
+        assert!(step.pdr.is_none(), "seeding epoch has no previous rate");
+        assert!(step.backoffs.is_some());
+        assert_eq!(step.bytes, 2000);
+        assert_eq!(step.num_levels, 4);
+        let ev = step.decision_event();
+        assert_eq!(ev.case, "seed");
+        assert!(ev.pdr.is_nan());
+        assert_eq!(ev.ccl, 1);
+    }
+
+    #[test]
+    fn static_model_step_reports_static_case() {
+        let mut d = EpochDriver::new(Box::new(StaticModel::new(2, 4)), 1.0, 0.0);
+        let step = d.poll_step(1.5, &EpochContext::default()).unwrap();
+        assert_eq!(step.case, None);
+        assert_eq!(step.decision_event().case, "static");
+        assert_eq!(step.level, 2);
+    }
+
+    #[test]
+    fn traced_driver_emits_epoch_then_decision_events() {
+        use adcomp_trace::{MemorySink, TraceEvent};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let mut d = EpochDriver::new(Box::new(RateBasedModel::paper_default()), 1.0, 0.0);
+        d.set_trace(TraceHandle::new(sink.clone()));
+        d.record(1000, 1.5, &EpochContext::default());
+        d.record(1000, 2.5, &EpochContext::default());
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 4, "one epoch + one decision event per epoch");
+        assert!(matches!(events[0], TraceEvent::Epoch(_)));
+        assert!(matches!(events[1], TraceEvent::Decision(_)));
+        if let TraceEvent::Decision(ev) = &events[1] {
+            assert_eq!(ev.epoch, 0);
+            assert_eq!(ev.case, "seed");
+        }
+        if let TraceEvent::Decision(ev) = &events[3] {
+            assert_eq!(ev.epoch, 1);
+            assert_ne!(ev.case, "seed");
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! (possibly distorted) guest metrics, which is exactly what makes them
 //! fragile in virtualized environments (paper §II).
 
-use crate::controller::{ControllerConfig, RateController};
+use crate::controller::{ControllerConfig, Decision, DecisionCase, RateController};
+use adcomp_trace::MAX_LEVELS;
 
 /// Guest-visible system metrics, as a VM's `/proc` would display them.
 /// In a cloud these can be wildly inaccurate — that is the paper's point.
@@ -56,6 +57,47 @@ impl EpochObservation {
     }
 }
 
+/// A fully-detailed model decision: the level plus everything the trace
+/// layer wants to know about *why*. Models that are not rate-based leave
+/// the optional fields `None`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "dropping a ModelDecision loses the decision detail the trace layer needs"]
+pub struct ModelDecision {
+    /// Level to apply for the next epoch.
+    pub level: usize,
+    /// Algorithm-1 branch, for rate-based models.
+    pub case: Option<DecisionCase>,
+    /// The rate the decision consumed (`cdr`).
+    pub cdr: f64,
+    /// The previous rate it compared against, if the model keeps one.
+    pub pdr: Option<f64>,
+    /// Snapshot of the per-level backoff exponent table, if the model
+    /// keeps one (first `num_levels` entries are meaningful).
+    pub backoffs: Option<[u32; MAX_LEVELS]>,
+}
+
+impl ModelDecision {
+    /// A detail-free decision (for models without Algorithm-1 state).
+    pub fn bare(level: usize, cdr: f64) -> Self {
+        ModelDecision { level, case: None, cdr, pdr: None, backoffs: None }
+    }
+
+    /// Builds the detailed decision from a [`RateController`] outcome.
+    fn from_controller(d: Decision, ctl: &RateController) -> Self {
+        let mut backoffs = [0u32; MAX_LEVELS];
+        for (slot, &b) in backoffs.iter_mut().zip(ctl.backoffs()) {
+            *slot = b;
+        }
+        ModelDecision {
+            level: d.level,
+            case: Some(d.case),
+            cdr: d.cdr,
+            pdr: d.pdr,
+            backoffs: Some(backoffs),
+        }
+    }
+}
+
 /// A compression-level decision policy, evaluated once per epoch.
 pub trait DecisionModel: Send {
     /// Short identifier used in tables (e.g. `DYNAMIC`, `NO`, `QUEUE`).
@@ -72,6 +114,15 @@ pub trait DecisionModel: Send {
 
     /// Returns the level to apply for the next epoch.
     fn decide(&mut self, obs: &EpochObservation) -> usize;
+
+    /// Like [`DecisionModel::decide`], but also surfaces the decision
+    /// detail (case, pdr, backoff snapshot) instead of dropping it. The
+    /// default adapts `decide` for models without such state; rate-based
+    /// models override it. Callers wanting traces must use this entry
+    /// point — calling both methods would advance the model twice.
+    fn decide_detailed(&mut self, obs: &EpochObservation) -> ModelDecision {
+        ModelDecision::bare(self.decide(obs), obs.app_rate)
+    }
 
     /// Resets internal state for a fresh stream.
     fn reset(&mut self) {}
@@ -106,7 +157,12 @@ impl DecisionModel for RateBasedModel {
     }
 
     fn decide(&mut self, obs: &EpochObservation) -> usize {
-        self.ctl.observe(obs.app_rate).level
+        self.decide_detailed(obs).level
+    }
+
+    fn decide_detailed(&mut self, obs: &EpochObservation) -> ModelDecision {
+        let d = self.ctl.observe(obs.app_rate);
+        ModelDecision::from_controller(d, &self.ctl)
     }
 
     fn reset(&mut self) {
@@ -157,6 +213,10 @@ impl DecisionModel for EntropyGuidedModel {
     }
 
     fn decide(&mut self, obs: &EpochObservation) -> usize {
+        self.decide_detailed(obs).level
+    }
+
+    fn decide_detailed(&mut self, obs: &EpochObservation) -> ModelDecision {
         if let Some(h) = obs.data_entropy {
             if let Some(prev) = self.last_entropy {
                 if (h - prev).abs() > self.entropy_threshold {
@@ -165,7 +225,8 @@ impl DecisionModel for EntropyGuidedModel {
             }
             self.last_entropy = Some(h);
         }
-        self.ctl.observe(obs.app_rate).level
+        let d = self.ctl.observe(obs.app_rate);
+        ModelDecision::from_controller(d, &self.ctl)
     }
 
     fn reset(&mut self) {
@@ -719,6 +780,40 @@ mod tests {
     #[should_panic(expected = "thresholds must descend")]
     fn sensor_model_rejects_unordered_thresholds() {
         SensorThresholdModel::new(4, vec![10e6, 40e6], 0.1);
+    }
+
+    #[test]
+    fn decide_detailed_surfaces_algorithm_state() {
+        let mut m = RateBasedModel::paper_default();
+        let d = m.decide_detailed(&obs(100.0));
+        assert_eq!(d.level, 1);
+        assert_eq!(d.case, Some(DecisionCase::Seed));
+        assert_eq!(d.pdr, None);
+        let bck = d.backoffs.expect("rate model snapshots backoffs");
+        assert_eq!(&bck[..4], &[0, 0, 0, 0]);
+        let d2 = m.decide_detailed(&obs(220.0));
+        assert_eq!(d2.case, Some(DecisionCase::Improved));
+        assert_eq!(d2.pdr, Some(100.0));
+        assert_eq!(d2.backoffs.unwrap()[1], 1, "reward went to level 1");
+    }
+
+    #[test]
+    fn decide_detailed_default_is_bare_for_simple_models() {
+        let mut s = StaticModel::new(2, 4);
+        let d = s.decide_detailed(&obs(50.0));
+        assert_eq!(d.level, 2);
+        assert_eq!(d.case, None);
+        assert_eq!(d.cdr, 50.0);
+        assert_eq!(d.backoffs, None);
+    }
+
+    #[test]
+    fn decide_and_decide_detailed_agree_on_rate_model() {
+        let mut a = RateBasedModel::paper_default();
+        let mut b = RateBasedModel::paper_default();
+        for rate in [100.0, 180.0, 180.0, 150.0, 60.0, 200.0] {
+            assert_eq!(a.decide(&obs(rate)), b.decide_detailed(&obs(rate)).level);
+        }
     }
 
     #[test]

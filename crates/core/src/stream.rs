@@ -14,6 +14,7 @@ use crate::epoch::{Clock, EpochContext, EpochDriver, WallClock};
 use crate::model::DecisionModel;
 use adcomp_codecs::frame::{FrameReader, FrameWriter, DEFAULT_BLOCK_LEN};
 use adcomp_codecs::LevelSet;
+use adcomp_trace::{TraceHandle, TraceSink as _};
 use std::io::{self, Read, Write};
 
 /// Aggregate statistics of an adaptive stream, for reporting.
@@ -44,7 +45,7 @@ impl StreamStats {
 
 /// Adaptive compressing writer.
 pub struct AdaptiveWriter<W: Write> {
-    frames: FrameWriter<W>,
+    frames: FrameWriter<W, TraceHandle>,
     levels: LevelSet,
     driver: EpochDriver,
     clock: Box<dyn Clock>,
@@ -80,7 +81,7 @@ impl<W: Write> AdaptiveWriter<W> {
         let now = clock.now();
         let nlevels = levels.len();
         AdaptiveWriter {
-            frames: FrameWriter::new(inner),
+            frames: FrameWriter::with_sink(inner, TraceHandle::disabled()),
             levels,
             driver: EpochDriver::new(model, epoch_secs, now),
             clock,
@@ -90,6 +91,14 @@ impl<W: Write> AdaptiveWriter<W> {
             raw_fallbacks: 0,
             last_block_ratio: None,
         }
+    }
+
+    /// Attaches a trace sink: the epoch driver emits epoch/decision events
+    /// and the frame writer emits per-block codec events tagged with the
+    /// epoch in force when the block was compressed.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.driver.set_trace(trace.clone());
+        self.frames.set_sink(trace);
     }
 
     /// Currently applied compression level.
@@ -119,6 +128,10 @@ impl<W: Write> AdaptiveWriter<W> {
         }
         let level = self.driver.level();
         let codec = self.levels.codec(level);
+        let now = self.clock.now();
+        if self.driver.trace().enabled() {
+            self.frames.set_trace_mark(self.driver.epochs(), now);
+        }
         let info = self.frames.write_block(codec, &self.buf)?;
         self.blocks_per_level[level] += 1;
         if info.raw_fallback {
@@ -131,7 +144,7 @@ impl<W: Write> AdaptiveWriter<W> {
             observed_ratio: self.last_block_ratio,
             ..EpochContext::default()
         };
-        self.driver.record(bytes, self.clock.now(), &ctx);
+        self.driver.record(bytes, now, &ctx);
         Ok(())
     }
 
@@ -339,6 +352,57 @@ mod tests {
         let (wire, stats) = w.finish().unwrap();
         assert!(stats.raw_fallbacks > 0);
         assert!(stats.wire_ratio() < 1.01);
+        let mut out = Vec::new();
+        AdaptiveReader::new(&wire[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn traced_stream_emits_codec_and_decision_events() {
+        use adcomp_trace::{MemorySink, TraceEvent, TraceHandle};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let clock = ManualClock::new();
+        let mut w = AdaptiveWriter::with_params(
+            Vec::new(),
+            levels(),
+            Box::new(RateBasedModel::paper_default()),
+            1024,
+            0.05,
+            Box::new(clock.clone()),
+        );
+        w.set_trace(TraceHandle::new(sink.clone()));
+        let data = b"traced stream payload with repetition repetition ".repeat(400);
+        for (i, chunk) in data.chunks(1024).enumerate() {
+            clock.set(i as f64 * 0.02);
+            w.write_all(chunk).unwrap();
+        }
+        let (wire, stats) = w.finish().unwrap();
+        assert!(stats.epochs > 2);
+        let events = sink.snapshot();
+        let codecs = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Codec(_)))
+            .count();
+        let decisions = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Decision(_)))
+            .count();
+        let epochs = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Epoch(_)))
+            .count();
+        assert_eq!(codecs as u64, stats.blocks_per_level.iter().sum::<u64>());
+        assert_eq!(decisions as u64, stats.epochs);
+        assert_eq!(epochs as u64, stats.epochs);
+        // Codec events are tagged with an epoch that has actually started.
+        for e in &events {
+            if let TraceEvent::Codec(c) = e {
+                assert!(c.epoch <= stats.epochs, "codec epoch {} out of range", c.epoch);
+            }
+        }
+        // The stream stays decodable with tracing attached.
         let mut out = Vec::new();
         AdaptiveReader::new(&wire[..]).read_to_end(&mut out).unwrap();
         assert_eq!(out, data);

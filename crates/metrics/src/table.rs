@@ -106,8 +106,11 @@ impl Table {
     }
 }
 
+/// RFC 4180 field escaping: quote any field containing a comma, quote,
+/// or line break (CR as well as LF — bare carriage returns would otherwise
+/// corrupt the row structure for strict readers), doubling embedded quotes.
 fn csv_escape(s: &str) -> String {
-    if s.contains([',', '"', '\n']) {
+    if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
@@ -147,6 +150,9 @@ mod tests {
         assert_eq!(csv_escape("plain"), "plain");
         assert_eq!(csv_escape("a,b"), "\"a,b\"");
         assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("line\nbreak"), "\"line\nbreak\"");
+        assert_eq!(csv_escape("carriage\rreturn"), "\"carriage\rreturn\"");
+        assert_eq!(csv_escape("crlf\r\nrow"), "\"crlf\r\nrow\"");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use adcomp_codecs::{LevelSet, Scratch};
 use adcomp_core::controller::ControllerConfig;
 use adcomp_core::epoch::{Clock, EpochContext, EpochDriver, WallClock};
 use adcomp_core::model::{DecisionModel, RateBasedModel, StaticModel};
+use adcomp_trace::{ChannelEvent, TraceHandle, TraceSink as _, NO_EPOCH};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::io::{Read, Write};
@@ -324,6 +325,7 @@ pub struct RecordWriter {
     frame_scratch: Vec<u8>,
     codec_scratch: Scratch,
     stats: ChannelStats,
+    trace: TraceHandle,
 }
 
 impl RecordWriter {
@@ -347,7 +349,16 @@ impl RecordWriter {
             frame_scratch: Vec::new(),
             codec_scratch: Scratch::new(),
             stats: ChannelStats { blocks_per_level: vec![0; nlevels], ..Default::default() },
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attaches a trace sink: the epoch driver emits epoch/decision events
+    /// and the channel emits one [`ChannelEvent`] per shipped block plus a
+    /// `"flush"` event for the explicit tail flush in [`RecordWriter::finish`].
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.driver.set_trace(trace.clone());
+        self.trace = trace;
     }
 
     /// Writes one record (any byte payload; may span blocks).
@@ -378,12 +389,34 @@ impl RecordWriter {
         }
         let level = self.driver.level();
         self.frame_scratch.clear();
-        let info = encode_block_with(
-            &mut self.codec_scratch,
-            self.levels.codec(level),
-            &self.buf,
-            &mut self.frame_scratch,
-        );
+        let info;
+        if self.trace.enabled() {
+            let start = std::time::Instant::now();
+            info = encode_block_with(
+                &mut self.codec_scratch,
+                self.levels.codec(level),
+                &self.buf,
+                &mut self.frame_scratch,
+            );
+            self.trace.emit(
+                &ChannelEvent {
+                    epoch: self.driver.epochs(),
+                    t: self.clock.now(),
+                    kind: "block",
+                    bytes: info.uncompressed_len as u64,
+                    wait_ns: start.elapsed().as_nanos() as u64,
+                    level: level as u32,
+                }
+                .into(),
+            );
+        } else {
+            info = encode_block_with(
+                &mut self.codec_scratch,
+                self.levels.codec(level),
+                &self.buf,
+                &mut self.frame_scratch,
+            );
+        }
         self.transport.send(&self.frame_scratch)?;
         self.stats.app_bytes += info.uncompressed_len as u64;
         self.stats.wire_bytes += info.frame_len as u64;
@@ -397,6 +430,19 @@ impl RecordWriter {
 
     /// Flushes the tail block and closes the channel; returns final stats.
     pub fn finish(mut self) -> Result<ChannelStats> {
+        if self.trace.enabled() {
+            self.trace.emit(
+                &ChannelEvent {
+                    epoch: self.driver.epochs(),
+                    t: self.clock.now(),
+                    kind: "flush",
+                    bytes: self.buf.len() as u64,
+                    wait_ns: 0,
+                    level: self.driver.level() as u32,
+                }
+                .into(),
+            );
+        }
         self.emit_block()?;
         self.transport.close()?;
         self.stats.epochs = self.driver.epochs();
@@ -416,6 +462,8 @@ pub struct RecordReader {
     pos: usize,
     eof: bool,
     stats: ChannelStats,
+    trace: TraceHandle,
+    started: std::time::Instant,
 }
 
 impl RecordReader {
@@ -426,7 +474,16 @@ impl RecordReader {
             pos: 0,
             eof: false,
             stats: ChannelStats::default(),
+            trace: TraceHandle::disabled(),
+            started: std::time::Instant::now(),
         }
+    }
+
+    /// Attaches a trace sink: the reader emits a `"stall"` [`ChannelEvent`]
+    /// (wait nanoseconds on the transport) for every block fetch. The
+    /// reader has no epoch driver, so events carry [`NO_EPOCH`].
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     fn ensure(&mut self, needed: usize) -> Result<bool> {
@@ -434,7 +491,25 @@ impl RecordReader {
             if self.eof {
                 return Ok(false);
             }
-            match self.source.recv()? {
+            let received = if self.trace.enabled() {
+                let start = std::time::Instant::now();
+                let received = self.source.recv()?;
+                self.trace.emit(
+                    &ChannelEvent {
+                        epoch: NO_EPOCH,
+                        t: self.started.elapsed().as_secs_f64(),
+                        kind: "stall",
+                        bytes: received.as_ref().map_or(0, |f| f.len() as u64),
+                        wait_ns: start.elapsed().as_nanos() as u64,
+                        level: 0,
+                    }
+                    .into(),
+                );
+                received
+            } else {
+                self.source.recv()?
+            };
+            match received {
                 Some(frame) => {
                     // Compact consumed prefix before appending.
                     if self.pos > 0 {
@@ -636,6 +711,60 @@ mod tests {
         assert_eq!(out, records);
         let stats = sender.join().unwrap();
         assert_eq!(stats.records, 100);
+    }
+
+    #[test]
+    fn traced_channel_emits_block_flush_and_stall_events() {
+        use adcomp_trace::{MemorySink, TraceEvent};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let (tx, rx) = mem_pair(1024);
+        let mut w = RecordWriter::new(
+            Box::new(tx),
+            &CompressionMode::Static(1),
+            LevelSet::paper_default(),
+            2.0,
+        );
+        w.set_trace(TraceHandle::new(sink.clone()));
+        let records: Vec<Vec<u8>> = (0..200)
+            .map(|_| b"channel trace payload, repetitive. ".repeat(40).to_vec())
+            .collect();
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        let stats = w.finish().unwrap();
+
+        let mut reader = RecordReader::new(Box::new(rx));
+        reader.set_trace(TraceHandle::new(sink.clone()));
+        let mut n = 0;
+        while reader.next_record().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 200);
+
+        let events = sink.snapshot();
+        let channel_kinds: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Channel(c) => Some(c.kind),
+                _ => None,
+            })
+            .collect();
+        let blocks = channel_kinds.iter().filter(|k| **k == "block").count() as u64;
+        assert_eq!(blocks, stats.blocks_per_level.iter().sum::<u64>());
+        assert_eq!(channel_kinds.iter().filter(|k| **k == "flush").count(), 1);
+        // One stall per block fetch plus the terminal EOF fetch.
+        let stalls = channel_kinds.iter().filter(|k| **k == "stall").count() as u64;
+        assert_eq!(stalls, blocks + 1);
+        for e in &events {
+            if let TraceEvent::Channel(c) = e {
+                if c.kind == "block" {
+                    assert_eq!(c.level, 1);
+                    assert!(c.bytes > 0);
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! # adcomp-trace — zero-cost-when-disabled structured tracing
+//!
+//! The paper's core claim is that guest-visible metrics lie under shared
+//! I/O, so the adaptive controller must be judged *only* by what it
+//! observed (cdr/pdr) and what it decided (Algorithm 1 branches). This
+//! crate makes those observations and decisions first-class, durable
+//! artifacts:
+//!
+//! * [`events`] — the typed, `Copy`, epoch-tagged event taxonomy:
+//!   [`DecisionEvent`], [`EpochEvent`], [`CodecEvent`], [`SimEvent`],
+//!   [`ChannelEvent`];
+//! * [`sink`] — the [`TraceSink`] trait, the statically-disabled
+//!   [`NullSink`], the in-memory [`MemorySink`], the dynamic
+//!   [`TraceHandle`] and [`TeeSink`];
+//! * [`ring`] — a fixed-capacity [`RingSink`] flight recorder with a
+//!   lock-free generation claim;
+//! * [`jsonl`] — JSONL serialization ([`JsonlWriter`]) and the live
+//!   [`JsonlSink`];
+//! * [`prom`] — Prometheus-text snapshots ([`PromSnapshot`],
+//!   [`TraceStats`]) built on `adcomp-metrics` instruments;
+//! * [`timeline`] — the ASCII Fig.-5-style level-over-time renderer;
+//! * [`manifest`] — per-run/per-cell [`RunManifest`]s so any table cell
+//!   can be replayed and inspected;
+//! * [`diag`] — the stderr [`progress!`](crate::progress) channel that
+//!   keeps experiment stdout machine-parseable;
+//! * [`json`] — the hand-rolled (offline, serde-free) JSON layer and the
+//!   JSONL schema validator the lint tool uses.
+//!
+//! ## Overhead contract
+//!
+//! Instrumentation points are generic over `S: TraceSink` (default
+//! [`NullSink`]) or take a [`TraceHandle`]. All trace-only work —
+//! timestamping, event construction, emission — must be gated on
+//! `sink.enabled()`. `NullSink::enabled()` is a constant `false`, so
+//! disabled tracing monomorphizes to the untraced code: the codecs
+//! zero-alloc test and the `compress_scratch` bench guard hold with
+//! tracing compiled in.
+
+pub mod diag;
+pub mod events;
+pub mod json;
+pub mod jsonl;
+pub mod manifest;
+pub mod prom;
+pub mod ring;
+pub mod sink;
+pub mod timeline;
+
+pub use events::{
+    ChannelEvent, CodecEvent, DecisionEvent, EpochEvent, EventCounts, SimEvent, TraceEvent,
+    MAX_LEVELS, NO_EPOCH,
+};
+pub use jsonl::{JsonlSink, JsonlWriter};
+pub use manifest::RunManifest;
+pub use prom::{PromSnapshot, TraceStats};
+pub use ring::RingSink;
+pub use sink::{MemorySink, NullSink, TeeSink, TraceHandle, TraceSink};
+pub use timeline::{render_level_timeline, TimelineOptions};

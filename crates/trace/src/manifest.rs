@@ -1,0 +1,111 @@
+//! Exportable run manifests.
+//!
+//! One manifest describes one traced run (or one experiment-grid cell):
+//! its name, RNG seed, grid coordinates, configuration, data volume and
+//! per-kind event counts. A manifest line precedes the run's events in a
+//! JSONL trace, so any table cell can be located, replayed (same seed +
+//! coordinates + config) and inspected without re-running the whole grid.
+//!
+//! Coordinates and config are ordered key/value lists — order is part of
+//! the serialized bytes, keeping traces deterministic.
+
+use crate::events::EventCounts;
+use crate::json::ObjWriter;
+
+/// See module docs.
+#[derive(Debug, Clone, PartialEq)]
+#[must_use = "a manifest does nothing until written to a trace"]
+pub struct RunManifest {
+    /// Run/cell identifier, e.g. `"table2/flows=2/DYNAMIC/TEXT"`.
+    pub name: String,
+    /// The seed that reproduces the run.
+    pub seed: u64,
+    /// Grid coordinates as ordered key/value pairs
+    /// (e.g. `[("flows","2"),("scheme","DYNAMIC"),("class","TEXT")]`).
+    pub coordinates: Vec<(String, String)>,
+    /// Configuration as ordered key/value pairs (numbers pre-formatted).
+    pub config: Vec<(String, String)>,
+    /// Application bytes the run transfers (0 if not applicable).
+    pub volume_bytes: u64,
+    /// Per-kind event counts for the run's events.
+    pub event_counts: EventCounts,
+}
+
+impl RunManifest {
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        RunManifest {
+            name: name.into(),
+            seed,
+            coordinates: Vec::new(),
+            config: Vec::new(),
+            volume_bytes: 0,
+            event_counts: EventCounts::default(),
+        }
+    }
+
+    /// Appends one grid coordinate (builder style).
+    pub fn coord(mut self, key: &str, value: impl ToString) -> Self {
+        self.coordinates.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Appends one config entry (builder style).
+    pub fn cfg(mut self, key: &str, value: impl ToString) -> Self {
+        self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Sets the transfer volume (builder style).
+    pub fn volume(mut self, bytes: u64) -> Self {
+        self.volume_bytes = bytes;
+        self
+    }
+
+    /// Serializes as one JSON object with `"ev":"manifest"` first.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = ObjWriter::new();
+        o.str_field("ev", "manifest");
+        o.str_field("name", &self.name);
+        o.u64_field("seed", self.seed);
+        o.raw_field("coordinates", &kv_json(&self.coordinates));
+        o.raw_field("config", &kv_json(&self.config));
+        o.u64_field("volume_bytes", self.volume_bytes);
+        o.raw_field("events", &self.event_counts.to_json());
+        o.finish()
+    }
+}
+
+fn kv_json(kvs: &[(String, String)]) -> String {
+    let mut o = ObjWriter::new();
+    for (k, v) in kvs {
+        o.str_field(k, v);
+    }
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_line;
+
+    #[test]
+    fn manifest_serializes_in_declared_order() {
+        let m = RunManifest::new("table2/cell", 1234)
+            .coord("flows", 2)
+            .coord("scheme", "DYNAMIC")
+            .coord("class", "TEXT")
+            .cfg("epoch_secs", 2.0)
+            .cfg("block_len", 131072)
+            .volume(5_000_000_000);
+        let j = m.to_json();
+        let keys = validate_line(&j).unwrap();
+        assert_eq!(
+            keys,
+            vec!["ev", "name", "seed", "coordinates", "config", "volume_bytes", "events"]
+        );
+        assert!(j.starts_with("{\"ev\":\"manifest\",\"name\":\"table2/cell\",\"seed\":1234"));
+        assert!(j.contains("\"coordinates\":{\"flows\":\"2\",\"scheme\":\"DYNAMIC\",\"class\":\"TEXT\"}"));
+        assert!(j.contains("\"epoch_secs\":\"2\""));
+    }
+}

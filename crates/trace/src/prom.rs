@@ -1,0 +1,388 @@
+//! Prometheus-style text exposition snapshot.
+//!
+//! Renders counters, gauges and histograms in the Prometheus text format
+//! (`# HELP` / `# TYPE` headers, cumulative `_bucket{le=…}` series), built
+//! on the workspace's own instruments — `metrics::{OnlineStats, Histogram,
+//! P2Quantile}` — rather than a client library. [`TraceStats`] aggregates
+//! a slice of trace events into such a snapshot, which is what
+//! `adcomp trace` prints after rendering the timeline.
+
+use crate::events::TraceEvent;
+use adcomp_metrics::{Histogram, OnlineStats, P2Quantile};
+use std::fmt::Write as _;
+
+/// A set of metric families, rendered in registration order.
+#[derive(Debug, Default)]
+pub struct PromSnapshot {
+    out: String,
+    /// Families already announced (name -> headers written).
+    seen: Vec<String>,
+}
+
+impl PromSnapshot {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        if !self.seen.iter().any(|s| s == name) {
+            let _ = writeln!(self.out, "# HELP {name} {help}");
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+            self.seen.push(name.to_string());
+        }
+    }
+
+    fn labels(labels: &[(&str, &str)]) -> String {
+        if labels.is_empty() {
+            return String::new();
+        }
+        let mut s = String::from("{");
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let escaped = v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+            let _ = write!(s, "{k}=\"{escaped}\"");
+        }
+        s.push('}');
+        s
+    }
+
+    fn value(x: f64) -> String {
+        if x.is_nan() {
+            "NaN".to_string()
+        } else if x == f64::INFINITY {
+            "+Inf".to_string()
+        } else if x == f64::NEG_INFINITY {
+            "-Inf".to_string()
+        } else {
+            format!("{x}")
+        }
+    }
+
+    /// A monotonically increasing counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], v: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name}{} {v}", Self::labels(labels));
+    }
+
+    /// A gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], v: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name}{} {}", Self::labels(labels), Self::value(v));
+    }
+
+    /// A full histogram family from a [`Histogram`]: cumulative
+    /// `_bucket{le=…}` series (upper bucket edges), `+Inf`, `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.header(name, help, "histogram");
+        let counts = h.counts();
+        let mids = h.midpoints();
+        let width = if mids.len() >= 2 { mids[1] - mids[0] } else { 0.0 };
+        let mut cum = h.underflow;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            let upper = mids[i] + width / 2.0;
+            let mut ls: Vec<(&str, &str)> = labels.to_vec();
+            let le = Self::value(upper);
+            ls.push(("le", &le));
+            let _ = writeln!(self.out, "{name}_bucket{} {cum}", Self::labels(&ls));
+        }
+        let mut ls: Vec<(&str, &str)> = labels.to_vec();
+        ls.push(("le", "+Inf"));
+        let _ = writeln!(self.out, "{name}_bucket{} {}", Self::labels(&ls), h.total());
+        let _ = writeln!(self.out, "{name}_count{} {}", Self::labels(labels), h.total());
+    }
+
+    /// Summary-style gauges from an [`OnlineStats`]: `_mean`, `_stddev`,
+    /// `_min`, `_max` gauges plus a `_count` counter.
+    pub fn stats(&mut self, name: &str, help: &str, labels: &[(&str, &str)], s: &OnlineStats) {
+        if s.count() == 0 {
+            return;
+        }
+        for (suffix, v) in [
+            ("mean", s.mean()),
+            ("stddev", s.std_dev()),
+            ("min", s.min()),
+            ("max", s.max()),
+        ] {
+            self.gauge(&format!("{name}_{suffix}"), help, labels, v);
+        }
+        self.counter(&format!("{name}_count"), help, labels, s.count());
+    }
+
+    /// A streaming quantile estimate as a `{quantile="…"}` gauge sample.
+    pub fn quantile(&mut self, name: &str, help: &str, labels: &[(&str, &str)], q: &P2Quantile) {
+        if q.count() == 0 {
+            return;
+        }
+        let mut ls: Vec<(&str, &str)> = labels.to_vec();
+        let qs = format!("{}", q.q());
+        ls.push(("quantile", &qs));
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name}{} {}", Self::labels(&ls), Self::value(q.estimate()));
+    }
+
+    /// The rendered exposition text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.out.clone()
+    }
+}
+
+/// Aggregates a run's events into the standard `adcomp_trace_*` metric
+/// families.
+#[derive(Debug)]
+pub struct TraceStats {
+    counts: [(&'static str, u64); 5],
+    case_counts: Vec<(&'static str, u64)>,
+    level_epochs: Vec<(u32, u64)>,
+    cdr: OnlineStats,
+    epoch_rate: OnlineStats,
+    rate_p50: P2Quantile,
+    rate_p95: P2Quantile,
+    compress_us: Histogram,
+    codec_in: u64,
+    codec_out: u64,
+    raw_fallbacks: u64,
+    stalls: u64,
+    stall_ns: u64,
+}
+
+impl TraceStats {
+    /// Aggregates `events` (typically one run's slice).
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut s = TraceStats {
+            counts: [("decision", 0), ("epoch", 0), ("codec", 0), ("sim", 0), ("channel", 0)],
+            case_counts: Vec::new(),
+            level_epochs: Vec::new(),
+            cdr: OnlineStats::new(),
+            epoch_rate: OnlineStats::new(),
+            rate_p50: P2Quantile::new(0.5),
+            rate_p95: P2Quantile::new(0.95),
+            compress_us: Histogram::new(0.0, 20_000.0, 40),
+            codec_in: 0,
+            codec_out: 0,
+            raw_fallbacks: 0,
+            stalls: 0,
+            stall_ns: 0,
+        };
+        for ev in events {
+            match ev {
+                TraceEvent::Decision(e) => {
+                    s.counts[0].1 += 1;
+                    s.cdr.push(e.cdr);
+                    bump(&mut s.case_counts, e.case);
+                    bump_level(&mut s.level_epochs, e.ccl);
+                }
+                TraceEvent::Epoch(e) => {
+                    s.counts[1].1 += 1;
+                    if e.rate.is_finite() {
+                        s.epoch_rate.push(e.rate);
+                        s.rate_p50.push(e.rate);
+                        s.rate_p95.push(e.rate);
+                    }
+                }
+                TraceEvent::Codec(e) => {
+                    s.counts[2].1 += 1;
+                    s.codec_in += e.in_bytes;
+                    s.codec_out += e.out_bytes;
+                    s.raw_fallbacks += e.raw_fallback as u64;
+                    s.compress_us.push(e.compress_ns as f64 / 1_000.0);
+                }
+                TraceEvent::Sim(_) => s.counts[3].1 += 1,
+                TraceEvent::Channel(e) => {
+                    s.counts[4].1 += 1;
+                    if e.kind == "stall" {
+                        s.stalls += 1;
+                        s.stall_ns += e.wait_ns;
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Renders the aggregate as a Prometheus text snapshot.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut p = PromSnapshot::new();
+        for (kind, n) in self.counts {
+            p.counter("adcomp_trace_events_total", "Trace events by kind.", &[("kind", kind)], n);
+        }
+        for (case, n) in &self.case_counts {
+            p.counter(
+                "adcomp_decision_cases_total",
+                "Algorithm-1 decision branches taken.",
+                &[("case", case)],
+                *n,
+            );
+        }
+        for (level, n) in &self.level_epochs {
+            let l = format!("{level}");
+            p.counter(
+                "adcomp_level_epochs_total",
+                "Epochs spent at each compression level.",
+                &[("level", &l)],
+                *n,
+            );
+        }
+        p.stats("adcomp_cdr_bytes_per_second", "Observed current data rate.", &[], &self.cdr);
+        p.stats(
+            "adcomp_epoch_rate_bytes_per_second",
+            "Per-epoch application data rate.",
+            &[],
+            &self.epoch_rate,
+        );
+        p.quantile(
+            "adcomp_epoch_rate_quantile",
+            "Streaming epoch-rate quantiles (P2).",
+            &[],
+            &self.rate_p50,
+        );
+        p.quantile(
+            "adcomp_epoch_rate_quantile",
+            "Streaming epoch-rate quantiles (P2).",
+            &[],
+            &self.rate_p95,
+        );
+        if self.counts[2].1 > 0 {
+            p.counter("adcomp_codec_in_bytes_total", "Bytes fed to codecs.", &[], self.codec_in);
+            p.counter(
+                "adcomp_codec_out_bytes_total",
+                "Bytes produced on the wire.",
+                &[],
+                self.codec_out,
+            );
+            p.counter(
+                "adcomp_codec_raw_fallbacks_total",
+                "Blocks that fell back to raw frames.",
+                &[],
+                self.raw_fallbacks,
+            );
+            p.histogram(
+                "adcomp_codec_compress_microseconds",
+                "Per-block compression time.",
+                &[],
+                &self.compress_us,
+            );
+        }
+        if self.stalls > 0 {
+            p.counter("adcomp_channel_stalls_total", "Record-channel reader stalls.", &[], self.stalls);
+            p.counter(
+                "adcomp_channel_stall_nanoseconds_total",
+                "Total nanoseconds stalled.",
+                &[],
+                self.stall_ns,
+            );
+        }
+        p.render()
+    }
+}
+
+fn bump(v: &mut Vec<(&'static str, u64)>, key: &'static str) {
+    if let Some(e) = v.iter_mut().find(|(k, _)| *k == key) {
+        e.1 += 1;
+    } else {
+        v.push((key, 1));
+    }
+}
+
+fn bump_level(v: &mut Vec<(u32, u64)>, level: u32) {
+    if let Some(e) = v.iter_mut().find(|(k, _)| *k == level) {
+        e.1 += 1;
+    } else {
+        v.push((level, 1));
+        v.sort_by_key(|(k, _)| *k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{CodecEvent, DecisionEvent, EpochEvent, MAX_LEVELS};
+
+    fn decision(epoch: u64, case: &'static str, ccl: u32, cdr: f64) -> TraceEvent {
+        DecisionEvent {
+            epoch,
+            t: epoch as f64 * 2.0,
+            cdr,
+            pdr: if epoch == 0 { f64::NAN } else { cdr * 0.9 },
+            ccl,
+            prev_level: ccl,
+            case,
+            backoffs: [0; MAX_LEVELS],
+            num_levels: 4,
+        }
+        .into()
+    }
+
+    #[test]
+    fn snapshot_format_is_prometheus_text() {
+        let mut p = PromSnapshot::new();
+        p.counter("adcomp_x_total", "Help text.", &[("k", "v")], 3);
+        p.counter("adcomp_x_total", "Help text.", &[("k", "w")], 4);
+        p.gauge("adcomp_g", "A gauge.", &[], 1.5);
+        let text = p.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "# HELP adcomp_x_total Help text.");
+        assert_eq!(lines[1], "# TYPE adcomp_x_total counter");
+        assert_eq!(lines[2], "adcomp_x_total{k=\"v\"} 3");
+        // Second sample of the same family must NOT repeat headers.
+        assert_eq!(lines[3], "adcomp_x_total{k=\"w\"} 4");
+        assert_eq!(lines[4], "# HELP adcomp_g A gauge.");
+        assert_eq!(lines[5], "# TYPE adcomp_g gauge");
+        assert_eq!(lines[6], "adcomp_g 1.5");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        for x in [1.0, 2.0, 7.0, 100.0] {
+            h.push(x);
+        }
+        let mut p = PromSnapshot::new();
+        p.histogram("adcomp_h", "H.", &[], &h);
+        let text = p.render();
+        assert!(text.contains("adcomp_h_bucket{le=\"5\"} 2"), "{text}");
+        assert!(text.contains("adcomp_h_bucket{le=\"10\"} 3"), "{text}");
+        assert!(text.contains("adcomp_h_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("adcomp_h_count 4"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = PromSnapshot::new();
+        p.gauge("adcomp_g", "G.", &[("name", "a\"b\\c\nd")], 1.0);
+        assert!(p.render().contains(r#"name="a\"b\\c\nd""#), "{}", p.render());
+    }
+
+    #[test]
+    fn trace_stats_aggregates_cases_and_levels() {
+        let events = vec![
+            decision(0, "seed", 3, 1e6),
+            decision(1, "degraded", 2, 8e5),
+            decision(2, "stable", 2, 9e5),
+            EpochEvent { epoch: 0, t: 2.0, duration: 2.0, bytes: 2_000_000, rate: 1e6, level: 3 }
+                .into(),
+            CodecEvent {
+                epoch: 0,
+                t: 1.0,
+                level: "HEAVY",
+                in_bytes: 1000,
+                out_bytes: 400,
+                compress_ns: 5_000,
+                raw_fallback: true,
+            }
+            .into(),
+        ];
+        let text = TraceStats::from_events(&events).render();
+        assert!(text.contains("adcomp_trace_events_total{kind=\"decision\"} 3"), "{text}");
+        assert!(text.contains("adcomp_decision_cases_total{case=\"seed\"} 1"), "{text}");
+        assert!(text.contains("adcomp_decision_cases_total{case=\"degraded\"} 1"), "{text}");
+        assert!(text.contains("adcomp_level_epochs_total{level=\"2\"} 2"), "{text}");
+        assert!(text.contains("adcomp_codec_raw_fallbacks_total 1"), "{text}");
+        assert!(text.contains("adcomp_cdr_bytes_per_second_mean"), "{text}");
+        assert!(text.contains("quantile=\"0.5\""), "{text}");
+    }
+}

@@ -22,6 +22,7 @@ use crate::speed::SpeedModel;
 use adcomp_core::epoch::{EpochContext, EpochDriver};
 use adcomp_core::model::DecisionModel;
 use adcomp_corpus::Class;
+use adcomp_trace::{SimEvent, TraceHandle, TraceSink as _};
 
 /// One sender in the shared-link scenario.
 pub struct FlowSpec {
@@ -129,6 +130,20 @@ pub fn run_multiflow(
     speed: &SpeedModel,
     flows: Vec<FlowSpec>,
 ) -> MultiFlowOutcome {
+    run_multiflow_traced(cfg, speed, flows, TraceHandle::disabled())
+}
+
+/// [`run_multiflow`] with a trace sink: emits `flow_join` / `flow_leave`
+/// lifecycle events per flow and a periodic `link_arbitration` sample
+/// (active-flow count + per-flow share) so the arbitration behaviour that
+/// used to be invisible is reconstructible from the trace. All timestamps
+/// are virtual time.
+pub fn run_multiflow_traced(
+    cfg: &MultiFlowConfig,
+    speed: &SpeedModel,
+    flows: Vec<FlowSpec>,
+    trace: TraceHandle,
+) -> MultiFlowOutcome {
     assert!(!flows.is_empty());
     assert!(
         cfg.quantum_secs > 0.0 && cfg.quantum_secs <= cfg.epoch_secs / 4.0,
@@ -165,8 +180,25 @@ pub fn run_multiflow(
         })
         .collect();
 
+    if trace.enabled() {
+        for (i, s) in states.iter().enumerate() {
+            trace.emit(
+                &SimEvent {
+                    epoch: 0,
+                    t: 0.0,
+                    kind: "flow_join",
+                    flow: i as u32,
+                    value: s.total_bytes as f64,
+                    aux: 0.0,
+                }
+                .into(),
+            );
+        }
+    }
+
     let dt = cfg.quantum_secs;
     let mut t = 0.0f64;
+    let mut next_arb_emit = 0.0f64;
     let hard_stop = 1e7; // virtual-seconds safety net
     loop {
         let all_done = states
@@ -207,13 +239,42 @@ pub fn run_multiflow(
         let active: usize = states.iter().filter(|s| s.queue_bytes > 0.0).count();
         if active > 0 {
             let share = base_bw * fluct.factor_at(t) / active as f64;
-            for s in states.iter_mut() {
+            if trace.enabled() && t >= next_arb_emit {
+                // Sampled once per epoch interval so trace volume tracks
+                // epochs, not fluid quanta.
+                trace.emit(
+                    &SimEvent {
+                        epoch: (t / cfg.epoch_secs) as u64,
+                        t,
+                        kind: "link_arbitration",
+                        flow: SimEvent::NO_FLOW,
+                        value: share,
+                        aux: active as f64,
+                    }
+                    .into(),
+                );
+                next_arb_emit = t + cfg.epoch_secs;
+            }
+            for (i, s) in states.iter_mut().enumerate() {
                 if s.queue_bytes > 0.0 {
                     let drained = (share * dt).min(s.queue_bytes);
                     s.queue_bytes -= drained;
                     if s.queue_bytes <= 1e-6 && s.produced >= s.total_bytes {
                         s.queue_bytes = 0.0;
-                        s.done_at.get_or_insert(t + dt);
+                        let leave_t = *s.done_at.get_or_insert(t + dt);
+                        if trace.enabled() {
+                            trace.emit(
+                                &SimEvent {
+                                    epoch: (leave_t / cfg.epoch_secs) as u64,
+                                    t: leave_t,
+                                    kind: "flow_leave",
+                                    flow: i as u32,
+                                    value: s.produced as f64,
+                                    aux: s.wire_bytes,
+                                }
+                                .into(),
+                            );
+                        }
                     }
                 }
             }
@@ -395,6 +456,41 @@ mod tests {
         );
         assert!(out.flows[0].completion_secs < out.flows[1].completion_secs);
         assert!((out.makespan_secs - out.flows[1].completion_secs).abs() < 1.0);
+    }
+
+    #[test]
+    fn traced_multiflow_emits_lifecycle_and_arbitration_events() {
+        use adcomp_trace::{MemorySink, TraceEvent};
+        use std::sync::Arc;
+
+        let speed = SpeedModel::paper_fit();
+        let sink = Arc::new(MemorySink::new());
+        let out = run_multiflow_traced(
+            &det_cfg(),
+            &speed,
+            vec![spec("a", Class::High, Some(1), 1), spec("b", Class::Low, Some(0), 1)],
+            TraceHandle::new(sink.clone()),
+        );
+        let events = sink.snapshot();
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Sim(s) => Some(s.kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "flow_join").count(), 2);
+        assert_eq!(kinds.iter().filter(|k| **k == "flow_leave").count(), 2);
+        assert!(kinds.contains(&"link_arbitration"));
+        // The trace is consistent with the outcome: last leave ≈ makespan.
+        let last_leave = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Sim(s) if s.kind == "flow_leave" => Some(s.t),
+                _ => None,
+            })
+            .fold(0.0f64, f64::max);
+        assert!((last_leave - out.makespan_secs).abs() < 1.0);
     }
 
     #[test]

@@ -10,14 +10,23 @@
 //! adcomp compress   [-l NO|LIGHT|MEDIUM|HEAVY|DYNAMIC] [-b BLOCK_KB] [-t EPOCH_S] [IN] [OUT]
 //! adcomp decompress [IN] [OUT]
 //! adcomp probe      [IN]          # report compressibility + per-level ratios
+//! adcomp trace      [-l LEVEL] [-t EPOCH_S] [--class C] [--flows N] [--gb G] [OUT.jsonl]
 //! ```
 //!
 //! `IN`/`OUT` default to stdin/stdout; `-` selects them explicitly.
+//!
+//! `trace` replays one deterministic Table-2 cell on the virtual-cloud
+//! simulator with full instrumentation: the structured JSONL trace (run
+//! manifest + per-epoch decision events with `DecisionCase`, cdr/pdr and
+//! backoff state + simulator events) goes to `OUT.jsonl` (default stdout),
+//! while an ASCII level-over-time timeline and a Prometheus-style snapshot
+//! go to stderr — stdout stays machine-parseable.
 
 use adcomp::codecs::{codec_for, CodecId, LevelSet};
 use adcomp::core::model::{DecisionModel, RateBasedModel, StaticModel};
 use adcomp::core::stream::{AdaptiveReader, AdaptiveWriter};
 use adcomp::core::WallClock;
+use adcomp::corpus::Class;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
 
@@ -25,6 +34,9 @@ struct Options {
     level: Option<usize>, // None = DYNAMIC
     block_kb: usize,
     epoch_secs: f64,
+    class: Class,
+    flows: usize,
+    gb: f64,
     input: Option<String>,
     output: Option<String>,
 }
@@ -34,7 +46,9 @@ fn usage() -> ! {
         "usage: adcomp compress   [-l LEVEL] [-b BLOCK_KB] [-t EPOCH_S] [IN] [OUT]\n\
          \x20      adcomp decompress [IN] [OUT]\n\
          \x20      adcomp probe      [IN]\n\
-         LEVEL: NO | LIGHT | MEDIUM | HEAVY | DYNAMIC (default DYNAMIC)"
+         \x20      adcomp trace      [-l LEVEL] [-t EPOCH_S] [--class C] [--flows N] [--gb G] [OUT.jsonl]\n\
+         LEVEL: NO | LIGHT | MEDIUM | HEAVY | DYNAMIC (default DYNAMIC)\n\
+         C    : HIGH | MODERATE | LOW (default HIGH); N: 0..=3 (default 2); G: simulated GB (default 2)"
     );
     std::process::exit(2)
 }
@@ -50,11 +64,23 @@ fn parse_level(s: &str) -> Option<usize> {
     }
 }
 
+fn parse_class(s: &str) -> Class {
+    match s.to_ascii_uppercase().as_str() {
+        "HIGH" => Class::High,
+        "MODERATE" | "MODERATELY" | "MED" => Class::Moderate,
+        "LOW" => Class::Low,
+        _ => usage(),
+    }
+}
+
 fn parse_options(args: &[String]) -> Options {
     let mut opts = Options {
         level: None,
         block_kb: 128,
         epoch_secs: 2.0,
+        class: Class::High,
+        flows: 2,
+        gb: 2.0,
         input: None,
         output: None,
     };
@@ -81,6 +107,26 @@ fn parse_options(args: &[String]) -> Options {
                 // NaN parses successfully but must be rejected too.
                 if opts.epoch_secs.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                     eprintln!("epoch length must be positive seconds");
+                    std::process::exit(2);
+                }
+            }
+            "--class" => {
+                i += 1;
+                opts.class = parse_class(args.get(i).unwrap_or_else(|| usage()));
+            }
+            "--flows" => {
+                i += 1;
+                opts.flows = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if opts.flows > 3 {
+                    eprintln!("flows must be 0..=3 (the paper's contention settings)");
+                    std::process::exit(2);
+                }
+            }
+            "--gb" => {
+                i += 1;
+                opts.gb = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if opts.gb.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    eprintln!("simulated volume must be positive GB");
                     std::process::exit(2);
                 }
             }
@@ -201,6 +247,76 @@ fn cmd_probe(opts: Options) -> io::Result<()> {
     Ok(())
 }
 
+/// Replays one deterministic Table-2 cell with full instrumentation and
+/// exports every observability surface at once: JSONL (stdout/file), ASCII
+/// timeline + Prometheus snapshot (stderr).
+fn cmd_trace(opts: Options) -> io::Result<()> {
+    use adcomp::trace::{
+        render_level_timeline, JsonlWriter, MemorySink, RunManifest, TimelineOptions, TraceHandle,
+        TraceStats,
+    };
+    use adcomp::vcloud::{run_transfer_traced, ConstantClass, SpeedModel, TransferConfig};
+    use std::sync::Arc;
+
+    let scheme = match opts.level {
+        Some(l) => ["NO", "LIGHT", "MEDIUM", "HEAVY"][l.min(3)],
+        None => "DYNAMIC",
+    };
+    let cfg = TransferConfig {
+        total_bytes: (opts.gb * 1e9) as u64,
+        background_flows: opts.flows,
+        epoch_secs: opts.epoch_secs,
+        deterministic: true,
+        cpu_jitter: 0.0,
+        ..TransferConfig::paper_default()
+    };
+    let model: Box<dyn DecisionModel> = match opts.level {
+        Some(l) => Box::new(StaticModel::new(l, 4)),
+        None => Box::new(RateBasedModel::paper_default()),
+    };
+    let sink = Arc::new(MemorySink::new());
+    let speed = SpeedModel::paper_fit();
+    let out = run_transfer_traced(
+        &cfg,
+        &speed,
+        &mut ConstantClass(opts.class),
+        model,
+        TraceHandle::new(sink.clone()),
+    );
+    let events = sink.take();
+
+    // JSONL export — manifest line first, then every event, stdout or file.
+    let manifest = RunManifest::new("adcomp_trace", cfg.seed)
+        .coord("scheme", scheme)
+        .coord("class", opts.class.name())
+        .coord("flows", opts.flows)
+        .cfg("epoch_secs", opts.epoch_secs)
+        .cfg("deterministic", true)
+        .volume(cfg.total_bytes);
+    // The single positional argument is the JSONL destination.
+    let mut w = JsonlWriter::new(open_output(&opts.input)?);
+    w.write_run(&manifest, &events)?;
+    let counts = w.counts();
+    w.finish()?.flush()?;
+
+    // Human-facing panels on stderr.
+    if let Some(tl) = render_level_timeline(&events, &TimelineOptions::default()) {
+        eprintln!("{tl}");
+    }
+    eprintln!("{}", TraceStats::from_events(&events).render());
+    eprintln!(
+        "adcomp trace: {scheme} on {} data, {} background flow(s): {:.0} s virtual, \
+         {} epochs, wire ratio {:.3}, {} events",
+        opts.class.name(),
+        opts.flows,
+        out.completion_secs,
+        out.epochs,
+        out.wire_ratio(),
+        counts.total()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -209,6 +325,7 @@ fn main() -> ExitCode {
         "compress" | "c" => cmd_compress(opts),
         "decompress" | "d" => cmd_decompress(opts),
         "probe" | "p" => cmd_probe(opts),
+        "trace" | "t" => cmd_trace(opts),
         _ => usage(),
     };
     match result {

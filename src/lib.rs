@@ -45,6 +45,7 @@ pub use adcomp_corpus as corpus;
 pub use adcomp_hostprobe as hostprobe;
 pub use adcomp_metrics as metrics;
 pub use adcomp_nephele as nephele;
+pub use adcomp_trace as trace;
 pub use adcomp_vcloud as vcloud;
 
 /// One-stop imports for applications.
@@ -55,5 +56,6 @@ pub mod prelude {
     pub use adcomp_core::stream::{AdaptiveReader, AdaptiveWriter, StreamStats};
     pub use adcomp_corpus::{Class, CyclicSource, SourceReader};
     pub use adcomp_nephele::prelude::*;
+    pub use adcomp_trace::{JsonlWriter, MemorySink, RunManifest, TraceHandle, TraceSink};
     pub use adcomp_vcloud::{Platform, SpeedModel, TransferConfig};
 }
