@@ -21,7 +21,7 @@
 
 use crate::crc32::crc32;
 use crate::{codec_for, Codec, CodecError, CodecId, Result, Scratch};
-use adcomp_trace::{CodecEvent, NullSink, TraceEvent, TraceSink, NO_EPOCH};
+use adcomp_trace::{CodecEvent, FaultEvent, NullSink, TraceEvent, TraceSink, NO_EPOCH};
 use std::io::{self, Read, Write};
 
 /// Frame magic bytes.
@@ -32,6 +32,15 @@ pub const HEADER_LEN: usize = 16;
 pub const DEFAULT_BLOCK_LEN: usize = 128 * 1024;
 /// Flag: payload stored raw because compression expanded the block.
 pub const FLAG_RAW_FALLBACK: u8 = 0b0000_0001;
+/// Flag: the first application byte of this block is a record boundary.
+/// Set by record-aligned writers so a reader that dropped a corrupt block
+/// can resynchronize its record framing at the next aligned block.
+pub const FLAG_RECORD_ALIGNED: u8 = 0b0000_0010;
+/// Default decompression-bomb guard: a frame header may not declare an
+/// `uncompressed_len` or `payload_len` above this, checked *before* any
+/// allocation. Generous (blocks in this workspace are ≤ 128 KiB) so that
+/// only forged length fields trip it.
+pub const DEFAULT_MAX_FRAME: u32 = 64 * 1024 * 1024;
 
 /// Parsed frame header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +49,10 @@ pub struct FrameHeader {
     pub codec: CodecId,
     /// The fallback flag: the *requested* codec expanded the data.
     pub raw_fallback: bool,
+    /// The block's first application byte is a record boundary
+    /// ([`FLAG_RECORD_ALIGNED`]). Always `false` unless a record-aligned
+    /// writer produced the stream.
+    pub record_aligned: bool,
     pub uncompressed_len: u32,
     pub payload_len: u32,
     pub crc: u32,
@@ -52,7 +65,8 @@ impl FrameHeader {
         b[0] = MAGIC[0];
         b[1] = MAGIC[1];
         b[2] = self.codec as u8;
-        b[3] = if self.raw_fallback { FLAG_RAW_FALLBACK } else { 0 };
+        b[3] = if self.raw_fallback { FLAG_RAW_FALLBACK } else { 0 }
+            | if self.record_aligned { FLAG_RECORD_ALIGNED } else { 0 };
         b[4..8].copy_from_slice(&self.uncompressed_len.to_le_bytes());
         b[8..12].copy_from_slice(&self.payload_len.to_le_bytes());
         b[12..16].copy_from_slice(&self.crc.to_le_bytes());
@@ -67,6 +81,7 @@ impl FrameHeader {
         Ok(FrameHeader {
             codec: CodecId::from_u8(b[2])?,
             raw_fallback: b[3] & FLAG_RAW_FALLBACK != 0,
+            record_aligned: b[3] & FLAG_RECORD_ALIGNED != 0,
             uncompressed_len: u32::from_le_bytes(b[4..8].try_into().unwrap()),
             payload_len: u32::from_le_bytes(b[8..12].try_into().unwrap()),
             crc: u32::from_le_bytes(b[12..16].try_into().unwrap()),
@@ -119,6 +134,19 @@ pub fn encode_block_with(
     input: &[u8],
     out: &mut Vec<u8>,
 ) -> BlockInfo {
+    encode_block_flags(scratch, codec, input, out, 0)
+}
+
+/// [`encode_block_with`] with extra header flags (e.g.
+/// [`FLAG_RECORD_ALIGNED`]); with `extra_flags == 0` the output is
+/// bit-identical to [`encode_block_with`].
+pub fn encode_block_flags(
+    scratch: &mut Scratch,
+    codec: &dyn Codec,
+    input: &[u8],
+    out: &mut Vec<u8>,
+    extra_flags: u8,
+) -> BlockInfo {
     // Hard limit: the frame header stores lengths as u32. Blocks in this
     // workspace are <= 128 KiB; this protects external callers in release.
     assert!(input.len() <= u32::MAX as usize, "block exceeds frame length field");
@@ -142,6 +170,7 @@ pub fn encode_block_with(
     let header = FrameHeader {
         codec: effective,
         raw_fallback,
+        record_aligned: extra_flags & FLAG_RECORD_ALIGNED != 0,
         uncompressed_len: input.len() as u32,
         payload_len: payload_len as u32,
         crc: crc32(&out[payload_pos..]),
@@ -157,12 +186,25 @@ pub fn encode_block_with(
 
 /// Decodes one frame from the start of `input`, appending the recovered
 /// application bytes to `out`. Returns the header and the number of input
-/// bytes consumed.
+/// bytes consumed. Length fields are validated against
+/// [`DEFAULT_MAX_FRAME`] before any allocation.
 pub fn decode_block(input: &[u8], out: &mut Vec<u8>) -> Result<(FrameHeader, usize)> {
+    decode_block_limited(input, out, DEFAULT_MAX_FRAME)
+}
+
+/// [`decode_block`] with an explicit decompression-bomb cap: both header
+/// length fields must be ≤ `max_frame` or the frame is rejected with
+/// [`CodecError::FrameTooLarge`] *before* any payload or output allocation.
+pub fn decode_block_limited(
+    input: &[u8],
+    out: &mut Vec<u8>,
+    max_frame: u32,
+) -> Result<(FrameHeader, usize)> {
     if input.len() < HEADER_LEN {
         return Err(CodecError::Truncated);
     }
     let header = FrameHeader::from_bytes(input[..HEADER_LEN].try_into().unwrap())?;
+    check_header_caps(&header, max_frame)?;
     let total = HEADER_LEN + header.payload_len as usize;
     if input.len() < total {
         return Err(CodecError::Truncated);
@@ -172,8 +214,41 @@ pub fn decode_block(input: &[u8], out: &mut Vec<u8>) -> Result<(FrameHeader, usi
     if actual_crc != header.crc {
         return Err(CodecError::ChecksumMismatch { expected: header.crc, actual: actual_crc });
     }
-    codec_for(header.codec).decompress(payload, header.uncompressed_len as usize, out)?;
+    let out_start = out.len();
+    if let Err(e) = codec_for(header.codec).decompress(payload, header.uncompressed_len as usize, out)
+    {
+        // Decoders may have appended partial output before detecting the
+        // corruption; never leak it to the caller.
+        out.truncate(out_start);
+        return Err(e);
+    }
     Ok((header, total))
+}
+
+/// Bomb guard: rejects headers whose length fields exceed `max_frame`.
+fn check_header_caps(header: &FrameHeader, max_frame: u32) -> Result<()> {
+    if header.uncompressed_len > max_frame {
+        return Err(CodecError::FrameTooLarge {
+            field: "uncompressed_len",
+            len: header.uncompressed_len,
+            max: max_frame,
+        });
+    }
+    if header.payload_len > max_frame {
+        return Err(CodecError::FrameTooLarge {
+            field: "payload_len",
+            len: header.payload_len,
+            max: max_frame,
+        });
+    }
+    Ok(())
+}
+
+/// Scans `buf` for the next frame [`MAGIC`] pair, returning its offset.
+/// The resync primitive: after corruption, discard bytes up to the returned
+/// offset and try to parse a header there.
+pub fn find_magic(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == MAGIC)
 }
 
 /// Streaming frame writer over any [`Write`].
@@ -277,76 +352,505 @@ impl<W: Write, S: TraceSink> FrameWriter<W, S> {
     }
 }
 
-/// Streaming frame reader over any [`Read`].
-pub struct FrameReader<R: Read> {
+/// How a frame reader reacts to corruption in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// First bad byte aborts the transfer with a typed error (default —
+    /// the pre-fault-model behavior, and the zero-overhead fast path).
+    FailFast,
+    /// Corrupt frames are dropped: the reader scans forward to the next
+    /// frame magic, counts the incident, and keeps going. Surviving frames
+    /// decode byte-identically.
+    SkipAndCount,
+}
+
+/// Recovery policy for [`FrameReader`] and the layers built on it.
+///
+/// Three presets cover the taxonomy from the fault model: fail-fast
+/// ([`RecoveryPolicy::fail_fast`]), skip-and-count
+/// ([`RecoveryPolicy::skip_and_count`]) and bounded retry with exponential
+/// backoff for transient I/O errors ([`RecoveryPolicy::bounded_retry`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Corruption handling.
+    pub mode: RecoveryMode,
+    /// Bounded retries for *transient* I/O errors (`WouldBlock`,
+    /// `TimedOut`). `Interrupted` is always retried, as `std` does.
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `backoff_base_us << (k-1)` microseconds
+    /// (capped at 2^10×). 0 disables sleeping (pure spin — what the
+    /// deterministic tests use).
+    pub backoff_base_us: u64,
+    /// Decompression-bomb cap applied to both header length fields before
+    /// any allocation.
+    pub max_frame: u32,
+    /// Upper bound on bytes scanned forward during a single resync before
+    /// the reader gives up with a typed error (guards against pathological
+    /// streams turning recovery into an unbounded scan).
+    pub max_resync_scan: u64,
+}
+
+impl RecoveryPolicy {
+    /// Abort on the first fault. The default; the fault-free fast path.
+    pub fn fail_fast() -> Self {
+        RecoveryPolicy {
+            mode: RecoveryMode::FailFast,
+            max_retries: 0,
+            backoff_base_us: 0,
+            max_frame: DEFAULT_MAX_FRAME,
+            max_resync_scan: 64 * 1024 * 1024,
+        }
+    }
+
+    /// Drop corrupt frames, resync, and keep counters.
+    pub fn skip_and_count() -> Self {
+        RecoveryPolicy { mode: RecoveryMode::SkipAndCount, ..RecoveryPolicy::fail_fast() }
+    }
+
+    /// Skip-and-count plus up to `max_retries` retries with exponential
+    /// backoff for transient I/O errors.
+    pub fn bounded_retry(max_retries: u32, backoff_base_us: u64) -> Self {
+        RecoveryPolicy { max_retries, backoff_base_us, ..RecoveryPolicy::skip_and_count() }
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy::fail_fast()
+    }
+}
+
+/// Counters kept by the recovery machinery — surfaced through
+/// `StreamStats`, trace events and the Prometheus snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Frames dropped because of bad magic/codec id, length-cap violations,
+    /// CRC mismatch or decode failure.
+    pub corrupt_frames: u64,
+    /// Successful forward scans to a new frame magic.
+    pub resyncs: u64,
+    /// Transient-I/O retries performed.
+    pub retries: u64,
+    /// Wire bytes discarded while resyncing.
+    pub skipped_bytes: u64,
+    /// Mid-frame end-of-stream incidents (header or payload cut short).
+    pub truncations: u64,
+}
+
+impl RecoveryStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.corrupt_frames += other.corrupt_frames;
+        self.resyncs += other.resyncs;
+        self.retries += other.retries;
+        self.skipped_bytes += other.skipped_bytes;
+        self.truncations += other.truncations;
+    }
+
+    /// True when no fault of any kind was recorded.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+}
+
+/// Streaming frame reader over any [`Read`], hardened against corruption.
+///
+/// By default ([`RecoveryPolicy::fail_fast`]) behaves exactly like the
+/// historical reader: the first bad byte is a typed error, and the hot path
+/// adds only a carry-buffer emptiness check. Under
+/// [`RecoveryMode::SkipAndCount`] the reader drops corrupt frames, scans
+/// forward to the next frame [`MAGIC`] (including *inside* suspect bytes,
+/// so a forged length field cannot swallow later good frames), and keeps
+/// [`RecoveryStats`]. The optional trace sink receives one
+/// [`FaultEvent`] per incident.
+pub struct FrameReader<R: Read, S: TraceSink = NullSink> {
     inner: R,
     payload_buf: Vec<u8>,
+    /// Bytes returned to the stream for re-scanning (recovery only; empty
+    /// on the fault-free path).
+    carry: Vec<u8>,
+    carry_pos: usize,
+    policy: RecoveryPolicy,
+    sink: S,
+    trace_epoch: u64,
+    trace_t: f64,
+    /// Offset of the next unconsumed byte in the wire stream.
+    stream_offset: u64,
+    /// Recovery counters (all zero while the stream is clean).
+    pub recovery: RecoveryStats,
     /// Totals for reporting.
     pub app_bytes: u64,
     pub wire_bytes: u64,
     pub blocks: u64,
 }
 
+/// Outcome of an exact-read attempt against the carry + inner stream.
+#[derive(Clone, Copy)]
+enum FillOutcome {
+    Full,
+    /// End of stream after `0 < n < requested` bytes.
+    Partial(usize),
+    /// End of stream before any byte.
+    Eof,
+}
+
 impl<R: Read> FrameReader<R> {
     pub fn new(inner: R) -> Self {
-        FrameReader { inner, payload_buf: Vec::new(), app_bytes: 0, wire_bytes: 0, blocks: 0 }
+        FrameReader::with_policy(inner, RecoveryPolicy::default())
     }
 
-    /// Reads and decodes the next frame, appending application bytes to
-    /// `out`. Returns `Ok(None)` on a clean end of stream.
-    pub fn read_block(&mut self, out: &mut Vec<u8>) -> io::Result<Option<FrameHeader>> {
-        let mut header_bytes = [0u8; HEADER_LEN];
-        match read_exact_or_eof(&mut self.inner, &mut header_bytes)? {
-            ReadOutcome::Eof => return Ok(None),
-            ReadOutcome::Partial => {
-                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated frame header"))
-            }
-            ReadOutcome::Full => {}
+    /// A reader with an explicit [`RecoveryPolicy`] (untraced).
+    pub fn with_policy(inner: R, policy: RecoveryPolicy) -> Self {
+        FrameReader::with_sink(inner, policy, NullSink)
+    }
+}
+
+impl<R: Read, S: TraceSink> FrameReader<R, S> {
+    /// A reader emitting one [`FaultEvent`] per fault/recovery incident
+    /// into `sink`.
+    pub fn with_sink(inner: R, policy: RecoveryPolicy, sink: S) -> Self {
+        FrameReader {
+            inner,
+            payload_buf: Vec::new(),
+            carry: Vec::new(),
+            carry_pos: 0,
+            policy,
+            sink,
+            trace_epoch: NO_EPOCH,
+            trace_t: 0.0,
+            stream_offset: 0,
+            recovery: RecoveryStats::default(),
+            app_bytes: 0,
+            wire_bytes: 0,
+            blocks: 0,
         }
-        let header = FrameHeader::from_bytes(&header_bytes).map_err(to_io)?;
-        self.payload_buf.clear();
-        self.payload_buf.resize(header.payload_len as usize, 0);
-        self.inner.read_exact(&mut self.payload_buf)?;
-        let actual_crc = crc32(&self.payload_buf);
-        if actual_crc != header.crc {
-            return Err(to_io(CodecError::ChecksumMismatch {
-                expected: header.crc,
-                actual: actual_crc,
+    }
+
+    /// The active recovery policy.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Replaces the recovery policy mid-stream.
+    pub fn set_policy(&mut self, policy: RecoveryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Sets the epoch tag and timestamp stamped onto subsequent
+    /// [`FaultEvent`]s (mirrors [`FrameWriter::set_trace_mark`]).
+    pub fn set_trace_mark(&mut self, epoch: u64, t: f64) {
+        self.trace_epoch = epoch;
+        self.trace_t = t;
+    }
+
+    fn emit_fault(&self, kind: &'static str, bytes: u64, attempt: u64) {
+        if self.sink.enabled() {
+            self.sink.emit(&TraceEvent::Fault(FaultEvent {
+                epoch: self.trace_epoch,
+                t: self.trace_t,
+                kind,
+                bytes,
+                attempt,
             }));
         }
-        codec_for(header.codec)
-            .decompress(&self.payload_buf, header.uncompressed_len as usize, out)
-            .map_err(to_io)?;
-        self.app_bytes += header.uncompressed_len as u64;
-        self.wire_bytes += (HEADER_LEN + header.payload_len as usize) as u64;
-        self.blocks += 1;
-        Ok(Some(header))
+    }
+
+    /// One `read` against the inner stream with the policy's transient
+    /// retry/backoff loop. `Interrupted` is always retried.
+    fn read_inner_retry(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut attempt = 0u32;
+        loop {
+            match self.inner.read(buf) {
+                Ok(n) => return Ok(n),
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) && attempt < self.policy.max_retries =>
+                {
+                    attempt += 1;
+                    self.recovery.retries += 1;
+                    self.emit_fault("retry", 0, attempt as u64);
+                    if self.policy.backoff_base_us > 0 {
+                        let shift = (attempt - 1).min(10);
+                        std::thread::sleep(std::time::Duration::from_micros(
+                            self.policy.backoff_base_us << shift,
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Fills `buf` exactly, consuming the carry first, then the inner
+    /// stream. Advances `stream_offset` by every byte consumed.
+    fn fill(&mut self, buf: &mut [u8]) -> io::Result<FillOutcome> {
+        let mut filled = 0;
+        if self.carry_pos < self.carry.len() {
+            let n = (self.carry.len() - self.carry_pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.carry[self.carry_pos..self.carry_pos + n]);
+            self.carry_pos += n;
+            filled = n;
+            if self.carry_pos == self.carry.len() {
+                self.carry.clear();
+                self.carry_pos = 0;
+            }
+        }
+        while filled < buf.len() {
+            let n = self.read_inner_retry(&mut buf[filled..])?;
+            if n == 0 {
+                self.stream_offset += filled as u64;
+                return Ok(if filled == 0 { FillOutcome::Eof } else { FillOutcome::Partial(filled) });
+            }
+            filled += n;
+        }
+        self.stream_offset += filled as u64;
+        Ok(FillOutcome::Full)
+    }
+
+    /// Returns `head ++ tail` to the front of the stream for re-scanning.
+    fn unread2(&mut self, head: &[u8], tail: &[u8]) {
+        let returned = head.len() + tail.len();
+        if returned == 0 {
+            return;
+        }
+        let mut nc = Vec::with_capacity(returned + self.carry.len() - self.carry_pos);
+        nc.extend_from_slice(head);
+        nc.extend_from_slice(tail);
+        nc.extend_from_slice(&self.carry[self.carry_pos..]);
+        self.carry = nc;
+        self.carry_pos = 0;
+        self.stream_offset -= returned as u64;
+    }
+
+    /// Scans forward (carry first, then the inner stream) for the next
+    /// frame magic. Returns `Ok(true)` when positioned at a magic,
+    /// `Ok(false)` on end of stream. Discarded bytes are counted.
+    fn resync(&mut self) -> io::Result<bool> {
+        const CHUNK: usize = 4096;
+        let mut skipped: u64 = 0;
+        let found = loop {
+            if let Some(i) = find_magic(&self.carry[self.carry_pos..]) {
+                self.carry_pos += i;
+                skipped += i as u64;
+                self.stream_offset += i as u64;
+                break true;
+            }
+            // No magic: everything but a possible trailing MAGIC[0] byte is
+            // dead. Keep that byte — the pair may span the chunk boundary.
+            let keep = usize::from(self.carry[self.carry_pos..].last() == Some(&MAGIC[0]));
+            let dead = self.carry.len() - self.carry_pos - keep;
+            skipped += dead as u64;
+            self.stream_offset += dead as u64;
+            if skipped > self.policy.max_resync_scan {
+                self.recovery.skipped_bytes += skipped;
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "resync scan exceeded {} bytes at stream offset {}",
+                        self.policy.max_resync_scan, self.stream_offset
+                    ),
+                ));
+            }
+            if keep == 1 {
+                let b = *self.carry.last().unwrap();
+                self.carry.clear();
+                self.carry.push(b);
+            } else {
+                self.carry.clear();
+            }
+            self.carry_pos = 0;
+            let old_len = self.carry.len();
+            self.carry.resize(old_len + CHUNK, 0);
+            let mut tmp = std::mem::take(&mut self.carry);
+            let r = self.read_inner_retry(&mut tmp[old_len..]);
+            self.carry = tmp;
+            match r {
+                Ok(0) => {
+                    // Stream over; the kept half-magic byte is dead too.
+                    skipped += old_len as u64;
+                    self.stream_offset += old_len as u64;
+                    self.carry.clear();
+                    self.carry_pos = 0;
+                    break false;
+                }
+                Ok(n) => self.carry.truncate(old_len + n),
+                Err(e) => {
+                    self.carry.truncate(old_len);
+                    return Err(e);
+                }
+            }
+        };
+        self.recovery.skipped_bytes += skipped;
+        if found {
+            self.recovery.resyncs += 1;
+        }
+        self.emit_fault("resync", skipped, u64::from(found));
+        Ok(found)
+    }
+
+    /// Handles a corrupt frame according to the policy: in skip mode,
+    /// returns the suspect bytes (minus the first, so progress is
+    /// guaranteed) to the stream and resyncs. `Ok(true)` means "retry the
+    /// read loop", `Ok(false)` means clean end of stream.
+    fn recover_corrupt(
+        &mut self,
+        err: CodecError,
+        header_bytes: &[u8; HEADER_LEN],
+        payload_len: usize,
+    ) -> io::Result<bool> {
+        self.recovery.corrupt_frames += 1;
+        let kind = match err {
+            CodecError::FrameTooLarge { .. } => "frame_too_large",
+            _ => "corrupt_frame",
+        };
+        self.emit_fault(kind, (HEADER_LEN + payload_len) as u64, self.blocks);
+        if self.policy.mode == RecoveryMode::FailFast {
+            return Err(to_io(err));
+        }
+        let payload = std::mem::take(&mut self.payload_buf);
+        self.unread2(&header_bytes[1..], &payload[..payload_len.min(payload.len())]);
+        self.payload_buf = payload;
+        self.resync()
+    }
+
+    /// Handles a mid-frame end of stream: in skip mode the partial bytes
+    /// are re-scanned (a forged length may have swallowed good frames) and
+    /// the incident is counted; in fail-fast mode it is a typed error
+    /// naming the truncation site, stream offset and block index.
+    fn recover_truncated(
+        &mut self,
+        site: &str,
+        got: usize,
+        want: usize,
+        at: u64,
+        partial: &[u8],
+    ) -> io::Result<bool> {
+        self.recovery.truncations += 1;
+        self.emit_fault("truncated", got as u64, self.blocks);
+        if self.policy.mode == RecoveryMode::FailFast {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "truncated frame {site}: got {got} of {want} bytes at stream offset {at}, \
+                     block {}",
+                    self.blocks
+                ),
+            ));
+        }
+        // Drop the first partial byte (progress), re-scan the rest: a
+        // forged length field may have swallowed whole good frames.
+        let head: &[u8] = if partial.is_empty() { &[] } else { &partial[1..] };
+        self.unread2(head, &[]);
+        self.resync()
+    }
+}
+
+impl<R: Read, S: TraceSink> FrameReader<R, S> {
+    /// Reads and decodes the next frame, appending application bytes to
+    /// `out`. Returns `Ok(None)` on a clean end of stream — and, under
+    /// [`RecoveryMode::SkipAndCount`], after dropping any trailing
+    /// corrupt/truncated bytes (check [`FrameReader::recovery`] to tell the
+    /// two apart).
+    pub fn read_block(&mut self, out: &mut Vec<u8>) -> io::Result<Option<FrameHeader>> {
+        loop {
+            let header_off = self.stream_offset;
+            let mut header_bytes = [0u8; HEADER_LEN];
+            match self.fill(&mut header_bytes)? {
+                FillOutcome::Eof => return Ok(None),
+                FillOutcome::Partial(n) => {
+                    let h = header_bytes;
+                    if self.recover_truncated("header", n, HEADER_LEN, header_off, &h[..n])? {
+                        continue;
+                    }
+                    return Ok(None);
+                }
+                FillOutcome::Full => {}
+            }
+            let header = match FrameHeader::from_bytes(&header_bytes)
+                .and_then(|h| check_header_caps(&h, self.policy.max_frame).map(|()| h))
+            {
+                Ok(h) => h,
+                Err(e) => {
+                    if self.recover_corrupt(e, &header_bytes, 0)? {
+                        continue;
+                    }
+                    return Ok(None);
+                }
+            };
+            let payload_off = self.stream_offset;
+            self.payload_buf.clear();
+            self.payload_buf.resize(header.payload_len as usize, 0);
+            let mut payload = std::mem::take(&mut self.payload_buf);
+            let outcome = self.fill(&mut payload);
+            self.payload_buf = payload;
+            let outcome = outcome?;
+            match outcome {
+                FillOutcome::Eof | FillOutcome::Partial(_) => {
+                    let got = match outcome {
+                        FillOutcome::Partial(n) => n,
+                        _ => 0,
+                    };
+                    let want = header.payload_len as usize;
+                    self.recovery.truncations += 1;
+                    self.emit_fault("truncated", got as u64, self.blocks);
+                    if self.policy.mode == RecoveryMode::FailFast {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            format!(
+                                "truncated frame payload: got {got} of {want} bytes at stream \
+                                 offset {payload_off} (header at {header_off}), block {}",
+                                self.blocks
+                            ),
+                        ));
+                    }
+                    // The partial payload may contain whole good frames a
+                    // forged length field tried to swallow: re-scan it.
+                    let payload = std::mem::take(&mut self.payload_buf);
+                    let head: &[u8] = if got == 0 { &[] } else { &payload[1..got] };
+                    self.unread2(head, &[]);
+                    self.payload_buf = payload;
+                    if self.resync()? {
+                        continue;
+                    }
+                    return Ok(None);
+                }
+                FillOutcome::Full => {}
+            }
+            let actual_crc = crc32(&self.payload_buf);
+            if actual_crc != header.crc {
+                let e = CodecError::ChecksumMismatch { expected: header.crc, actual: actual_crc };
+                let plen = header.payload_len as usize;
+                if self.recover_corrupt(e, &header_bytes, plen)? {
+                    continue;
+                }
+                return Ok(None);
+            }
+            let out_start = out.len();
+            if let Err(e) = codec_for(header.codec).decompress(
+                &self.payload_buf,
+                header.uncompressed_len as usize,
+                out,
+            ) {
+                out.truncate(out_start);
+                let plen = header.payload_len as usize;
+                if self.recover_corrupt(e, &header_bytes, plen)? {
+                    continue;
+                }
+                return Ok(None);
+            }
+            self.app_bytes += header.uncompressed_len as u64;
+            self.wire_bytes += (HEADER_LEN + header.payload_len as usize) as u64;
+            self.blocks += 1;
+            return Ok(Some(header));
+        }
     }
 
     pub fn into_inner(self) -> R {
         self.inner
     }
-}
-
-enum ReadOutcome {
-    Full,
-    Partial,
-    Eof,
-}
-
-fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<ReadOutcome> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return Ok(if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Partial })
-            }
-            Ok(n) => filled += n,
-            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(ReadOutcome::Full)
 }
 
 fn to_io(e: CodecError) -> io::Error {
@@ -363,6 +867,7 @@ mod tests {
         let h = FrameHeader {
             codec: CodecId::QlzMedium,
             raw_fallback: false,
+            record_aligned: true,
             uncompressed_len: 131072,
             payload_len: 4242,
             crc: 0xDEADBEEF,
@@ -375,6 +880,7 @@ mod tests {
         let mut b = FrameHeader {
             codec: CodecId::Raw,
             raw_fallback: false,
+            record_aligned: false,
             uncompressed_len: 0,
             payload_len: 0,
             crc: 0,

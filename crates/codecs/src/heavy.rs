@@ -336,7 +336,8 @@ pub fn compress_with(scratch: &mut Scratch, input: &[u8], out: &mut Vec<u8>) {
 /// (appending).
 pub fn decompress(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
     let start = out.len();
-    out.reserve(expected_len);
+    // Untrusted length: clamp the eager reservation (see qlz::decompress).
+    out.reserve(expected_len.min(crate::frame::DEFAULT_BLOCK_LEN * 2));
     let target = start + expected_len;
     if expected_len == 0 {
         return Ok(());

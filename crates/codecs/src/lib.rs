@@ -42,6 +42,17 @@ pub enum CodecError {
     UnknownCodec(u8),
     /// Frame magic bytes missing.
     BadMagic,
+    /// A frame header declares a length beyond the configured cap — the
+    /// decompression-bomb guard. Raised *before* any allocation.
+    FrameTooLarge {
+        /// Which header field tripped the guard (`"uncompressed_len"` or
+        /// `"payload_len"`).
+        field: &'static str,
+        /// Declared length.
+        len: u32,
+        /// Configured cap.
+        max: u32,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -54,6 +65,9 @@ impl fmt::Display for CodecError {
             }
             CodecError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
             CodecError::BadMagic => write!(f, "bad frame magic"),
+            CodecError::FrameTooLarge { field, len, max } => {
+                write!(f, "frame {field} {len} exceeds cap {max} (decompression-bomb guard)")
+            }
         }
     }
 }

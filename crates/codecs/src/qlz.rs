@@ -327,7 +327,11 @@ pub fn compress_medium_with(scratch: &mut Scratch, input: &[u8], out: &mut Vec<u
 /// `expected_len` is the uncompressed size recorded in the frame header.
 pub fn decompress(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
     let start = out.len();
-    out.reserve(expected_len);
+    // `expected_len` comes from an untrusted frame header: never pre-reserve
+    // more than a sane block bound eagerly. `out` still grows on demand to
+    // the *actual* decoded size, which corrupt input cannot inflate past
+    // `expected_len` (the target check below).
+    out.reserve(expected_len.min(crate::frame::DEFAULT_BLOCK_LEN * 2));
     let target = start + expected_len;
     let mut p = 0usize;
     'outer: while out.len() < target {

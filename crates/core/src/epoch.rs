@@ -229,6 +229,18 @@ impl EpochDriver {
         Some(self.on_epoch(&epoch, now, ctx))
     }
 
+    /// Forces the applied level outside the epoch cadence — the degrade
+    /// path: after a codec failure the writer drops to level 0 (NONE)
+    /// immediately and lets the next epoch decision climb back. The change
+    /// is recorded in the level trace like any other switch.
+    pub fn force_level(&mut self, level: usize, now: f64) {
+        assert!(level < self.model.num_levels(), "forced level out of range");
+        if level != self.level {
+            self.level = level;
+            self.level_trace.push(now, level as f64);
+        }
+    }
+
     /// Forces an epoch check without new bytes (e.g. while stalled).
     pub fn poll(&mut self, now: f64, ctx: &EpochContext) -> usize {
         let _ = self.poll_step(now, ctx);

@@ -12,9 +12,11 @@
 
 use crate::epoch::{Clock, EpochContext, EpochDriver, WallClock};
 use crate::model::DecisionModel;
-use adcomp_codecs::frame::{FrameReader, FrameWriter, DEFAULT_BLOCK_LEN};
+use adcomp_codecs::frame::{
+    FrameReader, FrameWriter, RecoveryPolicy, RecoveryStats, DEFAULT_BLOCK_LEN,
+};
 use adcomp_codecs::LevelSet;
-use adcomp_trace::{TraceHandle, TraceSink as _};
+use adcomp_trace::{FaultEvent, TraceEvent, TraceHandle, TraceSink as _};
 use std::io::{self, Read, Write};
 
 /// Aggregate statistics of an adaptive stream, for reporting.
@@ -30,6 +32,13 @@ pub struct StreamStats {
     pub raw_fallbacks: u64,
     /// Completed decision epochs.
     pub epochs: u64,
+    /// Fault-recovery counters (`corrupt_frames`, `resyncs`, `retries`, …).
+    /// All zero on a clean stream; populated by the reader side under a
+    /// non-default [`RecoveryPolicy`].
+    pub recovery: RecoveryStats,
+    /// Writer-side codec failures that forced a degrade to level NONE
+    /// until the next epoch decision.
+    pub degraded_blocks: u64,
 }
 
 impl StreamStats {
@@ -54,6 +63,11 @@ pub struct AdaptiveWriter<W: Write> {
     blocks_per_level: Vec<u64>,
     raw_fallbacks: u64,
     last_block_ratio: Option<f64>,
+    degraded_blocks: u64,
+    /// Test seam: makes the next block's encode panic, exercising the
+    /// degrade-to-raw path without needing a genuinely buggy codec.
+    #[cfg(test)]
+    bomb_next_block: std::cell::Cell<bool>,
 }
 
 impl<W: Write> AdaptiveWriter<W> {
@@ -90,7 +104,21 @@ impl<W: Write> AdaptiveWriter<W> {
             blocks_per_level: vec![0; nlevels],
             raw_fallbacks: 0,
             last_block_ratio: None,
+            degraded_blocks: 0,
+            #[cfg(test)]
+            bomb_next_block: std::cell::Cell::new(false),
         }
+    }
+
+    #[cfg(test)]
+    fn take_bomb(&self) -> bool {
+        self.bomb_next_block.replace(false)
+    }
+
+    #[cfg(not(test))]
+    #[inline(always)]
+    fn take_bomb(&self) -> bool {
+        false
     }
 
     /// Attaches a trace sink: the epoch driver emits epoch/decision events
@@ -119,6 +147,8 @@ impl<W: Write> AdaptiveWriter<W> {
             blocks_per_level: self.blocks_per_level.clone(),
             raw_fallbacks: self.raw_fallbacks,
             epochs: self.driver.epochs(),
+            recovery: RecoveryStats::default(),
+            degraded_blocks: self.degraded_blocks,
         }
     }
 
@@ -126,13 +156,45 @@ impl<W: Write> AdaptiveWriter<W> {
         if self.buf.is_empty() {
             return Ok(());
         }
-        let level = self.driver.level();
-        let codec = self.levels.codec(level);
+        let mut level = self.driver.level();
         let now = self.clock.now();
         if self.driver.trace().enabled() {
             self.frames.set_trace_mark(self.driver.epochs(), now);
         }
-        let info = self.frames.write_block(codec, &self.buf)?;
+        // Self-healing write: a panicking codec (a compression bug on this
+        // particular block) must not take the stream down. Catch it, force
+        // the level to NONE until the next epoch decision, and re-emit the
+        // block raw — level 0 is a plain copy and cannot fail. Transport
+        // I/O errors are NOT degraded around: we cannot know how much of a
+        // frame already reached the wire, so they stay fail-fast.
+        let codec = self.levels.codec(level);
+        let bomb = self.take_bomb();
+        let frames = &mut self.frames;
+        let buf = &self.buf;
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if bomb {
+                panic!("injected codec bomb");
+            }
+            frames.write_block(codec, buf)
+        }));
+        let info = match attempt {
+            Ok(res) => res?,
+            Err(_panic) => {
+                self.degraded_blocks += 1;
+                if self.driver.trace().enabled() {
+                    self.driver.trace().emit(&TraceEvent::Fault(FaultEvent {
+                        epoch: self.driver.epochs(),
+                        t: now,
+                        kind: "degrade",
+                        bytes: self.buf.len() as u64,
+                        attempt: level as u64,
+                    }));
+                }
+                self.driver.force_level(0, now);
+                level = 0;
+                self.frames.write_block(self.levels.codec(0), &self.buf)?
+            }
+        };
         self.blocks_per_level[level] += 1;
         if info.raw_fallback {
             self.raw_fallbacks += 1;
@@ -189,7 +251,45 @@ pub struct AdaptiveReader<R: Read> {
 
 impl<R: Read> AdaptiveReader<R> {
     pub fn new(inner: R) -> Self {
-        AdaptiveReader { frames: FrameReader::new(inner), pending: Vec::new(), pos: 0, eof: false }
+        AdaptiveReader::with_policy(inner, RecoveryPolicy::default())
+    }
+
+    /// A reader with an explicit [`RecoveryPolicy`] — e.g.
+    /// [`RecoveryPolicy::skip_and_count`] to drop corrupt frames and keep
+    /// decoding, or [`RecoveryPolicy::bounded_retry`] to ride out
+    /// transient I/O errors.
+    pub fn with_policy(inner: R, policy: RecoveryPolicy) -> Self {
+        AdaptiveReader {
+            frames: FrameReader::with_policy(inner, policy),
+            pending: Vec::new(),
+            pos: 0,
+            eof: false,
+        }
+    }
+
+    /// The active recovery policy.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.frames.policy()
+    }
+
+    /// Fault-recovery counters (all zero on a clean stream).
+    pub fn recovery(&self) -> RecoveryStats {
+        self.frames.recovery
+    }
+
+    /// Statistics snapshot mirroring the writer side's [`StreamStats`]
+    /// (per-level block counts are unknown on the reader, so that vector
+    /// is empty).
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            app_bytes: self.frames.app_bytes,
+            wire_bytes: self.frames.wire_bytes,
+            blocks_per_level: Vec::new(),
+            raw_fallbacks: 0,
+            epochs: 0,
+            recovery: self.frames.recovery,
+            degraded_blocks: 0,
+        }
     }
 
     /// Application bytes decoded so far.
@@ -406,6 +506,103 @@ mod tests {
         let mut out = Vec::new();
         AdaptiveReader::new(&wire[..]).read_to_end(&mut out).unwrap();
         assert_eq!(out, data);
+    }
+
+    #[test]
+    fn skip_policy_reader_survives_mid_stream_corruption() {
+        use adcomp_codecs::frame::{RecoveryPolicy, HEADER_LEN};
+        let data = b"corruptible stream payload, repeated. ".repeat(2000);
+        let mut w = AdaptiveWriter::with_params(
+            Vec::new(),
+            levels(),
+            Box::new(StaticModel::new(1, 4)),
+            4096,
+            2.0,
+            Box::new(ManualClock::new()),
+        );
+        w.write_all(&data).unwrap();
+        let (mut wire, stats) = w.finish().unwrap();
+        assert!(stats.blocks_per_level[1] > 4);
+        // Flip a byte in the payload of the second frame (first frame's
+        // header declares its payload length).
+        let first_payload =
+            u32::from_le_bytes(wire[8..12].try_into().unwrap()) as usize;
+        let second = HEADER_LEN + first_payload;
+        wire[second + HEADER_LEN + 10] ^= 0x01;
+
+        // Fail-fast: typed error.
+        let mut out = Vec::new();
+        assert!(AdaptiveReader::new(&wire[..]).read_to_end(&mut out).is_err());
+
+        // Skip-and-count: stream decodes to a strict subsequence of the
+        // original with exactly one counted corrupt frame.
+        let mut r = AdaptiveReader::with_policy(&wire[..], RecoveryPolicy::skip_and_count());
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        let rec = r.recovery();
+        assert_eq!(rec.corrupt_frames, 1);
+        assert_eq!(rec.resyncs, 1);
+        assert!(out.len() < data.len());
+        // Recovered bytes = original minus exactly the damaged 4096-byte
+        // block; the tail after the hole matches the original tail.
+        assert_eq!(&out[..4096], &data[..4096]);
+        assert_eq!(&out[4096..], &data[2 * 4096..]);
+        assert!(r.stats().recovery.corrupt_frames == 1);
+    }
+
+    #[test]
+    fn panicking_codec_degrades_to_raw_and_stream_survives() {
+        let clock = ManualClock::new();
+        let mut w = AdaptiveWriter::with_params(
+            Vec::new(),
+            levels(),
+            Box::new(StaticModel::new(2, 4)),
+            1024,
+            1.0,
+            Box::new(clock.clone()),
+        );
+        let data = b"degrade path payload, quite repetitive indeed. ".repeat(100);
+        // First block encodes fine at level 2.
+        w.write_all(&data[..1024]).unwrap();
+        assert_eq!(w.level(), 2);
+        // Second block: codec "bug" — encode panics. The writer must catch
+        // it, emit the block raw, and force level NONE.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        w.bomb_next_block.set(true);
+        w.write_all(&data[1024..2048]).unwrap();
+        std::panic::set_hook(prev);
+        assert_eq!(w.level(), 0, "degrade must force level NONE");
+        // Remaining data flows at level 0 until the next epoch decision
+        // (ManualClock never advances here, so no epoch fires).
+        w.write_all(&data[2048..]).unwrap();
+        let (wire, stats) = w.finish().unwrap();
+        assert_eq!(stats.degraded_blocks, 1);
+        assert!(stats.blocks_per_level[0] > 0, "{:?}", stats.blocks_per_level);
+        // The whole stream — including the degraded block — decodes.
+        let mut out = Vec::new();
+        AdaptiveReader::new(&wire[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn forced_level_applies_until_next_epoch() {
+        let clock = ManualClock::new();
+        let mut w = AdaptiveWriter::with_params(
+            Vec::new(),
+            levels(),
+            Box::new(StaticModel::new(2, 4)),
+            1024,
+            1.0,
+            Box::new(clock.clone()),
+        );
+        assert_eq!(w.level(), 2);
+        w.driver.force_level(0, 0.0);
+        assert_eq!(w.level(), 0);
+        // Next epoch: the static model pulls it back to 2.
+        clock.set(1.5);
+        w.write_all(&[0u8; 2048]).unwrap();
+        assert_eq!(w.level(), 2);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Deterministic fault injection and chaos-soak harness.
+//!
+//! This crate is the robustness counterpart to the rest of the
+//! adaptive-compression workspace: it produces *reproducible* hostility.
+//! A [`FaultSpec`] `(seed, rate)` pins a complete schedule of bit flips,
+//! frame drops, mid-frame cuts and transient I/O stalls; the adapters in
+//! [`io`] and [`transport`] apply that schedule to any `Read`/`Write`
+//! pair or nephele [`BlockTransport`](adcomp_nephele::channel::BlockTransport);
+//! and the [`soak`] engine drives whole encode → corrupt → recover → verify
+//! round trips, asserting that the stack either recovers the surviving
+//! records byte-identically or fails with a typed error — never a panic,
+//! hang, or silent corruption.
+//!
+//! Layout:
+//! - [`plan`] — `FaultSpec` / `FaultPlan` / `FaultAction`: the seeded
+//!   decision stream (two independent PRNG sub-streams: per-frame faults
+//!   and per-operation transients).
+//! - [`io`] — composable `std::io` adapters: [`CorruptingWriter`],
+//!   [`TruncatingWriter`], [`FlakyReader`], [`FlakyWriter`].
+//! - [`transport`] — [`FaultingTransport`], the same fault taxonomy at
+//!   the nephele block-transport layer.
+//! - [`soak`] — [`SoakCase`] / [`run_case`] /
+//!   [`SoakSummary`](soak::SoakSummary): the chaos harness with a
+//!   deterministic JSON summary (consumed by `chaos_soak` in the bench
+//!   crate and the `adcomp chaos` CLI subcommand).
+//!
+//! Everything here is deterministic for a fixed seed on every platform:
+//! the PRNG is the workspace's fixed xoshiro256++ and each decision burns
+//! the same number of draws on every branch.
+
+pub mod io;
+pub mod plan;
+pub mod soak;
+pub mod transport;
+
+pub use io::{write_all_retry, CorruptingWriter, FlakyReader, FlakyWriter, TruncatingWriter};
+pub use plan::{FaultAction, FaultPlan, FaultSpec, InjectStats};
+pub use soak::{run_case, CaseResult, SoakCase, SoakLayer};
+pub use transport::FaultingTransport;

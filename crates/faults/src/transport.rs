@@ -1,0 +1,162 @@
+//! Fault injection at the nephele block-transport layer.
+//!
+//! [`FaultingTransport`] wraps any [`BlockTransport`] and applies the same
+//! fault taxonomy as [`CorruptingWriter`](crate::io::CorruptingWriter) —
+//! but at the granularity the record layer actually ships: one `send` is
+//! one self-describing frame. This is the adapter the chaos soak uses to
+//! attack a whole `RecordWriter → transport → RecordReader` channel
+//! without either endpoint knowing.
+
+use crate::plan::{FaultAction, FaultPlan, InjectStats};
+use adcomp_nephele::channel::BlockTransport;
+use adcomp_nephele::error::Result;
+use adcomp_trace::{FaultEvent, NullSink, TraceEvent, TraceSink, NO_EPOCH};
+use std::sync::{Arc, Mutex};
+
+/// A [`BlockTransport`] decorator that deterministically corrupts, drops
+/// or cuts the frames flowing through it.
+///
+/// Injection counters live behind a shared handle
+/// ([`FaultingTransport::stats_handle`]) because the transport itself is
+/// typically swallowed by a `Box<dyn BlockTransport>` (e.g. handed to a
+/// `RecordWriter`), yet the harness still needs to know what was done to
+/// the stream afterwards.
+pub struct FaultingTransport<T: BlockTransport, S: TraceSink + Send = NullSink> {
+    inner: T,
+    plan: FaultPlan,
+    sink: S,
+    scratch: Vec<u8>,
+    stats: Arc<Mutex<InjectStats>>,
+}
+
+impl<T: BlockTransport> FaultingTransport<T> {
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        FaultingTransport::with_sink(inner, plan, NullSink)
+    }
+}
+
+impl<T: BlockTransport, S: TraceSink + Send> FaultingTransport<T, S> {
+    pub fn with_sink(inner: T, plan: FaultPlan, sink: S) -> Self {
+        FaultingTransport {
+            inner,
+            plan,
+            sink,
+            scratch: Vec::new(),
+            stats: Arc::new(Mutex::new(InjectStats::default())),
+        }
+    }
+
+    /// What the adapter actually did so far.
+    pub fn stats(&self) -> InjectStats {
+        *self.stats.lock().unwrap()
+    }
+
+    /// Shared counter handle that stays readable after the transport has
+    /// been boxed away into a `RecordWriter`.
+    pub fn stats_handle(&self) -> Arc<Mutex<InjectStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn emit(&self, kind: &'static str, bytes: u64, attempt: u64) {
+        if self.sink.enabled() {
+            self.sink.emit(&TraceEvent::Fault(FaultEvent {
+                epoch: NO_EPOCH,
+                t: 0.0,
+                kind,
+                bytes,
+                attempt,
+            }));
+        }
+    }
+}
+
+impl<T: BlockTransport, S: TraceSink + Send> BlockTransport for FaultingTransport<T, S> {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        let mut stats = *self.stats.lock().unwrap();
+        stats.frames += 1;
+        stats.bytes_in += frame.len() as u64;
+        match self.plan.next_frame_action(frame.len()) {
+            FaultAction::Pass => {
+                self.inner.send(frame)?;
+                stats.bytes_out += frame.len() as u64;
+            }
+            FaultAction::FlipBit { byte, bit } => {
+                self.scratch.clear();
+                self.scratch.extend_from_slice(frame);
+                let idx = (byte % frame.len().max(1) as u64) as usize;
+                self.scratch[idx] ^= 1 << (bit & 7);
+                self.inner.send(&self.scratch)?;
+                stats.flips += 1;
+                stats.bytes_out += frame.len() as u64;
+                self.emit("inject_flip", frame.len() as u64, idx as u64);
+            }
+            FaultAction::Drop => {
+                stats.drops += 1;
+                self.emit("inject_drop", frame.len() as u64, stats.frames);
+            }
+            FaultAction::Cut { keep_permille } => {
+                let keep = (frame.len() as u64 * keep_permille as u64 / 1000) as usize;
+                self.inner.send(&frame[..keep])?;
+                stats.cuts += 1;
+                stats.bytes_out += keep as u64;
+                self.emit("inject_cut", (frame.len() - keep) as u64, keep as u64);
+            }
+        }
+        *self.stats.lock().unwrap() = stats;
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.inner.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultSpec;
+    use adcomp_nephele::channel::{mem_pair, BlockSource};
+
+    #[test]
+    fn quiet_transport_is_transparent() {
+        let (tx, mut rx) = mem_pair(16);
+        let mut t = FaultingTransport::new(tx, FaultPlan::new(FaultSpec::quiet(1)));
+        t.send(b"frame a").unwrap();
+        t.send(b"frame b").unwrap();
+        t.close().unwrap();
+        assert_eq!(rx.recv().unwrap().unwrap(), b"frame a");
+        assert_eq!(rx.recv().unwrap().unwrap(), b"frame b");
+        assert!(rx.recv().unwrap().is_none());
+        let s = t.stats();
+        assert_eq!((s.flips, s.drops, s.cuts), (0, 0, 0));
+        assert_eq!(s.bytes_in, s.bytes_out);
+    }
+
+    #[test]
+    fn hostile_transport_damages_deterministically() {
+        let spec = FaultSpec::from_rate(77, 0.5);
+        let run = || {
+            let (tx, mut rx) = mem_pair(256);
+            let mut t = FaultingTransport::new(tx, FaultPlan::new(spec));
+            for i in 0..100u8 {
+                t.send(&[i; 48]).unwrap();
+            }
+            t.close().unwrap();
+            let mut frames = Vec::new();
+            while let Some(f) = rx.recv().unwrap() {
+                frames.push(f);
+            }
+            (t.stats(), frames)
+        };
+        let (s1, f1) = run();
+        let (s2, f2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(f1, f2);
+        assert!(s1.flips > 0 && s1.drops > 0 && s1.cuts > 0, "{s1:?}");
+        assert_eq!(f1.len() as u64, 100 - s1.drops);
+    }
+}

@@ -9,7 +9,10 @@
 //! code.
 
 use crate::error::{NepheleError, Result};
-use adcomp_codecs::frame::{decode_block, encode_block_with, DEFAULT_BLOCK_LEN};
+use adcomp_codecs::frame::{
+    decode_block_limited, encode_block_flags, RecoveryMode, RecoveryPolicy, RecoveryStats,
+    DEFAULT_BLOCK_LEN, FLAG_RECORD_ALIGNED,
+};
 use adcomp_codecs::{LevelSet, Scratch};
 use adcomp_core::controller::ControllerConfig;
 use adcomp_core::epoch::{Clock, EpochContext, EpochDriver, WallClock};
@@ -63,6 +66,10 @@ pub struct ChannelStats {
     pub records: u64,
     pub blocks_per_level: Vec<u64>,
     pub epochs: u64,
+    /// Fault-recovery counters (all zero on a clean channel). Populated by
+    /// [`RecordReader`] when a [`RecoveryPolicy`] other than fail-fast is
+    /// installed; the writer side never touches it.
+    pub recovery: RecoveryStats,
 }
 
 impl ChannelStats {
@@ -326,6 +333,13 @@ pub struct RecordWriter {
     codec_scratch: Scratch,
     stats: ChannelStats,
     trace: TraceHandle,
+    /// Record-aligned mode: blocks are flushed before a record would span
+    /// them and stamped with [`FLAG_RECORD_ALIGNED`] when their first byte
+    /// is a record boundary, so a skip-mode reader can realign after loss.
+    aligned: bool,
+    /// Whether the block currently accumulating in `buf` starts at a
+    /// record boundary.
+    cur_block_aligned: bool,
 }
 
 impl RecordWriter {
@@ -350,7 +364,29 @@ impl RecordWriter {
             codec_scratch: Scratch::new(),
             stats: ChannelStats { blocks_per_level: vec![0; nlevels], ..Default::default() },
             trace: TraceHandle::disabled(),
+            aligned: false,
+            cur_block_aligned: true,
         }
+    }
+
+    /// Enables record-aligned block emission: a record that would span the
+    /// current block forces a flush first, and every block whose first
+    /// application byte is a record boundary carries
+    /// [`FLAG_RECORD_ALIGNED`]. Off by default (the wire stream is then
+    /// bit-identical to the pre-fault-model writer); records larger than a
+    /// block still span, and the spanned continuation blocks are simply
+    /// left unflagged.
+    pub fn set_record_aligned(&mut self, on: bool) {
+        self.aligned = on;
+    }
+
+    /// Overrides the block size (default [`DEFAULT_BLOCK_LEN`]). Must be
+    /// called before the first record; the fault-injection soak uses small
+    /// blocks to exercise many frames per case cheaply.
+    pub fn set_block_len(&mut self, len: usize) {
+        assert!(len >= 16, "block length too small");
+        assert!(self.buf.is_empty(), "set_block_len after writing");
+        self.block_len = len;
     }
 
     /// Attaches a trace sink: the epoch driver emits epoch/decision events
@@ -363,6 +399,18 @@ impl RecordWriter {
 
     /// Writes one record (any byte payload; may span blocks).
     pub fn write_record(&mut self, record: &[u8]) -> Result<()> {
+        if self.aligned
+            && !self.buf.is_empty()
+            && self.buf.len() + 4 + record.len() > self.block_len
+        {
+            // Flush so this record starts a fresh (aligned) block instead
+            // of spanning the current one.
+            self.emit_block()?;
+        }
+        if self.buf.is_empty() {
+            // The block about to accumulate starts at a record boundary.
+            self.cur_block_aligned = true;
+        }
         let len = (record.len() as u32).to_le_bytes();
         self.push_bytes(&len)?;
         self.push_bytes(record)?;
@@ -378,6 +426,9 @@ impl RecordWriter {
             data = &data[take..];
             if self.buf.len() == self.block_len {
                 self.emit_block()?;
+                // The next block continues mid-record unless the next
+                // write_record (which sees an empty buf) says otherwise.
+                self.cur_block_aligned = false;
             }
         }
         Ok(())
@@ -388,15 +439,17 @@ impl RecordWriter {
             return Ok(());
         }
         let level = self.driver.level();
+        let flags = if self.aligned && self.cur_block_aligned { FLAG_RECORD_ALIGNED } else { 0 };
         self.frame_scratch.clear();
         let info;
         if self.trace.enabled() {
             let start = std::time::Instant::now();
-            info = encode_block_with(
+            info = encode_block_flags(
                 &mut self.codec_scratch,
                 self.levels.codec(level),
                 &self.buf,
                 &mut self.frame_scratch,
+                flags,
             );
             self.trace.emit(
                 &ChannelEvent {
@@ -410,11 +463,12 @@ impl RecordWriter {
                 .into(),
             );
         } else {
-            info = encode_block_with(
+            info = encode_block_flags(
                 &mut self.codec_scratch,
                 self.levels.codec(level),
                 &self.buf,
                 &mut self.frame_scratch,
+                flags,
             );
         }
         self.transport.send(&self.frame_scratch)?;
@@ -456,6 +510,15 @@ impl RecordWriter {
 }
 
 /// Reads length-prefixed records from compressed blocks.
+///
+/// With the default fail-fast [`RecoveryPolicy`] any damaged frame aborts
+/// the transfer with a typed error, exactly as before the fault model.
+/// Under [`RecoveryMode::SkipAndCount`] the reader drops frames that fail
+/// to decode, counts the incidents in [`ChannelStats::recovery`], and —
+/// on streams produced by a record-aligned writer
+/// ([`RecordWriter::set_record_aligned`]) — realigns its record framing at
+/// the next [`FLAG_RECORD_ALIGNED`] block, so every record that did not
+/// share bytes with a damaged or lost block is recovered byte-identically.
 pub struct RecordReader {
     source: Box<dyn BlockSource>,
     buf: Vec<u8>,
@@ -464,10 +527,19 @@ pub struct RecordReader {
     stats: ChannelStats,
     trace: TraceHandle,
     started: std::time::Instant,
+    policy: RecoveryPolicy,
+    /// Set after a skipped frame (or a detected desync): decoded bytes are
+    /// discarded until a block flagged [`FLAG_RECORD_ALIGNED`] arrives.
+    realign: bool,
 }
 
 impl RecordReader {
     pub fn new(source: Box<dyn BlockSource>) -> Self {
+        RecordReader::with_policy(source, RecoveryPolicy::default())
+    }
+
+    /// A reader with an explicit [`RecoveryPolicy`].
+    pub fn with_policy(source: Box<dyn BlockSource>, policy: RecoveryPolicy) -> Self {
         RecordReader {
             source,
             buf: Vec::new(),
@@ -476,7 +548,19 @@ impl RecordReader {
             stats: ChannelStats::default(),
             trace: TraceHandle::disabled(),
             started: std::time::Instant::now(),
+            policy,
+            realign: false,
         }
+    }
+
+    /// The active recovery policy.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Replaces the recovery policy mid-stream.
+    pub fn set_policy(&mut self, policy: RecoveryPolicy) {
+        self.policy = policy;
     }
 
     /// Attaches a trace sink: the reader emits a `"stall"` [`ChannelEvent`]
@@ -517,16 +601,42 @@ impl RecordReader {
                         self.pos = 0;
                     }
                     let before = self.buf.len();
-                    let (header, consumed) = decode_block(&frame, &mut self.buf).map_err(|e| {
-                        NepheleError::Io(std::io::Error::new(
-                            std::io::ErrorKind::InvalidData,
-                            e,
-                        ))
-                    })?;
-                    debug_assert_eq!(consumed, frame.len());
-                    self.stats.app_bytes += (self.buf.len() - before) as u64;
-                    self.stats.wire_bytes += frame.len() as u64;
-                    let _ = header;
+                    match decode_block_limited(&frame, &mut self.buf, self.policy.max_frame) {
+                        Ok((header, _consumed)) => {
+                            if self.realign {
+                                if header.record_aligned {
+                                    // Back on a record boundary.
+                                    self.realign = false;
+                                    self.stats.recovery.resyncs += 1;
+                                } else {
+                                    // Still desynced: this block's bytes
+                                    // cannot be framed; drop them.
+                                    let n = self.buf.len() - before;
+                                    self.buf.truncate(before);
+                                    self.stats.recovery.skipped_bytes += n as u64;
+                                    continue;
+                                }
+                            }
+                            self.stats.app_bytes += (self.buf.len() - before) as u64;
+                            self.stats.wire_bytes += frame.len() as u64;
+                        }
+                        Err(e) => {
+                            if self.policy.mode == RecoveryMode::FailFast {
+                                return Err(NepheleError::Io(std::io::Error::new(
+                                    std::io::ErrorKind::InvalidData,
+                                    e,
+                                )));
+                            }
+                            // Skip-and-count: drop the damaged frame. On a
+                            // record-aligned stream the bytes already in
+                            // `buf` end at a record boundary, so parsing
+                            // them stays valid; realignment gates the next
+                            // appended block.
+                            self.stats.recovery.corrupt_frames += 1;
+                            self.stats.recovery.skipped_bytes += frame.len() as u64;
+                            self.realign = true;
+                        }
+                    }
                 }
                 None => self.eof = true,
             }
@@ -534,29 +644,79 @@ impl RecordReader {
         Ok(true)
     }
 
+    /// Drops all unconsumed buffered bytes (a detected record-framing
+    /// desync) and requires realignment before any further parsing.
+    fn drop_buffered(&mut self) {
+        let n = self.buf.len() - self.pos;
+        self.stats.recovery.skipped_bytes += n as u64;
+        self.pos = self.buf.len();
+        self.realign = true;
+    }
+
     /// Next record, or `None` at a clean end of stream.
+    ///
+    /// In skip-and-count mode an implausible record length (a silent
+    /// desync from a dropped block on a non-aligned stream) and a trailing
+    /// partial record are recovered from rather than fatal; see
+    /// [`ChannelStats::recovery`] for what happened.
     pub fn next_record(&mut self) -> Result<Option<Vec<u8>>> {
-        if !self.ensure(4)? {
-            if self.buf.len() - self.pos != 0 {
+        loop {
+            if !self.ensure(4)? {
+                let leftover = self.buf.len() - self.pos;
+                if leftover != 0 {
+                    if self.policy.mode == RecoveryMode::SkipAndCount {
+                        self.stats.recovery.truncations += 1;
+                        self.stats.recovery.skipped_bytes += leftover as u64;
+                        self.pos = self.buf.len();
+                        return Ok(None);
+                    }
+                    return Err(NepheleError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "trailing partial record",
+                    )));
+                }
+                return Ok(None);
+            }
+            // Peek the length; only consume once the whole record is here,
+            // so recovery never leaves a half-parsed record behind.
+            let len =
+                u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap()) as usize;
+            if len as u64 > self.policy.max_frame as u64 {
+                if self.policy.mode == RecoveryMode::SkipAndCount {
+                    // Record framing desynced (e.g. a dropped block on a
+                    // stream without alignment flags): drop the buffered
+                    // bytes and realign at the next aligned block.
+                    self.stats.recovery.corrupt_frames += 1;
+                    self.drop_buffered();
+                    continue;
+                }
                 return Err(NepheleError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "trailing partial record",
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "implausible record length {len} (cap {}): record framing desynced",
+                        self.policy.max_frame
+                    ),
                 )));
             }
-            return Ok(None);
+            if !self.ensure(4 + len)? {
+                let leftover = self.buf.len() - self.pos;
+                if self.policy.mode == RecoveryMode::SkipAndCount {
+                    self.stats.recovery.truncations += 1;
+                    self.stats.recovery.skipped_bytes += leftover as u64;
+                    self.pos = self.buf.len();
+                    return Ok(None);
+                }
+                return Err(NepheleError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "record body truncated",
+                )));
+            }
+            self.pos += 4;
+            let rec = self.buf[self.pos..self.pos + len].to_vec();
+            self.pos += len;
+            self.stats.records += 1;
+            return Ok(Some(rec));
         }
-        let len = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap()) as usize;
-        self.pos += 4;
-        if !self.ensure(len)? {
-            return Err(NepheleError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "record body truncated",
-            )));
-        }
-        let rec = self.buf[self.pos..self.pos + len].to_vec();
-        self.pos += len;
-        self.stats.records += 1;
-        Ok(Some(rec))
     }
 
     /// Reader-side statistics.
@@ -765,6 +925,105 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn aligned_writer_flags_blocks_and_roundtrips() {
+        let (tx, rx) = mem_pair(1024);
+        let mut w = RecordWriter::new(
+            Box::new(tx),
+            &CompressionMode::Static(1),
+            LevelSet::paper_default(),
+            2.0,
+        );
+        w.set_record_aligned(true);
+        let records: Vec<Vec<u8>> =
+            (0..300).map(|i| format!("aligned record {i} ").repeat(40).into_bytes()).collect();
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        w.finish().unwrap();
+        let mut reader = RecordReader::new(Box::new(rx));
+        let mut out = Vec::new();
+        while let Some(r) = reader.next_record().unwrap() {
+            out.push(r);
+        }
+        assert_eq!(out, records);
+    }
+
+    #[test]
+    fn skip_mode_drops_corrupt_block_and_recovers_aligned_records() {
+        use adcomp_codecs::frame::RecoveryPolicy;
+        // Build an aligned stream, then damage exactly one middle frame.
+        let (tx, rx) = mem_pair(4096);
+        let mut w = RecordWriter::new(
+            Box::new(tx),
+            &CompressionMode::Static(1),
+            LevelSet::paper_default(),
+            2.0,
+        );
+        w.set_record_aligned(true);
+        let records: Vec<Vec<u8>> =
+            (0..1200).map(|i| format!("rec {i} ").repeat(60).into_bytes()).collect();
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        let wstats = w.finish().unwrap();
+        let blocks: u64 = wstats.blocks_per_level.iter().sum();
+        assert!(blocks >= 3, "need several blocks, got {blocks}");
+
+        // Re-route through a corrupting middleman: flip a payload byte of
+        // the second frame.
+        let (tx2, rx2) = mem_pair(4096);
+        let mut tx2: Box<dyn BlockTransport> = Box::new(tx2);
+        let mut idx = 0u64;
+        {
+            let mut src: Box<dyn BlockSource> = Box::new(rx);
+            while let Some(mut frame) = src.recv().unwrap() {
+                if idx == 1 {
+                    let k = adcomp_codecs::frame::HEADER_LEN + 3;
+                    frame[k] ^= 0x40;
+                }
+                tx2.send(&frame).unwrap();
+                idx += 1;
+            }
+        }
+        tx2.close().unwrap();
+
+        let mut reader =
+            RecordReader::with_policy(Box::new(rx2), RecoveryPolicy::skip_and_count());
+        let mut out = Vec::new();
+        while let Some(r) = reader.next_record().unwrap() {
+            out.push(r);
+        }
+        let rec = reader.stats().recovery;
+        assert_eq!(rec.corrupt_frames, 1);
+        assert_eq!(rec.resyncs, 1);
+        assert!(out.len() < records.len(), "some records must be lost");
+        // Every surviving record is byte-identical to an original, in order.
+        let mut it = records.iter();
+        for r in &out {
+            assert!(it.any(|orig| orig == r), "recovered record not in original order");
+        }
+    }
+
+    #[test]
+    fn fail_fast_reader_errors_on_corrupt_block() {
+        let (mut tx, rx) = mem_pair(8);
+        let mut wire = Vec::new();
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&4u32.to_le_bytes());
+        payload.extend_from_slice(b"abcd");
+        adcomp_codecs::frame::encode_block(
+            adcomp_codecs::codec_for(adcomp_codecs::CodecId::Raw),
+            &payload,
+            &mut wire,
+        );
+        wire[adcomp_codecs::frame::HEADER_LEN] ^= 0xFF; // payload damage
+        tx.send(&wire).unwrap();
+        tx.close().unwrap();
+        let mut reader = RecordReader::new(Box::new(rx));
+        assert!(reader.next_record().is_err());
     }
 
     #[test]

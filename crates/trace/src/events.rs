@@ -128,6 +128,28 @@ pub struct ChannelEvent {
     pub level: u32,
 }
 
+/// One fault-or-recovery incident on the transport path.
+///
+/// Emitted by the hardened readers/writers when corruption, truncation or
+/// transient I/O errors are detected — and when the recovery machinery
+/// responds (resync scans, bounded retries, graceful degradation). The
+/// fault-injection layer (`adcomp-faults`) emits the injection side with
+/// the same event kind, so a trace shows cause and response interleaved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "trace events do nothing unless emitted to a sink"]
+pub struct FaultEvent {
+    pub epoch: u64,
+    pub t: f64,
+    /// What happened: `"corrupt_frame"`, `"truncated"`, `"frame_too_large"`,
+    /// `"resync"`, `"retry"`, `"skip"`, `"degrade"`, `"inject_flip"`,
+    /// `"inject_drop"`, `"inject_cut"`, `"inject_transient"`.
+    pub kind: &'static str,
+    /// Bytes involved (skipped, lost, scanned — kind-dependent; 0 if n/a).
+    pub bytes: u64,
+    /// Ordinal detail: retry attempt, block index, … (kind-dependent).
+    pub attempt: u64,
+}
+
 /// The sum type every sink consumes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[must_use = "trace events do nothing unless emitted to a sink"]
@@ -137,6 +159,7 @@ pub enum TraceEvent {
     Codec(CodecEvent),
     Sim(SimEvent),
     Channel(ChannelEvent),
+    Fault(FaultEvent),
 }
 
 impl TraceEvent {
@@ -148,6 +171,7 @@ impl TraceEvent {
             TraceEvent::Codec(_) => "codec",
             TraceEvent::Sim(_) => "sim",
             TraceEvent::Channel(_) => "channel",
+            TraceEvent::Fault(_) => "fault",
         }
     }
 
@@ -159,6 +183,7 @@ impl TraceEvent {
             TraceEvent::Codec(e) => e.epoch,
             TraceEvent::Sim(e) => e.epoch,
             TraceEvent::Channel(e) => e.epoch,
+            TraceEvent::Fault(e) => e.epoch,
         }
     }
 
@@ -170,6 +195,7 @@ impl TraceEvent {
             TraceEvent::Codec(e) => e.t,
             TraceEvent::Sim(e) => e.t,
             TraceEvent::Channel(e) => e.t,
+            TraceEvent::Fault(e) => e.t,
         }
     }
 
@@ -225,6 +251,13 @@ impl TraceEvent {
                 o.u64_field("wait_ns", e.wait_ns);
                 o.u64_field("level", e.level as u64);
             }
+            TraceEvent::Fault(e) => {
+                o.u64_field("epoch", e.epoch);
+                o.f64_field("t", e.t);
+                o.str_field("kind", e.kind);
+                o.u64_field("bytes", e.bytes);
+                o.u64_field("attempt", e.attempt);
+            }
         }
         o.finish()
     }
@@ -255,6 +288,11 @@ impl From<ChannelEvent> for TraceEvent {
         TraceEvent::Channel(e)
     }
 }
+impl From<FaultEvent> for TraceEvent {
+    fn from(e: FaultEvent) -> Self {
+        TraceEvent::Fault(e)
+    }
+}
 
 /// Per-kind event counts — the manifest's summary of a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -264,6 +302,7 @@ pub struct EventCounts {
     pub codec: u64,
     pub sim: u64,
     pub channel: u64,
+    pub fault: u64,
 }
 
 impl EventCounts {
@@ -274,6 +313,7 @@ impl EventCounts {
             TraceEvent::Codec(_) => self.codec += 1,
             TraceEvent::Sim(_) => self.sim += 1,
             TraceEvent::Channel(_) => self.channel += 1,
+            TraceEvent::Fault(_) => self.fault += 1,
         }
     }
 
@@ -286,7 +326,7 @@ impl EventCounts {
     }
 
     pub fn total(&self) -> u64 {
-        self.decision + self.epoch + self.codec + self.sim + self.channel
+        self.decision + self.epoch + self.codec + self.sim + self.channel + self.fault
     }
 
     /// Serializes as a JSON object fragment.
@@ -298,6 +338,7 @@ impl EventCounts {
         o.u64_field("codec", self.codec);
         o.u64_field("sim", self.sim);
         o.u64_field("channel", self.channel);
+        o.u64_field("fault", self.fault);
         o.u64_field("total", self.total());
         o.finish()
     }

@@ -134,8 +134,10 @@ impl PromSnapshot {
 /// families.
 #[derive(Debug)]
 pub struct TraceStats {
-    counts: [(&'static str, u64); 5],
+    counts: [(&'static str, u64); 6],
     case_counts: Vec<(&'static str, u64)>,
+    fault_kinds: Vec<(&'static str, u64)>,
+    fault_bytes: u64,
     level_epochs: Vec<(u32, u64)>,
     cdr: OnlineStats,
     epoch_rate: OnlineStats,
@@ -153,8 +155,17 @@ impl TraceStats {
     /// Aggregates `events` (typically one run's slice).
     pub fn from_events(events: &[TraceEvent]) -> Self {
         let mut s = TraceStats {
-            counts: [("decision", 0), ("epoch", 0), ("codec", 0), ("sim", 0), ("channel", 0)],
+            counts: [
+                ("decision", 0),
+                ("epoch", 0),
+                ("codec", 0),
+                ("sim", 0),
+                ("channel", 0),
+                ("fault", 0),
+            ],
             case_counts: Vec::new(),
+            fault_kinds: Vec::new(),
+            fault_bytes: 0,
             level_epochs: Vec::new(),
             cdr: OnlineStats::new(),
             epoch_rate: OnlineStats::new(),
@@ -197,6 +208,11 @@ impl TraceStats {
                         s.stalls += 1;
                         s.stall_ns += e.wait_ns;
                     }
+                }
+                TraceEvent::Fault(e) => {
+                    s.counts[5].1 += 1;
+                    bump(&mut s.fault_kinds, e.kind);
+                    s.fault_bytes += e.bytes;
                 }
             }
         }
@@ -265,6 +281,22 @@ impl TraceStats {
                 "Per-block compression time.",
                 &[],
                 &self.compress_us,
+            );
+        }
+        for (kind, n) in &self.fault_kinds {
+            p.counter(
+                "adcomp_faults_total",
+                "Transport faults and recovery actions by kind.",
+                &[("kind", kind)],
+                *n,
+            );
+        }
+        if self.counts[5].1 > 0 {
+            p.counter(
+                "adcomp_fault_bytes_total",
+                "Bytes involved in faults (skipped, scanned, lost).",
+                &[],
+                self.fault_bytes,
             );
         }
         if self.stalls > 0 {

@@ -131,6 +131,82 @@ impl Fluctuation for OnOff {
     }
 }
 
+/// Forwarding impl so combinators like [`Outages`] can wrap an
+/// already-boxed process (e.g. the one a [`SharedLink`](crate::link)
+/// was built with).
+impl Fluctuation for Box<dyn Fluctuation> {
+    fn factor_at(&mut self, t: f64) -> f64 {
+        (**self).factor_at(t)
+    }
+}
+
+/// Deterministic full link outages layered over any base process.
+///
+/// Unlike [`OnOff`], whose "bad" state still trickles a few percent of
+/// line rate, an outage forces the factor to **exactly zero** — the link
+/// is dead, nothing moves. This models the hard stalls the chaos soak
+/// drives through [`SharedLink`](crate::link::SharedLink): live-migration
+/// blackouts, ARP storms, or a neighbour VM saturating the host NIC
+/// queue outright. Up/outage sojourns are exponentially distributed from
+/// a dedicated seeded stream, so two processes built with the same seed
+/// stall at the same virtual times.
+pub struct Outages<F: Fluctuation> {
+    inner: F,
+    mean_up_s: f64,
+    mean_outage_s: f64,
+    up: bool,
+    until_t: f64,
+    outages_seen: u64,
+    rng: Prng,
+}
+
+impl<F: Fluctuation> Outages<F> {
+    /// `mean_up_s` / `mean_outage_s` are the mean sojourn times of the
+    /// healthy and dead states.
+    pub fn new(inner: F, mean_up_s: f64, mean_outage_s: f64, seed: u64) -> Self {
+        assert!(mean_up_s > 0.0 && mean_outage_s > 0.0);
+        Outages {
+            inner,
+            mean_up_s,
+            mean_outage_s,
+            // The first `factor_at` flip lands in the *up* state, so a
+            // fresh link starts healthy (mirrors `OnOff` mechanics).
+            up: false,
+            until_t: 0.0,
+            outages_seen: 0,
+            rng: Prng::new(seed ^ 0x007A6E5),
+        }
+    }
+
+    /// How many distinct outage windows have started so far.
+    pub fn outages_seen(&self) -> u64 {
+        self.outages_seen
+    }
+
+    /// Fraction of time the link is expected to be up in the long run.
+    pub fn availability(&self) -> f64 {
+        self.mean_up_s / (self.mean_up_s + self.mean_outage_s)
+    }
+}
+
+impl<F: Fluctuation> Fluctuation for Outages<F> {
+    fn factor_at(&mut self, t: f64) -> f64 {
+        while t >= self.until_t {
+            self.up = !self.up;
+            let mean = if self.up { self.mean_up_s } else { self.mean_outage_s };
+            if !self.up {
+                self.outages_seen += 1;
+            }
+            self.until_t += self.rng.exp(mean);
+        }
+        if self.up {
+            self.inner.factor_at(t)
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Scales another process's deviation from 1.0 (used to derive platform
 /// variants from one base process).
 pub struct Scaled<F: Fluctuation> {
@@ -232,6 +308,55 @@ mod tests {
             let s = scaled.factor_at(t);
             assert!((s - 1.0).abs() <= (b - 1.0).abs() + 1e-12);
         }
+    }
+
+    #[test]
+    fn outages_force_factor_to_exact_zero() {
+        let mut p = Outages::new(Constant, 0.05, 0.02, 9);
+        let mut zeros = 0u32;
+        let mut ones = 0u32;
+        for i in 0..50_000 {
+            let f = p.factor_at(i as f64 * 0.001);
+            if f == 0.0 {
+                zeros += 1;
+            } else if f == 1.0 {
+                ones += 1;
+            } else {
+                panic!("outage combinator leaked factor {f}");
+            }
+        }
+        assert!(zeros > 0 && ones > 0, "zeros {zeros} ones {ones}");
+        assert!(p.outages_seen() > 10);
+        let frac_up = ones as f64 / 50_000.0;
+        assert!((frac_up - p.availability()).abs() < 0.08, "up fraction {frac_up}");
+    }
+
+    #[test]
+    fn outages_pass_inner_process_through_when_up() {
+        // Same seed: the wrapped AR(1) must agree with a bare copy at
+        // every up-instant (outages never perturb the inner stream at
+        // times it actually gets sampled).
+        let mut bare = Ar1::new(0.9, 0.05, 0.01, 21);
+        // mean_up so large the first up window effectively never ends.
+        let mut wrapped = Outages::new(Ar1::new(0.9, 0.05, 0.01, 21), 1e9, 100.0, 4);
+        for i in 0..40 {
+            let t = i as f64 * 0.005;
+            assert_eq!(wrapped.factor_at(t), bare.factor_at(t));
+        }
+    }
+
+    #[test]
+    fn outages_deterministic_and_boxable() {
+        let mk = || {
+            let inner: Box<dyn Fluctuation> = Box::new(OnOff::ec2(5));
+            Outages::new(inner, 0.2, 0.05, 77)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for i in 0..5_000 {
+            let t = i as f64 * 0.002;
+            assert_eq!(a.factor_at(t), b.factor_at(t));
+        }
+        assert_eq!(a.outages_seen(), b.outages_seen());
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub mod speed;
 pub use cpu::{CpuAccuracyModel, CpuBreakdown};
 pub use disk::VirtualDisk;
 pub use filepipe::{run_file_transfer, FileOutcome, FileTransferConfig};
-pub use fluctuation::{Ar1, Constant, Fluctuation, OnOff};
-pub use link::SharedLink;
+pub use fluctuation::{Ar1, Constant, Fluctuation, OnOff, Outages, Scaled};
+pub use link::{FlowChurn, SharedLink};
 pub use multiflow::{
     run_multiflow, run_multiflow_traced, FlowOutcome, FlowSpec, MultiFlowConfig, MultiFlowOutcome,
 };

@@ -15,7 +15,54 @@
 //! factor on the guest (virtualization backends of co-located VMs compete
 //! for host cycles serving I/O).
 
-use crate::fluctuation::Fluctuation;
+use crate::fluctuation::{Fluctuation, Outages};
+use adcomp_corpus::Prng;
+
+/// A seeded birth/death process over the number of co-located background
+/// flows — cloud neighbours come and go.
+///
+/// The count random-walks one step at a time between `min_flows` and
+/// `max_flows` with exponentially distributed sojourns, sampled at
+/// monotone virtual times like a [`Fluctuation`]. Attach to a link with
+/// [`SharedLink::with_flow_churn`]; two walks built from the same seed
+/// produce identical contention histories.
+#[derive(Debug, Clone)]
+pub struct FlowChurn {
+    min_flows: usize,
+    max_flows: usize,
+    mean_sojourn_s: f64,
+    cur: usize,
+    until_t: f64,
+    rng: Prng,
+}
+
+impl FlowChurn {
+    pub fn new(min_flows: usize, max_flows: usize, mean_sojourn_s: f64, seed: u64) -> Self {
+        assert!(min_flows <= max_flows && mean_sojourn_s > 0.0);
+        FlowChurn {
+            min_flows,
+            max_flows,
+            mean_sojourn_s,
+            cur: min_flows,
+            until_t: 0.0,
+            rng: Prng::new(seed ^ 0xF10C),
+        }
+    }
+
+    /// Background-flow count at virtual time `t` (non-decreasing `t`).
+    pub fn flows_at(&mut self, t: f64) -> usize {
+        while t >= self.until_t {
+            let up = self.rng.below(2) == 1;
+            self.cur = if up {
+                (self.cur + 1).min(self.max_flows)
+            } else {
+                self.cur.saturating_sub(1).max(self.min_flows)
+            };
+            self.until_t += self.rng.exp(self.mean_sojourn_s);
+        }
+        self.cur
+    }
+}
 
 /// A point-to-point link shared with `n` co-located background flows.
 pub struct SharedLink {
@@ -23,18 +70,58 @@ pub struct SharedLink {
     background_flows: usize,
     contention_beta: f64,
     fluct: Box<dyn Fluctuation>,
+    churn: Option<FlowChurn>,
+    /// Consecutive zero-bandwidth virtual time after which
+    /// [`transmit_secs`](SharedLink::transmit_secs) gives up and reports
+    /// an infinite transfer (dead link) instead of spinning.
+    max_stall_secs: f64,
 }
 
 impl SharedLink {
     pub fn new(base_bw_bps: f64, background_flows: usize, fluct: Box<dyn Fluctuation>) -> Self {
         assert!(base_bw_bps > 0.0);
-        SharedLink { base_bw_bps, background_flows, contention_beta: 0.65, fluct }
+        SharedLink {
+            base_bw_bps,
+            background_flows,
+            contention_beta: 0.65,
+            fluct,
+            churn: None,
+            max_stall_secs: 86_400.0,
+        }
     }
 
     /// Overrides the contention coefficient β.
     pub fn with_beta(mut self, beta: f64) -> Self {
         assert!(beta >= 0.0);
         self.contention_beta = beta;
+        self
+    }
+
+    /// Layers deterministic full outages (factor exactly 0.0) over the
+    /// link's existing fluctuation process. During an outage nothing
+    /// moves; `transmit_secs` idles across the dead window and resumes
+    /// when the link returns.
+    pub fn with_outages(mut self, mean_up_s: f64, mean_outage_s: f64, seed: u64) -> Self {
+        let inner = std::mem::replace(
+            &mut self.fluct,
+            Box::new(crate::fluctuation::Constant),
+        );
+        self.fluct = Box::new(Outages::new(inner, mean_up_s, mean_outage_s, seed));
+        self
+    }
+
+    /// Makes the background-flow count time-varying. `background_flows`
+    /// from the constructor becomes irrelevant; the churn process rules.
+    pub fn with_flow_churn(mut self, churn: FlowChurn) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Caps how long `transmit_secs` waits through consecutive dead-link
+    /// time before declaring the transfer infinite.
+    pub fn with_max_stall_secs(mut self, secs: f64) -> Self {
+        assert!(secs > 0.0);
+        self.max_stall_secs = secs;
         self
     }
 
@@ -49,28 +136,67 @@ impl SharedLink {
 
     /// Instantaneous foreground bandwidth at virtual time `t` (must be
     /// called with non-decreasing `t`).
+    ///
+    /// Zero-capable: under an [`Outages`] window (or any fluctuation that
+    /// reaches 0.0) this returns exactly `0.0` — the link is dead, not
+    /// merely slow. Callers that divide by the result must check for it;
+    /// [`transmit_secs`](SharedLink::transmit_secs) idles across such
+    /// windows instead.
     pub fn bandwidth_at(&mut self, t: f64) -> f64 {
-        (self.nominal_share_bps() * self.fluct.factor_at(t)).max(1.0)
+        let n = match &mut self.churn {
+            Some(c) => c.flows_at(t),
+            None => self.background_flows,
+        };
+        let share = self.base_bw_bps / (1.0 + self.contention_beta * n as f64);
+        (share * self.fluct.factor_at(t)).max(0.0)
     }
 
     /// Time to transmit `bytes` starting at time `t`, integrating the
     /// (piecewise-sampled) fluctuating bandwidth in small steps.
+    ///
+    /// Dead-link windows (`bandwidth_at == 0`) advance virtual time
+    /// without moving bytes. Short stalls are walked at the sampling
+    /// step; after ~1 s of continuous silence the probe interval doubles
+    /// (capped at 60 s) so an hours-long outage costs thousands of
+    /// samples, not millions. If the link stays dead for more than
+    /// `max_stall_secs` of consecutive virtual time the transfer is
+    /// declared lost and `f64::INFINITY` is returned — the simulation
+    /// never hangs on a link that will not come back.
     pub fn transmit_secs(&mut self, bytes: u64, t: f64) -> f64 {
         // Sample the rate at most every 10 ms of virtual time so long
         // transmissions see fluctuation, while short blocks cost one sample.
         const STEP: f64 = 0.010;
+        const MAX_PROBE: f64 = 60.0;
         let mut remaining = bytes as f64;
         let mut now = t;
-        let mut guard = 0;
+        let mut stalled = 0.0f64;
+        let mut probe = STEP;
+        let mut guard = 0u64;
         while remaining > 0.0 {
             let bw = self.bandwidth_at(now);
-            let horizon = bw * STEP;
-            if remaining <= horizon {
-                now += remaining / bw;
-                break;
+            if bw <= 0.0 {
+                if stalled >= self.max_stall_secs {
+                    return f64::INFINITY;
+                }
+                // Exponential back-off probing once the outage outlives
+                // plain stepping; overshoot past the outage end is at
+                // most one probe interval.
+                if stalled > 1.0 {
+                    probe = (probe * 2.0).min(MAX_PROBE);
+                }
+                now += probe;
+                stalled += probe;
+            } else {
+                stalled = 0.0;
+                probe = STEP;
+                let horizon = bw * STEP;
+                if remaining <= horizon {
+                    now += remaining / bw;
+                    break;
+                }
+                remaining -= horizon;
+                now += STEP;
             }
-            remaining -= horizon;
-            now += STEP;
             guard += 1;
             debug_assert!(guard < 100_000_000, "transmit_secs runaway");
         }
@@ -148,5 +274,110 @@ mod tests {
     fn beta_override() {
         let l = SharedLink::new(100e6, 1, Box::new(Constant)).with_beta(1.0);
         assert!((l.nominal_share_bps() - 50e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn outages_stall_transfers_deterministically() {
+        // 50 % availability on a 50 ms timescale: a multi-second transfer
+        // is guaranteed to cross many dead windows.
+        let mk = || {
+            SharedLink::new(100e6, 0, Box::new(Constant)).with_outages(0.05, 0.05, 42)
+        };
+        let clean =
+            SharedLink::new(100e6, 0, Box::new(Constant)).transmit_secs(200_000_000, 0.0);
+        let (a, b) =
+            (mk().transmit_secs(200_000_000, 0.0), mk().transmit_secs(200_000_000, 0.0));
+        assert_eq!(a, b, "same seed must stall identically");
+        assert!(a.is_finite());
+        assert!(a > clean * 1.5, "outages must cost time: {a} vs clean {clean}");
+    }
+
+    #[test]
+    fn outage_windows_report_exact_zero_bandwidth() {
+        let mut l = SharedLink::new(100e6, 0, Box::new(Constant)).with_outages(0.05, 0.05, 7);
+        let mut zeros = 0u32;
+        for i in 0..10_000 {
+            let bw = l.bandwidth_at(i as f64 * 0.001);
+            assert!(bw == 0.0 || (bw - 100e6).abs() < 1e-3, "bw {bw}");
+            if bw == 0.0 {
+                zeros += 1;
+            }
+        }
+        assert!(zeros > 100, "expected dead windows, saw {zeros}");
+    }
+
+    #[test]
+    fn permanently_dead_link_reports_infinite_transfer() {
+        struct Dead;
+        impl crate::fluctuation::Fluctuation for Dead {
+            fn factor_at(&mut self, _t: f64) -> f64 {
+                0.0
+            }
+        }
+        let mut l =
+            SharedLink::new(100e6, 0, Box::new(Dead)).with_max_stall_secs(30.0);
+        let secs = l.transmit_secs(1_000, 0.0);
+        assert!(secs.is_infinite(), "dead link must not pretend to finish: {secs}");
+        // Zero bytes still transmit instantly even on a dead link.
+        assert_eq!(l.transmit_secs(0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn long_outage_is_probed_cheaply_and_survived() {
+        // One up window, then an outage lasting ~minutes: exponential
+        // probing must cross it without hitting the runaway guard and the
+        // transfer must complete once the link returns.
+        struct LongBlackout {
+            until: f64,
+            resume: f64,
+        }
+        impl crate::fluctuation::Fluctuation for LongBlackout {
+            fn factor_at(&mut self, t: f64) -> f64 {
+                if t < self.until || t >= self.resume {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+        let mut l = SharedLink::new(
+            100e6,
+            0,
+            Box::new(LongBlackout { until: 0.1, resume: 600.0 }),
+        );
+        let secs = l.transmit_secs(50_000_000, 0.0);
+        // 0.1 s of transfer, ~600 s dead, remainder after resume.
+        assert!(secs.is_finite() && secs > 599.0 && secs < 700.0, "got {secs}");
+    }
+
+    #[test]
+    fn flow_churn_varies_contention_deterministically() {
+        let mk = || {
+            SharedLink::new(100e6, 0, Box::new(Constant))
+                .with_flow_churn(FlowChurn::new(0, 3, 0.05, 11))
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let mut distinct = std::collections::BTreeSet::new();
+        for i in 0..5_000 {
+            let t = i as f64 * 0.002;
+            let (x, y) = (a.bandwidth_at(t), b.bandwidth_at(t));
+            assert_eq!(x, y);
+            distinct.insert((x / 1e3) as i64);
+        }
+        assert!(distinct.len() >= 3, "churn should visit several contention levels: {distinct:?}");
+        // Churned transfers also stay deterministic end to end.
+        assert_eq!(
+            mk().transmit_secs(20_000_000, 0.0),
+            mk().transmit_secs(20_000_000, 0.0)
+        );
+    }
+
+    #[test]
+    fn flow_churn_walk_respects_bounds() {
+        let mut c = FlowChurn::new(1, 4, 0.01, 3);
+        for i in 0..20_000 {
+            let n = c.flows_at(i as f64 * 0.001);
+            assert!((1..=4).contains(&n), "walk escaped bounds: {n}");
+        }
     }
 }

@@ -11,6 +11,7 @@
 //! adcomp decompress [IN] [OUT]
 //! adcomp probe      [IN]          # report compressibility + per-level ratios
 //! adcomp trace      [-l LEVEL] [-t EPOCH_S] [--class C] [--flows N] [--gb G] [OUT.jsonl]
+//! adcomp chaos      [--runs N] [--seed S] [--cases]   # fault-injection soak
 //! ```
 //!
 //! `IN`/`OUT` default to stdin/stdout; `-` selects them explicitly.
@@ -37,6 +38,9 @@ struct Options {
     class: Class,
     flows: usize,
     gb: f64,
+    runs: usize,
+    seed: u64,
+    cases: bool,
     input: Option<String>,
     output: Option<String>,
 }
@@ -47,8 +51,10 @@ fn usage() -> ! {
          \x20      adcomp decompress [IN] [OUT]\n\
          \x20      adcomp probe      [IN]\n\
          \x20      adcomp trace      [-l LEVEL] [-t EPOCH_S] [--class C] [--flows N] [--gb G] [OUT.jsonl]\n\
+         \x20      adcomp chaos      [--runs N] [--seed S] [--cases]\n\
          LEVEL: NO | LIGHT | MEDIUM | HEAVY | DYNAMIC (default DYNAMIC)\n\
-         C    : HIGH | MODERATE | LOW (default HIGH); N: 0..=3 (default 2); G: simulated GB (default 2)"
+         C    : HIGH | MODERATE | LOW (default HIGH); N: 0..=3 (default 2); G: simulated GB (default 2)\n\
+         chaos: N seeded fault-injection runs (default 64); --cases streams per-case JSON lines"
     );
     std::process::exit(2)
 }
@@ -81,6 +87,9 @@ fn parse_options(args: &[String]) -> Options {
         class: Class::High,
         flows: 2,
         gb: 2.0,
+        runs: 64,
+        seed: 0xC4405,
+        cases: false,
         input: None,
         output: None,
     };
@@ -130,6 +139,19 @@ fn parse_options(args: &[String]) -> Options {
                     std::process::exit(2);
                 }
             }
+            "--runs" => {
+                i += 1;
+                opts.runs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if opts.runs == 0 {
+                    eprintln!("runs must be positive");
+                    std::process::exit(2);
+                }
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--cases" => opts.cases = true,
             "-h" | "--help" => usage(),
             other => {
                 if opts.input.is_none() {
@@ -317,6 +339,43 @@ fn cmd_trace(opts: Options) -> io::Result<()> {
     Ok(())
 }
 
+/// Runs the seeded fault-injection soak grid in-process and reports the
+/// deterministic summary JSON on stdout (one line — diffable across
+/// machines and thread counts). Exits non-zero if any case breaks the
+/// soak contract (panic, silent corruption or order violation).
+fn cmd_chaos(opts: Options) -> io::Result<()> {
+    use adcomp_faults::soak::{grid, run_case, summarize};
+
+    let cases = grid(opts.seed, opts.runs);
+    let results: Vec<_> = cases.iter().map(run_case).collect();
+    if opts.cases {
+        for r in &results {
+            println!("{}", r.to_json());
+        }
+    }
+    let summary = summarize(&results);
+    println!("{}", summary.to_json());
+    for r in results.iter().filter(|r| !r.ok()).take(8) {
+        eprintln!("adcomp chaos: CONTRACT BROKEN: {}", r.to_json());
+    }
+    eprintln!(
+        "adcomp chaos: {} runs (seed {:#x}): {} recovered, {} typed errors, {} panics, \
+         {}/{} items intact",
+        summary.runs,
+        opts.seed,
+        summary.recovered_runs,
+        summary.typed_errors,
+        summary.panics,
+        summary.items_recovered,
+        summary.items_written,
+    );
+    if summary.all_ok() {
+        Ok(())
+    } else {
+        Err(io::Error::other("chaos soak contract broken (see stderr)"))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -326,6 +385,7 @@ fn main() -> ExitCode {
         "decompress" | "d" => cmd_decompress(opts),
         "probe" | "p" => cmd_probe(opts),
         "trace" | "t" => cmd_trace(opts),
+        "chaos" => cmd_chaos(opts),
         _ => usage(),
     };
     match result {

@@ -42,6 +42,7 @@
 pub use adcomp_codecs as codecs;
 pub use adcomp_core as core;
 pub use adcomp_corpus as corpus;
+pub use adcomp_faults as faults;
 pub use adcomp_hostprobe as hostprobe;
 pub use adcomp_metrics as metrics;
 pub use adcomp_nephele as nephele;
