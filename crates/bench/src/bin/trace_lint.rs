@@ -5,7 +5,7 @@
 //! (`adcomp_trace::json::validate_line`), plus structural rules:
 //!
 //! * every line is a single valid JSON object whose first key is `ev`;
-//! * `ev` is one of `manifest | decision | epoch | codec | sim | channel | fault`;
+//! * `ev` is one of `manifest | decision | epoch | codec | sim | channel | fault | pipeline`;
 //! * each stream contains at least one manifest, and manifests precede the
 //!   events they describe;
 //! * per-kind event counts match what each manifest declared.
@@ -19,7 +19,8 @@ use adcomp_trace::json::validate_line;
 use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
 
-const KINDS: [&str; 7] = ["manifest", "decision", "epoch", "codec", "sim", "channel", "fault"];
+const KINDS: [&str; 8] =
+    ["manifest", "decision", "epoch", "codec", "sim", "channel", "fault", "pipeline"];
 
 /// Extracts the string value of a top-level `"key":"value"` pair. The trace
 /// format is machine-generated with a fixed key order, so plain scanning is
@@ -51,11 +52,12 @@ fn lint_file(path: &str) -> std::io::Result<FileReport> {
     let mut report = FileReport { lines: 0, manifests: 0, events: 0, errors: 0 };
     // Event counts for the most recent manifest, checked when the next
     // manifest (or EOF) closes its section.
-    let mut declared: Option<[u64; 6]> = None; // decision, epoch, codec, sim, channel, fault
-    let mut seen = [0u64; 6];
+    // decision, epoch, codec, sim, channel, fault, pipeline
+    let mut declared: Option<[u64; 7]> = None;
+    let mut seen = [0u64; 7];
     let mut manifest_line = 0usize;
-    let check_section = |declared: &mut Option<[u64; 6]>,
-                            seen: &mut [u64; 6],
+    let check_section = |declared: &mut Option<[u64; 7]>,
+                            seen: &mut [u64; 7],
                             at: usize,
                             errors: &mut usize| {
         if let Some(d) = declared.take() {
@@ -66,7 +68,7 @@ fn lint_file(path: &str) -> std::io::Result<FileReport> {
                 *errors += 1;
             }
         }
-        *seen = [0; 6];
+        *seen = [0; 7];
     };
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
@@ -106,6 +108,7 @@ fn lint_file(path: &str) -> std::io::Result<FileReport> {
                 u64_value(&line, "sim").unwrap_or(0),
                 u64_value(&line, "channel").unwrap_or(0),
                 u64_value(&line, "fault").unwrap_or(0),
+                u64_value(&line, "pipeline").unwrap_or(0),
             ]);
         } else {
             report.events += 1;

@@ -339,6 +339,36 @@ impl<W: Write, S: TraceSink> FrameWriter<W, S> {
         Ok(info)
     }
 
+    /// Writes a frame that was encoded elsewhere (e.g. on a worker pool),
+    /// updating the same totals and emitting the same [`CodecEvent`] as
+    /// [`FrameWriter::write_block`]. `requested` is the codec the caller
+    /// asked for (the event's level name — `info.codec` may be `Raw` after
+    /// fallback), `compress_ns` the caller-measured encode time.
+    pub fn write_frame(
+        &mut self,
+        requested: CodecId,
+        frame: &[u8],
+        info: BlockInfo,
+        compress_ns: u64,
+    ) -> io::Result<()> {
+        if self.sink.enabled() {
+            self.sink.emit(&TraceEvent::Codec(CodecEvent {
+                epoch: self.trace_epoch,
+                t: self.trace_t,
+                level: requested.level_name(),
+                in_bytes: info.uncompressed_len as u64,
+                out_bytes: info.frame_len as u64,
+                compress_ns,
+                raw_fallback: info.raw_fallback,
+            }));
+        }
+        self.inner.write_all(frame)?;
+        self.app_bytes += info.uncompressed_len as u64;
+        self.wire_bytes += info.frame_len as u64;
+        self.blocks += 1;
+        Ok(())
+    }
+
     pub fn flush(&mut self) -> io::Result<()> {
         self.inner.flush()
     }
@@ -756,6 +786,57 @@ impl<R: Read, S: TraceSink> FrameReader<R, S> {
     /// two apart).
     pub fn read_block(&mut self, out: &mut Vec<u8>) -> io::Result<Option<FrameHeader>> {
         loop {
+            let Some((header, header_bytes)) = self.read_valid_frame()? else {
+                return Ok(None);
+            };
+            let out_start = out.len();
+            if let Err(e) = codec_for(header.codec).decompress(
+                &self.payload_buf,
+                header.uncompressed_len as usize,
+                out,
+            ) {
+                out.truncate(out_start);
+                let plen = header.payload_len as usize;
+                if self.recover_corrupt(e, &header_bytes, plen)? {
+                    continue;
+                }
+                return Ok(None);
+            }
+            self.app_bytes += header.uncompressed_len as u64;
+            self.wire_bytes += (HEADER_LEN + header.payload_len as usize) as u64;
+            self.blocks += 1;
+            return Ok(Some(header));
+        }
+    }
+
+    /// Reads the next CRC-valid frame *without* decompressing it: the
+    /// payload is copied into `payload` and the parsed header returned.
+    /// All header/length/CRC validation and the full recovery machinery
+    /// (retry, resync, truncation handling) run exactly as in
+    /// [`FrameReader::read_block`]; only the decompression step is left to
+    /// the caller. This is the parallel-decode seam: a reader thread pulls
+    /// validated frames in wire order and hands the pure
+    /// payload-decompression to a worker pool. Updates `wire_bytes` and
+    /// `blocks` (`app_bytes` is the decoding caller's to account).
+    pub fn read_frame(&mut self, payload: &mut Vec<u8>) -> io::Result<Option<FrameHeader>> {
+        match self.read_valid_frame()? {
+            Some((header, _)) => {
+                payload.clear();
+                payload.extend_from_slice(&self.payload_buf);
+                self.wire_bytes += (HEADER_LEN + header.payload_len as usize) as u64;
+                self.blocks += 1;
+                Ok(Some(header))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// The shared read loop: next frame whose header parses, passes the
+    /// length caps and whose payload matches its CRC. On return the payload
+    /// sits in `self.payload_buf`. Recovery per the policy; `Ok(None)` on
+    /// (possibly recovered-to) end of stream.
+    fn read_valid_frame(&mut self) -> io::Result<Option<(FrameHeader, [u8; HEADER_LEN])>> {
+        loop {
             let header_off = self.stream_offset;
             let mut header_bytes = [0u8; HEADER_LEN];
             match self.fill(&mut header_bytes)? {
@@ -828,23 +909,7 @@ impl<R: Read, S: TraceSink> FrameReader<R, S> {
                 }
                 return Ok(None);
             }
-            let out_start = out.len();
-            if let Err(e) = codec_for(header.codec).decompress(
-                &self.payload_buf,
-                header.uncompressed_len as usize,
-                out,
-            ) {
-                out.truncate(out_start);
-                let plen = header.payload_len as usize;
-                if self.recover_corrupt(e, &header_bytes, plen)? {
-                    continue;
-                }
-                return Ok(None);
-            }
-            self.app_bytes += header.uncompressed_len as u64;
-            self.wire_bytes += (HEADER_LEN + header.payload_len as usize) as u64;
-            self.blocks += 1;
-            return Ok(Some(header));
+            return Ok(Some((header, header_bytes)));
         }
     }
 

@@ -16,6 +16,9 @@
 //!   [`AdaptiveReader`]: drop-in `Write`/`Read`
 //!   wrappers that make the whole scheme transparent to the application,
 //!   as in the paper's Nephele integration.
+//! * [`pipeline`] — the bounded worker pools ([`CompressPool`],
+//!   [`DecodePool`]) that parallelize the pure per-block codec work while
+//!   keeping the wire stream byte-identical to the serial path.
 //!
 //! ## Quick start
 //!
@@ -39,6 +42,7 @@ pub mod controller;
 pub mod duplex;
 pub mod epoch;
 pub mod model;
+pub mod pipeline;
 pub mod stream;
 
 pub use controller::{ControllerConfig, Decision, DecisionCase, RateController};
@@ -48,6 +52,7 @@ pub use model::{
     RateBasedModel, SensorThresholdModel, StaticModel, ThresholdSamplingModel, TrainedLevel,
 };
 pub use duplex::{over_tcp, CompressedDuplex};
+pub use pipeline::{Completion, CompressPool, Decoded, DecodePool};
 pub use stream::{AdaptiveReader, AdaptiveWriter, StreamStats};
 
 /// Common imports for downstream users.

@@ -1,0 +1,660 @@
+//! Pipelined parallel block compression and decompression.
+//!
+//! The paper's premise is that the compressing channel must never become
+//! the bottleneck the controller is trying to route around: Algorithm 1
+//! only observes the *application* data rate, so if the codec itself
+//! serializes the hot path, the controller ends up reacting to its own
+//! overhead. This module moves the pure, per-block codec work — and only
+//! that work — onto a bounded worker pool:
+//!
+//! * [`CompressPool`] — encodes application blocks into complete frames on
+//!   `N` workers (each with its own reusable [`Scratch`]) and hands them
+//!   back **in submission order** through a reorder gate, so the wire
+//!   stream is byte-identical to the serial path for any worker count.
+//! * [`DecodePool`] — the mirror image for the read side: CRC-validated
+//!   payloads go in, plaintext blocks come out in wire order. All frame
+//!   parsing, validation and fault recovery stay on the caller's thread
+//!   (see `FrameReader::read_frame`), so recovery semantics are untouched.
+//!
+//! ## Invariants
+//!
+//! * **Ordering**: completions are released strictly by sequence number.
+//!   A frame is never emitted before every lower-numbered frame.
+//! * **Backpressure**: at most `depth` blocks are in flight (queued,
+//!   compressing, or parked in the reorder buffer). A full pipeline blocks
+//!   the submitting thread, so the producer's observed rate — what the
+//!   `EpochDriver` measures — remains the true end-to-end rate rather
+//!   than the rate of filling an unbounded queue.
+//! * **Determinism**: the level for each block is chosen by the caller at
+//!   submission time and travels with the job; workers only run
+//!   `encode_block_flags`, which is a pure function of
+//!   `(codec, input, flags)`. Scheduling therefore cannot change a single
+//!   output byte.
+//!
+//! A worker that panics mid-encode (a codec bug on one specific block)
+//! degrades that block to a raw frame instead of poisoning the stream,
+//! mirroring the serial writer's self-healing path; the completion is
+//! flagged so the caller can force the controller to level 0.
+
+use adcomp_codecs::frame::{encode_block_flags, BlockInfo};
+use adcomp_codecs::{codec_for, CodecError, CodecId, Scratch};
+use adcomp_trace::{PipelineEvent, TraceEvent, TraceHandle, TraceSink as _, NO_EPOCH};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+
+/// Default number of pipeline workers: `ADCOMP_THREADS` if set, otherwise
+/// the machine's available parallelism. `1` means "stay serial".
+pub fn default_workers() -> usize {
+    match std::env::var("ADCOMP_THREADS") {
+        Ok(v) => v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// In-order release gate: completions arrive in any order, leave strictly
+/// by sequence number.
+struct SeqGate<T> {
+    next_emit: u64,
+    stash: BTreeMap<u64, T>,
+}
+
+impl<T> SeqGate<T> {
+    fn new() -> Self {
+        SeqGate { next_emit: 0, stash: BTreeMap::new() }
+    }
+
+    fn park(&mut self, seq: u64, v: T) {
+        self.stash.insert(seq, v);
+    }
+
+    /// Pops every completion that is next in sequence.
+    fn release(&mut self, out: &mut Vec<T>) {
+        while let Some(v) = self.stash.remove(&self.next_emit) {
+            out.push(v);
+            self.next_emit += 1;
+        }
+    }
+
+    fn parked(&self) -> usize {
+        self.stash.len()
+    }
+}
+
+/// One compression job travelling to a worker.
+struct Job {
+    seq: u64,
+    level: usize,
+    codec: CodecId,
+    extra_flags: u8,
+    data: Vec<u8>,
+    /// Test seam: makes this block's encode panic on the worker,
+    /// exercising the degrade-to-raw path.
+    #[cfg(test)]
+    bomb: bool,
+}
+
+/// One finished frame coming back from a worker, in submission order by
+/// the time the caller sees it.
+pub struct Completion {
+    /// Block sequence number (0-based submission order).
+    pub seq: u64,
+    /// Level index the caller chose at submission.
+    pub level: usize,
+    /// Codec the caller requested (before any raw fallback/degrade).
+    pub requested: CodecId,
+    /// The complete frame (header + payload), ready for the wire.
+    pub frame: Vec<u8>,
+    /// Encode outcome, exactly what the serial `write_block` reports.
+    pub info: BlockInfo,
+    /// The worker's encode panicked and the block was re-emitted raw.
+    pub degraded: bool,
+    /// Worker-measured encode time.
+    pub compress_ns: u64,
+    /// The application bytes of the block, returned for buffer reuse.
+    pub data: Vec<u8>,
+}
+
+fn compress_worker(rx: Receiver<Job>, tx: Sender<Completion>) {
+    let mut scratch = Scratch::new();
+    while let Ok(job) = rx.recv() {
+        let mut frame = Vec::new();
+        let start = std::time::Instant::now();
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(test)]
+            if job.bomb {
+                panic!("injected codec bomb");
+            }
+            encode_block_flags(&mut scratch, codec_for(job.codec), &job.data, &mut frame, job.extra_flags)
+        }));
+        let (info, degraded) = match attempt {
+            Ok(info) => (info, false),
+            Err(_panic) => {
+                // The codec failed on this block; its scratch state is
+                // suspect. Replace it and emit the block raw — a plain
+                // copy cannot fail — so the stream survives.
+                scratch = Scratch::new();
+                frame.clear();
+                let info = encode_block_flags(
+                    &mut scratch,
+                    codec_for(CodecId::Raw),
+                    &job.data,
+                    &mut frame,
+                    job.extra_flags,
+                );
+                (info, true)
+            }
+        };
+        let done = Completion {
+            seq: job.seq,
+            level: job.level,
+            requested: job.codec,
+            frame,
+            info,
+            degraded,
+            compress_ns: start.elapsed().as_nanos() as u64,
+            data: job.data,
+        };
+        if tx.send(done).is_err() {
+            break;
+        }
+    }
+}
+
+/// Bounded worker pool turning application blocks into wire frames, in
+/// order. See the module docs for the ordering/backpressure invariants.
+pub struct CompressPool {
+    job_tx: Option<Sender<Job>>,
+    done_rx: Receiver<Completion>,
+    workers: Vec<JoinHandle<()>>,
+    nworkers: usize,
+    depth: usize,
+    next_seq: u64,
+    in_flight: usize,
+    gate: SeqGate<Completion>,
+    trace: TraceHandle,
+    trace_epoch: u64,
+    trace_t: f64,
+    #[cfg(test)]
+    bomb_next: bool,
+}
+
+impl CompressPool {
+    /// A pool with `workers` threads and the default pipeline depth of
+    /// `2 × workers` blocks in flight.
+    pub fn new(workers: usize) -> Self {
+        CompressPool::with_depth(workers, workers * 2)
+    }
+
+    /// Full-control constructor. `depth` bounds the number of blocks in
+    /// flight (submitted but not yet released in order).
+    pub fn with_depth(workers: usize, depth: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let depth = depth.max(workers);
+        let (job_tx, job_rx) = bounded::<Job>(depth);
+        let (done_tx, done_rx) = bounded::<Completion>(depth);
+        let threads = (0..workers)
+            .map(|_| {
+                let rx = job_rx.clone();
+                let tx = done_tx.clone();
+                std::thread::spawn(move || compress_worker(rx, tx))
+            })
+            .collect();
+        CompressPool {
+            job_tx: Some(job_tx),
+            done_rx,
+            workers: threads,
+            nworkers: workers,
+            depth,
+            next_seq: 0,
+            in_flight: 0,
+            gate: SeqGate::new(),
+            trace: TraceHandle::disabled(),
+            trace_epoch: NO_EPOCH,
+            trace_t: 0.0,
+            #[cfg(test)]
+            bomb_next: false,
+        }
+    }
+
+    /// Attaches a trace sink receiving one `PipelineEvent` per
+    /// submit/stall/drain.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// Sets the epoch tag and timestamp stamped onto subsequent events.
+    pub fn set_trace_mark(&mut self, epoch: u64, t: f64) {
+        self.trace_epoch = epoch;
+        self.trace_t = t;
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.nworkers
+    }
+
+    /// Blocks submitted but not yet released in order.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Completed frames parked behind a slower earlier block.
+    pub fn reorder_depth(&self) -> usize {
+        self.gate.parked()
+    }
+
+    #[cfg(test)]
+    pub fn bomb_next_block(&mut self) {
+        self.bomb_next = true;
+    }
+
+    fn emit_event(&self, kind: &'static str, seq: u64) {
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::Pipeline(PipelineEvent {
+                epoch: self.trace_epoch,
+                t: self.trace_t,
+                kind,
+                seq,
+                in_flight: self.in_flight as u32,
+                reorder_depth: self.gate.parked() as u32,
+                workers: self.nworkers as u32,
+            }));
+        }
+    }
+
+    fn collect(&mut self, done: Completion) {
+        self.gate.park(done.seq, done);
+    }
+
+    /// Submits one block for compression at the caller-chosen `level` /
+    /// `codec`, and returns every frame that is now releasable in order.
+    /// Blocks (backpressure) while the pipeline is at capacity.
+    pub fn submit(
+        &mut self,
+        level: usize,
+        codec: CodecId,
+        extra_flags: u8,
+        data: Vec<u8>,
+    ) -> Vec<Completion> {
+        // Backpressure: wait until in-flight drops below the bound. All
+        // lower-numbered blocks are in the pool, so they will complete.
+        while self.in_flight >= self.depth {
+            self.emit_event("stall", self.next_seq);
+            let done = self.done_rx.recv().expect("compress worker pool hung up");
+            self.collect(done);
+            let mut ready = Vec::new();
+            self.gate.release(&mut ready);
+            if !ready.is_empty() {
+                self.in_flight -= ready.len();
+                for c in &ready {
+                    self.emit_event("drain", c.seq);
+                }
+                self.finish_submit(level, codec, extra_flags, data);
+                let mut more = self.drain_ready();
+                ready.append(&mut more);
+                return ready;
+            }
+        }
+        self.finish_submit(level, codec, extra_flags, data);
+        self.drain_ready()
+    }
+
+    fn finish_submit(&mut self, level: usize, codec: CodecId, extra_flags: u8, data: Vec<u8>) {
+        let seq = self.next_seq;
+        let job = Job {
+            seq,
+            level,
+            codec,
+            extra_flags,
+            data,
+            #[cfg(test)]
+            bomb: std::mem::replace(&mut self.bomb_next, false),
+        };
+        self.job_tx
+            .as_ref()
+            .expect("pool already shut down")
+            .send(job)
+            .expect("compress worker pool hung up");
+        self.next_seq += 1;
+        self.in_flight += 1;
+        self.emit_event("submit", seq);
+    }
+
+    /// Opportunistically pulls finished completions without blocking and
+    /// returns everything releasable in order.
+    pub fn drain_ready(&mut self) -> Vec<Completion> {
+        while let Ok(done) = self.done_rx.try_recv() {
+            self.collect(done);
+        }
+        let mut ready = Vec::new();
+        self.gate.release(&mut ready);
+        self.in_flight -= ready.len();
+        for c in &ready {
+            self.emit_event("drain", c.seq);
+        }
+        ready
+    }
+
+    /// Blocks until every in-flight block has completed and returns the
+    /// remaining frames in order. The pool stays usable afterwards.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        let mut ready = self.drain_ready();
+        while self.in_flight > 0 {
+            let done = self.done_rx.recv().expect("compress worker pool hung up");
+            self.collect(done);
+            let mut more = Vec::new();
+            self.gate.release(&mut more);
+            self.in_flight -= more.len();
+            for c in &more {
+                self.emit_event("drain", c.seq);
+            }
+            ready.append(&mut more);
+        }
+        ready
+    }
+}
+
+impl Drop for CompressPool {
+    fn drop(&mut self) {
+        // Closing the job channel lets workers drain and exit.
+        self.job_tx = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One decompression job travelling to a worker.
+struct DecodeJob {
+    seq: u64,
+    codec: CodecId,
+    uncompressed_len: usize,
+    payload: Vec<u8>,
+}
+
+/// One decoded block coming back from a [`DecodePool`] worker.
+pub struct Decoded {
+    /// Frame sequence number (0-based wire order).
+    pub seq: u64,
+    /// The recovered application bytes (empty when `err` is set).
+    pub bytes: Vec<u8>,
+    /// Decode failure, if any. With CRC validation upstream this only
+    /// fires on a checksum collision over corrupt data — the caller maps
+    /// it through its `RecoveryPolicy` exactly like the serial reader.
+    pub err: Option<CodecError>,
+}
+
+fn decode_worker(rx: Receiver<DecodeJob>, tx: Sender<Decoded>) {
+    while let Ok(job) = rx.recv() {
+        let mut bytes = Vec::new();
+        let err = match codec_for(job.codec).decompress(&job.payload, job.uncompressed_len, &mut bytes)
+        {
+            Ok(()) => None,
+            Err(e) => {
+                bytes.clear();
+                Some(e)
+            }
+        };
+        if tx.send(Decoded { seq: job.seq, bytes, err }).is_err() {
+            break;
+        }
+    }
+}
+
+/// Bounded worker pool decompressing CRC-validated frame payloads, in wire
+/// order. Frame parsing, validation and recovery stay with the caller.
+pub struct DecodePool {
+    job_tx: Option<Sender<DecodeJob>>,
+    done_rx: Receiver<Decoded>,
+    workers: Vec<JoinHandle<()>>,
+    nworkers: usize,
+    depth: usize,
+    next_seq: u64,
+    in_flight: usize,
+    gate: SeqGate<Decoded>,
+}
+
+impl DecodePool {
+    /// A pool with `workers` threads and a pipeline depth of `2 × workers`.
+    pub fn new(workers: usize) -> Self {
+        DecodePool::with_depth(workers, workers * 2)
+    }
+
+    pub fn with_depth(workers: usize, depth: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let depth = depth.max(workers);
+        let (job_tx, job_rx) = bounded::<DecodeJob>(depth);
+        let (done_tx, done_rx) = bounded::<Decoded>(depth);
+        let threads = (0..workers)
+            .map(|_| {
+                let rx = job_rx.clone();
+                let tx = done_tx.clone();
+                std::thread::spawn(move || decode_worker(rx, tx))
+            })
+            .collect();
+        DecodePool {
+            job_tx: Some(job_tx),
+            done_rx,
+            workers: threads,
+            nworkers: workers,
+            depth,
+            next_seq: 0,
+            in_flight: 0,
+            gate: SeqGate::new(),
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.nworkers
+    }
+
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    pub fn reorder_depth(&self) -> usize {
+        self.gate.parked()
+    }
+
+    /// True when another frame can be submitted without blocking on the
+    /// pipeline bound.
+    pub fn has_capacity(&self) -> bool {
+        self.in_flight < self.depth
+    }
+
+    /// Submits one validated payload for decompression; returns blocks now
+    /// releasable in wire order. Blocks while the pipeline is at capacity.
+    pub fn submit(&mut self, codec: CodecId, uncompressed_len: usize, payload: Vec<u8>) -> Vec<Decoded> {
+        let mut ready = Vec::new();
+        while self.in_flight >= self.depth {
+            let done = self.done_rx.recv().expect("decode worker pool hung up");
+            self.gate.park(done.seq, done);
+            self.gate.release(&mut ready);
+            self.in_flight -= ready.len();
+        }
+        let job = DecodeJob { seq: self.next_seq, codec, uncompressed_len, payload };
+        self.job_tx
+            .as_ref()
+            .expect("pool already shut down")
+            .send(job)
+            .expect("decode worker pool hung up");
+        self.next_seq += 1;
+        self.in_flight += 1;
+        let mut more = self.drain_ready();
+        ready.append(&mut more);
+        ready
+    }
+
+    /// Non-blocking: everything releasable in wire order right now.
+    pub fn drain_ready(&mut self) -> Vec<Decoded> {
+        while let Ok(done) = self.done_rx.try_recv() {
+            self.gate.park(done.seq, done);
+        }
+        let mut ready = Vec::new();
+        self.gate.release(&mut ready);
+        self.in_flight -= ready.len();
+        ready
+    }
+
+    /// Blocks until at least one block is releasable in wire order (or
+    /// nothing is in flight); returns everything releasable.
+    pub fn wait_ready(&mut self) -> Vec<Decoded> {
+        let mut ready = self.drain_ready();
+        while ready.is_empty() && self.in_flight > 0 {
+            let done = self.done_rx.recv().expect("decode worker pool hung up");
+            self.gate.park(done.seq, done);
+            self.gate.release(&mut ready);
+            self.in_flight -= ready.len();
+        }
+        ready
+    }
+
+    /// Blocks until every in-flight payload is decoded; returns the rest
+    /// in wire order.
+    pub fn drain(&mut self) -> Vec<Decoded> {
+        let mut ready = self.drain_ready();
+        while self.in_flight > 0 {
+            let done = self.done_rx.recv().expect("decode worker pool hung up");
+            self.gate.park(done.seq, done);
+            let before = ready.len();
+            self.gate.release(&mut ready);
+            self.in_flight -= ready.len() - before;
+        }
+        ready
+    }
+}
+
+impl Drop for DecodePool {
+    fn drop(&mut self) {
+        self.job_tx = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcomp_codecs::frame::{decode_block, encode_block};
+
+    fn block(i: usize) -> Vec<u8> {
+        format!("pipeline block {i} ").repeat(200 + i * 7).into_bytes()
+    }
+
+    fn collect_frames(pool: &mut CompressPool, blocks: &[Vec<u8>], codec: CodecId) -> Vec<u8> {
+        let mut wire = Vec::new();
+        let mut emitted = 0u64;
+        for b in blocks {
+            for c in pool.submit(1, codec, 0, b.clone()) {
+                assert_eq!(c.seq, emitted, "frames must release in submission order");
+                emitted += 1;
+                wire.extend_from_slice(&c.frame);
+            }
+        }
+        for c in pool.drain() {
+            assert_eq!(c.seq, emitted);
+            emitted += 1;
+            wire.extend_from_slice(&c.frame);
+        }
+        assert_eq!(emitted as usize, blocks.len());
+        wire
+    }
+
+    #[test]
+    fn parallel_output_matches_serial_for_any_worker_count() {
+        let blocks: Vec<Vec<u8>> = (0..24).map(block).collect();
+        let mut serial = Vec::new();
+        for b in &blocks {
+            encode_block(codec_for(CodecId::QlzMedium), b, &mut serial);
+        }
+        for workers in [1, 2, 3, 4, 8] {
+            let mut pool = CompressPool::new(workers);
+            let wire = collect_frames(&mut pool, &blocks, CodecId::QlzMedium);
+            assert_eq!(wire, serial, "byte mismatch at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn backpressure_bounds_in_flight() {
+        let mut pool = CompressPool::with_depth(2, 2);
+        let blocks: Vec<Vec<u8>> = (0..32).map(block).collect();
+        for b in &blocks {
+            assert!(pool.in_flight() <= 2);
+            pool.submit(0, CodecId::Raw, 0, b.clone());
+        }
+        pool.drain();
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn bombed_block_degrades_to_raw_and_is_flagged() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the injected panic
+        let mut pool = CompressPool::new(2);
+        let data = block(3);
+        pool.bomb_next_block();
+        let mut all = pool.submit(3, CodecId::Heavy, 0, data.clone());
+        all.append(&mut pool.drain());
+        std::panic::set_hook(prev);
+        assert_eq!(all.len(), 1);
+        let c = &all[0];
+        assert!(c.degraded);
+        assert_eq!(c.info.codec, CodecId::Raw);
+        assert_eq!(c.requested, CodecId::Heavy);
+        let mut out = Vec::new();
+        decode_block(&c.frame, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn decode_pool_roundtrips_in_wire_order() {
+        let blocks: Vec<Vec<u8>> = (0..16).map(block).collect();
+        let mut frames = Vec::new();
+        for b in &blocks {
+            let mut wire = Vec::new();
+            let info = encode_block(codec_for(CodecId::QlzLight), b, &mut wire);
+            frames.push((info.codec, b.len(), wire));
+        }
+        for workers in [1, 2, 4] {
+            let mut pool = DecodePool::new(workers);
+            let mut out: Vec<Vec<u8>> = Vec::new();
+            for (codec, len, wire) in &frames {
+                let payload = wire[adcomp_codecs::frame::HEADER_LEN..].to_vec();
+                for d in pool.submit(*codec, *len, payload) {
+                    assert!(d.err.is_none());
+                    out.push(d.bytes);
+                }
+            }
+            for d in pool.drain() {
+                assert!(d.err.is_none());
+                out.push(d.bytes);
+            }
+            assert_eq!(out, blocks, "decode order broken at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn decode_pool_reports_corrupt_payload() {
+        let data = block(1);
+        let mut wire = Vec::new();
+        let info = encode_block(codec_for(CodecId::Heavy), &data, &mut wire);
+        assert_eq!(info.codec, CodecId::Heavy);
+        let mut payload = wire[adcomp_codecs::frame::HEADER_LEN..].to_vec();
+        payload.truncate(payload.len() / 2); // simulate a CRC collision slipping through
+        let mut pool = DecodePool::new(2);
+        let mut all = pool.submit(CodecId::Heavy, data.len(), payload);
+        all.append(&mut pool.drain());
+        assert_eq!(all.len(), 1);
+        assert!(all[0].err.is_some());
+        assert!(all[0].bytes.is_empty());
+    }
+
+    #[test]
+    fn default_workers_prefers_env() {
+        // Not parallel-safe to set env vars here; just sanity-check range.
+        assert!(default_workers() >= 1);
+    }
+}

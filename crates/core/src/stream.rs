@@ -12,10 +12,11 @@
 
 use crate::epoch::{Clock, EpochContext, EpochDriver, WallClock};
 use crate::model::DecisionModel;
+use crate::pipeline::{Completion, CompressPool, DecodePool, Decoded};
 use adcomp_codecs::frame::{
-    FrameReader, FrameWriter, RecoveryPolicy, RecoveryStats, DEFAULT_BLOCK_LEN,
+    FrameReader, FrameWriter, RecoveryMode, RecoveryPolicy, RecoveryStats, DEFAULT_BLOCK_LEN,
 };
-use adcomp_codecs::LevelSet;
+use adcomp_codecs::{CodecId, LevelSet};
 use adcomp_trace::{FaultEvent, TraceEvent, TraceHandle, TraceSink as _};
 use std::io::{self, Read, Write};
 
@@ -64,6 +65,8 @@ pub struct AdaptiveWriter<W: Write> {
     raw_fallbacks: u64,
     last_block_ratio: Option<f64>,
     degraded_blocks: u64,
+    /// Worker pool for pipelined block compression (`None` = serial).
+    pool: Option<CompressPool>,
     /// Test seam: makes the next block's encode panic, exercising the
     /// degrade-to-raw path without needing a genuinely buggy codec.
     #[cfg(test)]
@@ -105,9 +108,34 @@ impl<W: Write> AdaptiveWriter<W> {
             raw_fallbacks: 0,
             last_block_ratio: None,
             degraded_blocks: 0,
+            pool: None,
             #[cfg(test)]
             bomb_next_block: std::cell::Cell::new(false),
         }
+    }
+
+    /// Enables pipelined compression on `workers` pool threads
+    /// (`workers <= 1` stays serial). The wire stream remains
+    /// byte-identical to the serial path for any worker count: levels are
+    /// chosen at submission time and frames are re-emitted in submission
+    /// order through the same [`FrameWriter`], while the pool's bounded
+    /// queues push back on the caller so the rate the `EpochDriver`
+    /// observes stays the true application rate.
+    pub fn set_pipeline_workers(&mut self, workers: usize) {
+        if workers <= 1 {
+            self.pool = None;
+            return;
+        }
+        let mut pool = CompressPool::new(workers);
+        if self.driver.trace().enabled() {
+            pool.set_trace(self.driver.trace().clone());
+        }
+        self.pool = Some(pool);
+    }
+
+    /// Active pipeline worker count (1 = serial).
+    pub fn pipeline_workers(&self) -> usize {
+        self.pool.as_ref().map_or(1, CompressPool::workers)
     }
 
     #[cfg(test)]
@@ -126,6 +154,9 @@ impl<W: Write> AdaptiveWriter<W> {
     /// epoch in force when the block was compressed.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.driver.set_trace(trace.clone());
+        if let Some(pool) = self.pool.as_mut() {
+            pool.set_trace(trace.clone());
+        }
         self.frames.set_sink(trace);
     }
 
@@ -155,6 +186,9 @@ impl<W: Write> AdaptiveWriter<W> {
     fn emit_block(&mut self) -> io::Result<()> {
         if self.buf.is_empty() {
             return Ok(());
+        }
+        if self.pool.is_some() {
+            return self.emit_block_pipelined();
         }
         let mut level = self.driver.level();
         let now = self.clock.now();
@@ -210,10 +244,96 @@ impl<W: Write> AdaptiveWriter<W> {
         Ok(())
     }
 
+    /// Pipelined twin of [`AdaptiveWriter::emit_block`]: the level is
+    /// captured *now* (submission order == decision order), the block
+    /// travels to the pool, and whatever frames the reorder gate releases
+    /// are written in sequence. `driver.record` runs at submission with
+    /// the same `(bytes, now)` a serial writer would use, so level
+    /// trajectories — and therefore the wire bytes — are identical.
+    fn emit_block_pipelined(&mut self) -> io::Result<()> {
+        let level = self.driver.level();
+        let now = self.clock.now();
+        let codec_id = self.levels.id(level);
+        let data = std::mem::take(&mut self.buf);
+        let bytes = data.len() as u64;
+        let traced = self.driver.trace().enabled();
+        let epochs = self.driver.epochs();
+        let pool = self.pool.as_mut().expect("pipelined emit without a pool");
+        if traced {
+            pool.set_trace_mark(epochs, now);
+        }
+        #[cfg(test)]
+        if self.bomb_next_block.replace(false) {
+            pool.bomb_next_block();
+        }
+        let ready = pool.submit(level, codec_id, 0, data);
+        self.write_completions(ready, now)?;
+        let ctx = EpochContext {
+            observed_ratio: self.last_block_ratio,
+            ..EpochContext::default()
+        };
+        self.driver.record(bytes, now, &ctx);
+        Ok(())
+    }
+
+    /// Writes pool completions (already in submission order) to the wire,
+    /// updating the same statistics as the serial path. A degraded
+    /// completion (worker-side codec panic, block re-encoded raw) forces
+    /// the controller to level 0, like the serial self-healing path — just
+    /// discovered at drain time rather than mid-encode.
+    fn write_completions(&mut self, ready: Vec<Completion>, now: f64) -> io::Result<()> {
+        for c in ready {
+            let traced = self.driver.trace().enabled();
+            if c.degraded {
+                self.degraded_blocks += 1;
+                if traced {
+                    self.driver.trace().emit(&TraceEvent::Fault(FaultEvent {
+                        epoch: self.driver.epochs(),
+                        t: now,
+                        kind: "degrade",
+                        bytes: c.info.uncompressed_len as u64,
+                        attempt: c.level as u64,
+                    }));
+                }
+                self.driver.force_level(0, now);
+            }
+            if traced {
+                self.frames.set_trace_mark(self.driver.epochs(), now);
+            }
+            let requested = if c.degraded { CodecId::Raw } else { c.requested };
+            self.frames.write_frame(requested, &c.frame, c.info, c.compress_ns)?;
+            let level = if c.degraded { 0 } else { c.level };
+            self.blocks_per_level[level] += 1;
+            if c.info.raw_fallback {
+                self.raw_fallbacks += 1;
+            }
+            self.last_block_ratio = Some(c.info.wire_ratio());
+            // Reuse the block's buffer for the next fill — keeps the
+            // pipelined steady state allocation-bounded like the serial one.
+            if self.buf.capacity() == 0 {
+                let mut d = c.data;
+                d.clear();
+                self.buf = d;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains every in-flight pipelined block to the wire.
+    fn drain_pipeline(&mut self) -> io::Result<()> {
+        if self.pool.is_none() {
+            return Ok(());
+        }
+        let now = self.clock.now();
+        let rest = self.pool.as_mut().expect("drain without a pool").drain();
+        self.write_completions(rest, now)
+    }
+
     /// Flushes buffered data as a (possibly short) block and flushes the
     /// underlying writer. Call before dropping to avoid losing the tail.
     pub fn finish(mut self) -> io::Result<(W, StreamStats)> {
         self.emit_block()?;
+        self.drain_pipeline()?;
         self.frames.flush()?;
         let stats = self.stats();
         Ok((self.frames.into_inner(), stats))
@@ -237,6 +357,7 @@ impl<W: Write> Write for AdaptiveWriter<W> {
 
     fn flush(&mut self) -> io::Result<()> {
         self.emit_block()?;
+        self.drain_pipeline()?;
         self.frames.flush()
     }
 }
@@ -247,6 +368,11 @@ pub struct AdaptiveReader<R: Read> {
     pending: Vec<u8>,
     pos: usize,
     eof: bool,
+    /// Worker pool for pipelined decompression (`None` = serial). Frame
+    /// parsing, CRC checks and recovery always run on the caller thread
+    /// (`FrameReader::read_frame`); only the pure payload decompression is
+    /// farmed out, and blocks are released in wire order.
+    pool: Option<DecodePool>,
 }
 
 impl<R: Read> AdaptiveReader<R> {
@@ -264,7 +390,24 @@ impl<R: Read> AdaptiveReader<R> {
             pending: Vec::new(),
             pos: 0,
             eof: false,
+            pool: None,
         }
+    }
+
+    /// Enables pipelined decompression on `workers` pool threads
+    /// (`workers <= 1` stays serial). Decoded bytes are identical to the
+    /// serial reader's for any worker count; recovery statistics match
+    /// whenever corruption is caught by the CRC (the caller-thread path).
+    /// The one divergence: a corrupt payload whose CRC *collides* is
+    /// detected after the reorder buffer, so it is counted and dropped
+    /// (skip mode) without re-scanning its bytes for embedded frames.
+    pub fn set_pipeline_workers(&mut self, workers: usize) {
+        self.pool = if workers <= 1 { None } else { Some(DecodePool::new(workers)) };
+    }
+
+    /// Active pipeline worker count (1 = serial).
+    pub fn pipeline_workers(&self) -> usize {
+        self.pool.as_ref().map_or(1, DecodePool::workers)
     }
 
     /// The active recovery policy.
@@ -311,6 +454,71 @@ impl<R: Read> AdaptiveReader<R> {
     pub fn into_inner(self) -> R {
         self.frames.into_inner()
     }
+
+    /// Folds a batch of in-order decoded blocks into `pending`, applying
+    /// the recovery policy to worker-reported decode failures (which, with
+    /// CRC validation upstream, only occur on checksum collisions).
+    fn absorb_decoded(&mut self, batch: Vec<Decoded>) -> io::Result<()> {
+        for d in batch {
+            match d.err {
+                None => {
+                    self.frames.app_bytes += d.bytes.len() as u64;
+                    self.pending.extend_from_slice(&d.bytes);
+                }
+                Some(e) => {
+                    self.frames.recovery.corrupt_frames += 1;
+                    if self.frames.policy().mode == RecoveryMode::FailFast {
+                        return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+                    }
+                    // Skip mode: the frame is dropped. Its wire bytes were
+                    // already consumed during validation, so unlike the
+                    // serial reader there is nothing left to re-scan.
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pipelined refill: validate frames on this thread, decode on the
+    /// pool, release in wire order. Returns with `pending` non-empty or
+    /// `eof` set with the pipeline fully drained.
+    fn refill_pipelined(&mut self) -> io::Result<()> {
+        let mut payload = Vec::new();
+        loop {
+            while !self.eof
+                && self.pool.as_ref().expect("pipelined refill without a pool").has_capacity()
+            {
+                match self.frames.read_frame(&mut payload)? {
+                    Some(h) => {
+                        let pool = self.pool.as_mut().expect("pipelined refill without a pool");
+                        let batch = pool.submit(
+                            h.codec,
+                            h.uncompressed_len as usize,
+                            std::mem::take(&mut payload),
+                        );
+                        self.absorb_decoded(batch)?;
+                    }
+                    None => self.eof = true,
+                }
+            }
+            if self.eof {
+                let rest = self.pool.as_mut().expect("pipelined refill without a pool").drain();
+                self.absorb_decoded(rest)?;
+                return Ok(());
+            }
+            if !self.pending.is_empty() {
+                return Ok(());
+            }
+            // Pipeline full but nothing releasable yet: wait for the head
+            // of the reorder gate.
+            let batch =
+                self.pool.as_mut().expect("pipelined refill without a pool").wait_ready();
+            self.absorb_decoded(batch)?;
+            if !self.pending.is_empty() {
+                return Ok(());
+            }
+        }
+    }
 }
 
 impl<R: Read> Read for AdaptiveReader<R> {
@@ -327,6 +535,13 @@ impl<R: Read> Read for AdaptiveReader<R> {
             }
             self.pending.clear();
             self.pos = 0;
+            if self.pool.is_some() {
+                self.refill_pipelined()?;
+                if self.pending.is_empty() {
+                    return Ok(0);
+                }
+                continue;
+            }
             match self.frames.read_block(&mut self.pending)? {
                 Some(_) => continue,
                 None => {
@@ -627,6 +842,193 @@ mod tests {
             }
             out.extend_from_slice(&small[..n]);
         }
+        assert_eq!(out, data);
+    }
+
+    /// Serial wire bytes for a fixed corpus, used as the reference in the
+    /// pipelined-equivalence tests below.
+    fn serial_wire(data: &[u8], level: usize, block: usize) -> Vec<u8> {
+        let mut w = AdaptiveWriter::with_params(
+            Vec::new(),
+            levels(),
+            Box::new(StaticModel::new(level, 4)),
+            block,
+            1.0,
+            Box::new(ManualClock::new()),
+        );
+        w.write_all(data).unwrap();
+        w.finish().unwrap().0
+    }
+
+    #[test]
+    fn pipelined_writer_matches_serial_bytes_static_levels() {
+        let data = b"pipelined equivalence corpus, mildly repetitive. ".repeat(3000);
+        for level in 0..4 {
+            let reference = serial_wire(&data, level, 4096);
+            for workers in [1usize, 2, 4, 7] {
+                let mut w = AdaptiveWriter::with_params(
+                    Vec::new(),
+                    levels(),
+                    Box::new(StaticModel::new(level, 4)),
+                    4096,
+                    1.0,
+                    Box::new(ManualClock::new()),
+                );
+                w.set_pipeline_workers(workers);
+                assert_eq!(w.pipeline_workers(), workers.max(1));
+                w.write_all(&data).unwrap();
+                let (wire, stats) = w.finish().unwrap();
+                assert_eq!(
+                    wire, reference,
+                    "level {level} workers {workers}: pipelined wire differs from serial"
+                );
+                assert_eq!(stats.app_bytes, data.len() as u64);
+                assert_eq!(stats.wire_bytes, reference.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_writer_matches_serial_bytes_adaptive_model() {
+        let data = b"adaptive pipelined corpus with repetition repetition. ".repeat(8000);
+        let run = |workers: usize| -> (Vec<u8>, StreamStats) {
+            let clock = ManualClock::new();
+            let mut w = AdaptiveWriter::with_params(
+                Vec::new(),
+                levels(),
+                Box::new(RateBasedModel::paper_default()),
+                4096,
+                0.01,
+                Box::new(clock.clone()),
+            );
+            if workers > 1 {
+                w.set_pipeline_workers(workers);
+            }
+            for (i, chunk) in data.chunks(4096).enumerate() {
+                clock.set(i as f64 * 0.004);
+                w.write_all(chunk).unwrap();
+            }
+            w.finish().unwrap()
+        };
+        let (reference, ref_stats) = run(1);
+        assert!(ref_stats.epochs > 10);
+        for workers in [2usize, 4, 8] {
+            let (wire, stats) = run(workers);
+            assert_eq!(wire, reference, "workers {workers}: adaptive wire differs");
+            assert_eq!(stats.epochs, ref_stats.epochs);
+            assert_eq!(stats.blocks_per_level, ref_stats.blocks_per_level);
+        }
+        let mut out = Vec::new();
+        AdaptiveReader::new(&reference[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn pipelined_reader_roundtrips_and_counts_bytes() {
+        let data = b"parallel decode corpus, quite compressible indeed. ".repeat(5000);
+        let wire = serial_wire(&data, 2, 4096);
+        for workers in [1usize, 2, 4] {
+            let mut r = AdaptiveReader::new(&wire[..]);
+            r.set_pipeline_workers(workers);
+            assert_eq!(r.pipeline_workers(), workers.max(1));
+            let mut out = Vec::new();
+            r.read_to_end(&mut out).unwrap();
+            assert_eq!(out, data, "workers {workers}");
+            assert_eq!(r.app_bytes(), data.len() as u64);
+            assert_eq!(r.wire_bytes(), wire.len() as u64);
+        }
+    }
+
+    #[test]
+    fn pipelined_degrade_forces_raw_and_level_zero() {
+        let clock = ManualClock::new();
+        let mut w = AdaptiveWriter::with_params(
+            Vec::new(),
+            levels(),
+            Box::new(StaticModel::new(2, 4)),
+            1024,
+            1.0,
+            Box::new(clock.clone()),
+        );
+        w.set_pipeline_workers(3);
+        let data = b"pipelined degrade payload, rather repetitive too. ".repeat(100);
+        w.write_all(&data[..1024]).unwrap();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        w.bomb_next_block.set(true);
+        w.write_all(&data[1024..2048]).unwrap();
+        // The degraded completion may still be in flight; draining the pool
+        // applies the forced level before any later submission is observed.
+        w.flush().unwrap();
+        std::panic::set_hook(prev);
+        assert_eq!(w.level(), 0, "degrade must force level NONE");
+        w.write_all(&data[2048..]).unwrap();
+        let (wire, stats) = w.finish().unwrap();
+        assert_eq!(stats.degraded_blocks, 1);
+        assert!(stats.blocks_per_level[0] > 0, "{:?}", stats.blocks_per_level);
+        let mut out = Vec::new();
+        AdaptiveReader::new(&wire[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn pipelined_skip_policy_survives_corruption() {
+        use adcomp_codecs::frame::{RecoveryPolicy, HEADER_LEN};
+        let data = b"pipelined corruptible payload, repeated. ".repeat(2000);
+        let mut wire = serial_wire(&data, 1, 4096);
+        let first_payload = u32::from_le_bytes(wire[8..12].try_into().unwrap()) as usize;
+        let second = HEADER_LEN + first_payload;
+        wire[second + HEADER_LEN + 10] ^= 0x01;
+
+        let mut r = AdaptiveReader::with_policy(&wire[..], RecoveryPolicy::skip_and_count());
+        r.set_pipeline_workers(4);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        let rec = r.recovery();
+        assert_eq!(rec.corrupt_frames, 1);
+        assert_eq!(rec.resyncs, 1);
+        assert_eq!(&out[..4096], &data[..4096]);
+        assert_eq!(&out[4096..], &data[2 * 4096..]);
+    }
+
+    #[test]
+    fn pipelined_traced_stream_emits_pipeline_events() {
+        use adcomp_trace::{MemorySink, TraceEvent, TraceHandle};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let mut w = AdaptiveWriter::with_params(
+            Vec::new(),
+            levels(),
+            Box::new(StaticModel::new(1, 4)),
+            2048,
+            1.0,
+            Box::new(ManualClock::new()),
+        );
+        w.set_trace(TraceHandle::new(sink.clone()));
+        w.set_pipeline_workers(2);
+        let data = b"traced pipelined payload with repetition repetition ".repeat(600);
+        w.write_all(&data).unwrap();
+        let (wire, stats) = w.finish().unwrap();
+        let events = sink.snapshot();
+        let submits = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Pipeline(p) if p.kind == "submit"))
+            .count();
+        let drains = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Pipeline(p) if p.kind == "drain"))
+            .count();
+        let blocks: u64 = stats.blocks_per_level.iter().sum();
+        assert_eq!(submits as u64, blocks, "one submit event per block");
+        assert_eq!(drains as u64, blocks, "one drain event per block");
+        let codecs = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Codec(_)))
+            .count();
+        assert_eq!(codecs as u64, blocks);
+        let mut out = Vec::new();
+        AdaptiveReader::new(&wire[..]).read_to_end(&mut out).unwrap();
         assert_eq!(out, data);
     }
 }

@@ -17,6 +17,7 @@ use adcomp_codecs::{LevelSet, Scratch};
 use adcomp_core::controller::ControllerConfig;
 use adcomp_core::epoch::{Clock, EpochContext, EpochDriver, WallClock};
 use adcomp_core::model::{DecisionModel, RateBasedModel, StaticModel};
+use adcomp_core::pipeline::{Completion, CompressPool};
 use adcomp_trace::{ChannelEvent, TraceHandle, TraceSink as _, NO_EPOCH};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -340,6 +341,13 @@ pub struct RecordWriter {
     /// Whether the block currently accumulating in `buf` starts at a
     /// record boundary.
     cur_block_aligned: bool,
+    /// Optional compression worker pool ([`RecordWriter::set_pipeline_workers`]).
+    /// `None` keeps the serial in-line encode path bit-for-bit unchanged.
+    pool: Option<CompressPool>,
+    /// Wire ratio of the most recently *shipped* block, fed to the epoch
+    /// driver as `observed_ratio` on the pipelined path (the in-flight
+    /// block's ratio is not known at submission time).
+    last_ratio: Option<f64>,
 }
 
 impl RecordWriter {
@@ -366,7 +374,31 @@ impl RecordWriter {
             trace: TraceHandle::disabled(),
             aligned: false,
             cur_block_aligned: true,
+            pool: None,
+            last_ratio: None,
         }
+    }
+
+    /// Routes block compression through a bounded pool of `workers`
+    /// threads. Levels are still chosen by the epoch driver at submission
+    /// time and frames are shipped strictly in submission order, so the
+    /// wire stream is byte-identical to the serial path for the same
+    /// decision trajectory. `workers <= 1` keeps the in-line serial encode.
+    pub fn set_pipeline_workers(&mut self, workers: usize) {
+        if workers <= 1 {
+            self.pool = None;
+            return;
+        }
+        let mut pool = CompressPool::new(workers);
+        if self.trace.enabled() {
+            pool.set_trace(self.trace.clone());
+        }
+        self.pool = Some(pool);
+    }
+
+    /// Number of compression workers (1 = serial in-line encoding).
+    pub fn pipeline_workers(&self) -> usize {
+        self.pool.as_ref().map_or(1, CompressPool::workers)
     }
 
     /// Enables record-aligned block emission: a record that would span the
@@ -394,6 +426,9 @@ impl RecordWriter {
     /// `"flush"` event for the explicit tail flush in [`RecordWriter::finish`].
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.driver.set_trace(trace.clone());
+        if let Some(pool) = self.pool.as_mut() {
+            pool.set_trace(trace.clone());
+        }
         self.trace = trace;
     }
 
@@ -437,6 +472,9 @@ impl RecordWriter {
     fn emit_block(&mut self) -> Result<()> {
         if self.buf.is_empty() {
             return Ok(());
+        }
+        if self.pool.is_some() {
+            return self.emit_block_pipelined();
         }
         let level = self.driver.level();
         let flags = if self.aligned && self.cur_block_aligned { FLAG_RECORD_ALIGNED } else { 0 };
@@ -482,6 +520,72 @@ impl RecordWriter {
         Ok(())
     }
 
+    /// Pipelined variant of [`RecordWriter::emit_block`]: the level is
+    /// captured from the driver *now*, the block is handed to a worker, and
+    /// whatever earlier blocks have completed are shipped in order. The
+    /// application rate is recorded at submission (before compression
+    /// finishes), so the rate the epoch driver observes is the true
+    /// producer rate, not the pool's drain rate.
+    fn emit_block_pipelined(&mut self) -> Result<()> {
+        let level = self.driver.level();
+        let flags = if self.aligned && self.cur_block_aligned { FLAG_RECORD_ALIGNED } else { 0 };
+        let data = std::mem::take(&mut self.buf);
+        let bytes = data.len() as u64;
+        let traced = self.trace.enabled();
+        let epochs = self.driver.epochs();
+        let now = self.clock.now();
+        let pool = self.pool.as_mut().expect("pipelined emit without pool");
+        if traced {
+            pool.set_trace_mark(epochs, now);
+        }
+        let ready = pool.submit(level, self.levels.id(level), flags, data);
+        self.ship_completions(ready)?;
+        let ctx = EpochContext { observed_ratio: self.last_ratio, ..Default::default() };
+        self.driver.record(bytes, self.clock.now(), &ctx);
+        Ok(())
+    }
+
+    /// Ships pool completions (already in submission order) over the
+    /// transport and accounts for them exactly as the serial path does.
+    fn ship_completions(&mut self, ready: Vec<Completion>) -> Result<()> {
+        for c in ready {
+            let level = if c.degraded {
+                // A worker's codec panicked; the block was re-emitted raw.
+                // Mirror the serial degrade contract: force level NONE
+                // until the next epoch decision.
+                self.driver.force_level(0, self.clock.now());
+                0
+            } else {
+                c.level
+            };
+            if self.trace.enabled() {
+                self.trace.emit(
+                    &ChannelEvent {
+                        epoch: self.driver.epochs(),
+                        t: self.clock.now(),
+                        kind: "block",
+                        bytes: c.info.uncompressed_len as u64,
+                        wait_ns: c.compress_ns,
+                        level: level as u32,
+                    }
+                    .into(),
+                );
+            }
+            self.transport.send(&c.frame)?;
+            self.stats.app_bytes += c.info.uncompressed_len as u64;
+            self.stats.wire_bytes += c.info.frame_len as u64;
+            self.stats.blocks_per_level[level] += 1;
+            self.last_ratio = Some(c.info.wire_ratio());
+            if self.buf.capacity() == 0 {
+                // Recycle the block buffer that just came back from the pool.
+                let mut d = c.data;
+                d.clear();
+                self.buf = d;
+            }
+        }
+        Ok(())
+    }
+
     /// Flushes the tail block and closes the channel; returns final stats.
     pub fn finish(mut self) -> Result<ChannelStats> {
         if self.trace.enabled() {
@@ -498,6 +602,10 @@ impl RecordWriter {
             );
         }
         self.emit_block()?;
+        if let Some(mut pool) = self.pool.take() {
+            let ready = pool.drain();
+            self.ship_completions(ready)?;
+        }
         self.transport.close()?;
         self.stats.epochs = self.driver.epochs();
         Ok(self.stats)
@@ -788,6 +896,87 @@ mod tests {
         let (out, stats) = roundtrip(CompressionMode::Static(1), std::slice::from_ref(&big));
         assert_eq!(out, vec![big]);
         assert!(stats.blocks_per_level.iter().sum::<u64>() >= 4);
+    }
+
+    /// Transport that appends every frame to a shared byte vector, so tests
+    /// can compare exact wire output across writer configurations.
+    struct CaptureTransport(Arc<Mutex<Vec<u8>>>);
+
+    impl BlockTransport for CaptureTransport {
+        fn send(&mut self, frame: &[u8]) -> Result<()> {
+            self.0.lock().extend_from_slice(frame);
+            Ok(())
+        }
+        fn close(&mut self) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    fn captured_wire(workers: usize, aligned: bool, records: &[Vec<u8>]) -> (Vec<u8>, ChannelStats) {
+        let wire = Arc::new(Mutex::new(Vec::new()));
+        let mut w = RecordWriter::new(
+            Box::new(CaptureTransport(wire.clone())),
+            &CompressionMode::Static(2),
+            LevelSet::paper_default(),
+            2.0,
+        );
+        w.set_block_len(4096);
+        w.set_record_aligned(aligned);
+        if workers > 1 {
+            w.set_pipeline_workers(workers);
+        }
+        for r in records {
+            w.write_record(r).unwrap();
+        }
+        let stats = w.finish().unwrap();
+        let bytes = wire.lock().clone();
+        (bytes, stats)
+    }
+
+    #[test]
+    fn pipelined_record_writer_matches_serial_wire() {
+        let records: Vec<Vec<u8>> = (0..400)
+            .map(|i| format!("record {i}: channel pipelining payload payload ").into_bytes())
+            .collect();
+        for aligned in [false, true] {
+            let (reference, ref_stats) = captured_wire(1, aligned, &records);
+            for workers in [2usize, 4] {
+                let (wire, stats) = captured_wire(workers, aligned, &records);
+                assert_eq!(
+                    wire, reference,
+                    "aligned={aligned} workers={workers}: pipelined wire differs"
+                );
+                assert_eq!(stats.app_bytes, ref_stats.app_bytes);
+                assert_eq!(stats.wire_bytes, ref_stats.wire_bytes);
+                assert_eq!(stats.blocks_per_level, ref_stats.blocks_per_level);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_record_writer_roundtrips_over_mem_channel() {
+        let records: Vec<Vec<u8>> =
+            (0..600).map(|i| format!("{i} ").repeat(80).into_bytes()).collect();
+        let (tx, rx) = mem_pair(1024);
+        let mut w = RecordWriter::new(
+            Box::new(tx),
+            &CompressionMode::Adaptive(ControllerConfig::default()),
+            LevelSet::paper_default(),
+            2.0,
+        );
+        w.set_pipeline_workers(4);
+        assert_eq!(w.pipeline_workers(), 4);
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.records, 600);
+        let mut reader = RecordReader::new(Box::new(rx));
+        let mut out = Vec::new();
+        while let Some(r) = reader.next_record().unwrap() {
+            out.push(r);
+        }
+        assert_eq!(out, records);
     }
 
     #[test]

@@ -75,6 +75,9 @@ pub struct Executor {
     pub mem_channel_blocks: usize,
     /// Directory for file-channel spools.
     pub spool_dir: std::path::PathBuf,
+    /// Compression workers per output channel (1 = serial in-line encode,
+    /// exactly the pre-pipeline behaviour).
+    pub pipeline_workers: usize,
 }
 
 impl Default for Executor {
@@ -84,6 +87,7 @@ impl Default for Executor {
             epoch_secs: 2.0,
             mem_channel_blocks: 64,
             spool_dir: std::env::temp_dir(),
+            pipeline_workers: 1,
         }
     }
 }
@@ -118,12 +122,16 @@ impl Executor {
                         (Box::new(t), Box::new(s))
                     }
                 };
-            writers.push(Some(RecordWriter::new(
+            let mut writer = RecordWriter::new(
                 transport,
                 &e.compression,
                 self.levels.clone(),
                 self.epoch_secs,
-            )));
+            );
+            if self.pipeline_workers > 1 {
+                writer.set_pipeline_workers(self.pipeline_workers);
+            }
+            writers.push(Some(writer));
             readers.push(Some(RecordReader::new(source)));
         }
 
@@ -246,6 +254,27 @@ mod tests {
         assert_eq!(r.edges.len(), 1);
         assert_eq!(r.edges[0].stats.app_bytes, 5_000_000 + 4 * sink.records);
         assert!(r.completion_secs > 0.0);
+    }
+
+    #[test]
+    fn pipelined_executor_moves_all_bytes() {
+        let mut g = JobGraph::new("pipelined-job");
+        let src = g.add_vertex(
+            "sender",
+            Box::new(SourceTask {
+                class: Class::Moderate,
+                total_bytes: 3_000_000,
+                record_len: 8192,
+                seed: 7,
+            }),
+        );
+        let dst = g.add_vertex("receiver", Box::new(SinkTask::new()));
+        g.connect(src, dst, ChannelType::InMemory, CompressionMode::Static(2)).unwrap();
+        let exec = Executor { pipeline_workers: 4, ..Executor::default() };
+        let r = exec.run(g).unwrap();
+        let sink: &SinkTask = r.task("receiver").unwrap();
+        assert_eq!(sink.bytes, 3_000_000);
+        assert!(r.edges[0].stats.wire_ratio() < 1.0);
     }
 
     #[test]

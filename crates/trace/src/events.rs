@@ -150,6 +150,33 @@ pub struct FaultEvent {
     pub attempt: u64,
 }
 
+/// One snapshot of the parallel compression pipeline's internal state.
+///
+/// Emitted by the worker-pool writer/reader when a block is submitted or
+/// drained, so a trace shows how full the bounded queues ran and how much
+/// reordering the in-order emitter had to absorb. The pool never emits
+/// these on the worker threads themselves — only the caller thread does —
+/// so event order in a trace is the submission/drain order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "trace events do nothing unless emitted to a sink"]
+pub struct PipelineEvent {
+    pub epoch: u64,
+    pub t: f64,
+    /// What happened: `"submit"` (block handed to the pool), `"drain"`
+    /// (frame re-emitted in order), `"stall"` (caller blocked on the
+    /// bounded queue — the backpressure path).
+    pub kind: &'static str,
+    /// Block sequence number the event refers to.
+    pub seq: u64,
+    /// Blocks submitted but not yet re-emitted (in-flight).
+    pub in_flight: u32,
+    /// Completed frames parked in the reorder buffer, waiting for an
+    /// earlier sequence number.
+    pub reorder_depth: u32,
+    /// Worker count of the pool.
+    pub workers: u32,
+}
+
 /// The sum type every sink consumes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[must_use = "trace events do nothing unless emitted to a sink"]
@@ -160,6 +187,7 @@ pub enum TraceEvent {
     Sim(SimEvent),
     Channel(ChannelEvent),
     Fault(FaultEvent),
+    Pipeline(PipelineEvent),
 }
 
 impl TraceEvent {
@@ -172,6 +200,7 @@ impl TraceEvent {
             TraceEvent::Sim(_) => "sim",
             TraceEvent::Channel(_) => "channel",
             TraceEvent::Fault(_) => "fault",
+            TraceEvent::Pipeline(_) => "pipeline",
         }
     }
 
@@ -184,6 +213,7 @@ impl TraceEvent {
             TraceEvent::Sim(e) => e.epoch,
             TraceEvent::Channel(e) => e.epoch,
             TraceEvent::Fault(e) => e.epoch,
+            TraceEvent::Pipeline(e) => e.epoch,
         }
     }
 
@@ -196,6 +226,7 @@ impl TraceEvent {
             TraceEvent::Sim(e) => e.t,
             TraceEvent::Channel(e) => e.t,
             TraceEvent::Fault(e) => e.t,
+            TraceEvent::Pipeline(e) => e.t,
         }
     }
 
@@ -258,6 +289,15 @@ impl TraceEvent {
                 o.u64_field("bytes", e.bytes);
                 o.u64_field("attempt", e.attempt);
             }
+            TraceEvent::Pipeline(e) => {
+                o.u64_field("epoch", e.epoch);
+                o.f64_field("t", e.t);
+                o.str_field("kind", e.kind);
+                o.u64_field("seq", e.seq);
+                o.u64_field("in_flight", e.in_flight as u64);
+                o.u64_field("reorder_depth", e.reorder_depth as u64);
+                o.u64_field("workers", e.workers as u64);
+            }
         }
         o.finish()
     }
@@ -293,6 +333,11 @@ impl From<FaultEvent> for TraceEvent {
         TraceEvent::Fault(e)
     }
 }
+impl From<PipelineEvent> for TraceEvent {
+    fn from(e: PipelineEvent) -> Self {
+        TraceEvent::Pipeline(e)
+    }
+}
 
 /// Per-kind event counts — the manifest's summary of a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -303,6 +348,7 @@ pub struct EventCounts {
     pub sim: u64,
     pub channel: u64,
     pub fault: u64,
+    pub pipeline: u64,
 }
 
 impl EventCounts {
@@ -314,6 +360,7 @@ impl EventCounts {
             TraceEvent::Sim(_) => self.sim += 1,
             TraceEvent::Channel(_) => self.channel += 1,
             TraceEvent::Fault(_) => self.fault += 1,
+            TraceEvent::Pipeline(_) => self.pipeline += 1,
         }
     }
 
@@ -327,6 +374,7 @@ impl EventCounts {
 
     pub fn total(&self) -> u64 {
         self.decision + self.epoch + self.codec + self.sim + self.channel + self.fault
+            + self.pipeline
     }
 
     /// Serializes as a JSON object fragment.
@@ -339,6 +387,7 @@ impl EventCounts {
         o.u64_field("sim", self.sim);
         o.u64_field("channel", self.channel);
         o.u64_field("fault", self.fault);
+        o.u64_field("pipeline", self.pipeline);
         o.u64_field("total", self.total());
         o.finish()
     }
@@ -374,7 +423,7 @@ mod tests {
 
     #[test]
     fn all_kinds_validate() {
-        let evs: [TraceEvent; 5] = [
+        let evs: [TraceEvent; 6] = [
             sample_decision(),
             EpochEvent { epoch: 0, t: 2.0, duration: 2.0, bytes: 1024, rate: 512.0, level: 1 }
                 .into(),
@@ -399,6 +448,16 @@ mod tests {
             .into(),
             ChannelEvent { epoch: 2, t: 4.4, kind: "stall", bytes: 0, wait_ns: 900, level: 3 }
                 .into(),
+            PipelineEvent {
+                epoch: 2,
+                t: 4.5,
+                kind: "drain",
+                seq: 17,
+                in_flight: 3,
+                reorder_depth: 1,
+                workers: 4,
+            }
+            .into(),
         ];
         let mut counts = EventCounts::default();
         for ev in &evs {
@@ -407,7 +466,7 @@ mod tests {
             let keys = validate_line(&j).unwrap();
             assert_eq!(keys[0], "ev");
         }
-        assert_eq!(counts.total(), 5);
+        assert_eq!(counts.total(), 6);
         assert_eq!(counts, EventCounts::from_events(&evs));
         validate_line(&counts.to_json()).unwrap();
     }

@@ -8,7 +8,7 @@
 //!
 //! * [`events`] — the typed, `Copy`, epoch-tagged event taxonomy:
 //!   [`DecisionEvent`], [`EpochEvent`], [`CodecEvent`], [`SimEvent`],
-//!   [`ChannelEvent`], [`FaultEvent`];
+//!   [`ChannelEvent`], [`FaultEvent`], [`PipelineEvent`];
 //! * [`sink`] — the [`TraceSink`] trait, the statically-disabled
 //!   [`NullSink`], the in-memory [`MemorySink`], the dynamic
 //!   [`TraceHandle`] and [`TeeSink`];
@@ -47,8 +47,8 @@ pub mod sink;
 pub mod timeline;
 
 pub use events::{
-    ChannelEvent, CodecEvent, DecisionEvent, EpochEvent, EventCounts, FaultEvent, SimEvent,
-    TraceEvent, MAX_LEVELS, NO_EPOCH,
+    ChannelEvent, CodecEvent, DecisionEvent, EpochEvent, EventCounts, FaultEvent, PipelineEvent,
+    SimEvent, TraceEvent, MAX_LEVELS, NO_EPOCH,
 };
 pub use jsonl::{JsonlSink, JsonlWriter};
 pub use manifest::RunManifest;

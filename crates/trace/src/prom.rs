@@ -134,7 +134,7 @@ impl PromSnapshot {
 /// families.
 #[derive(Debug)]
 pub struct TraceStats {
-    counts: [(&'static str, u64); 6],
+    counts: [(&'static str, u64); 7],
     case_counts: Vec<(&'static str, u64)>,
     fault_kinds: Vec<(&'static str, u64)>,
     fault_bytes: u64,
@@ -162,6 +162,7 @@ impl TraceStats {
                 ("sim", 0),
                 ("channel", 0),
                 ("fault", 0),
+                ("pipeline", 0),
             ],
             case_counts: Vec::new(),
             fault_kinds: Vec::new(),
@@ -214,6 +215,7 @@ impl TraceStats {
                     bump(&mut s.fault_kinds, e.kind);
                     s.fault_bytes += e.bytes;
                 }
+                TraceEvent::Pipeline(_) => s.counts[6].1 += 1,
             }
         }
         s

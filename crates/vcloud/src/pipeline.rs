@@ -20,6 +20,15 @@
 //! The decision model runs inside the loop: every epoch (t = 2 s of
 //! *virtual* time) it sees the application data rate and picks the level
 //! for subsequent blocks.
+//!
+//! ## Worker-pool extension
+//!
+//! [`TransferConfig::pipeline_workers`] models the pipelined compression
+//! engine: `W > 1` gives the sender `W` vCPU lanes, each block is
+//! dispatched to the earliest-free lane, and frames still enter the wire
+//! stage in submission order (the reorder gate), so `wire_bytes` is
+//! invariant across worker counts. `W = 1` reduces to exactly the serial
+//! arithmetic above, bit-for-bit.
 
 use crate::link::SharedLink;
 use crate::platform::{IoOp, Platform};
@@ -84,6 +93,9 @@ pub struct TransferConfig {
     pub deterministic: bool,
     /// RNG / fluctuation seed — vary per repetition.
     pub seed: u64,
+    /// Sender-side compression worker lanes (the pipelined engine's vCPU
+    /// count). 1 = the paper's single-core guest, serial arithmetic.
+    pub pipeline_workers: usize,
 }
 
 impl TransferConfig {
@@ -101,6 +113,7 @@ impl TransferConfig {
             cpu_jitter: 0.02,
             deterministic: false,
             seed: 1,
+            pipeline_workers: 1,
         }
     }
 }
@@ -188,8 +201,14 @@ pub fn run_transfer_traced(
         );
     }
 
-    // Pipeline clocks.
-    let mut cpu_free = 0.0f64;
+    // Pipeline clocks. One CPU lane per compression worker; `W = 1` makes
+    // `lanes[0]` exactly the old scalar `cpu_free`.
+    let workers = cfg.pipeline_workers.max(1);
+    let mut lanes = vec![0.0f64; workers];
+    // Monotone clock for epoch bookkeeping: with several lanes, blocks can
+    // *finish* compression out of order even though they are dispatched
+    // (and shipped) in order.
+    let mut record_clock = 0.0f64;
     let mut net_free = 0.0f64;
     let mut rx_free = 0.0f64;
     let mut net_done_q: VecDeque<f64> = VecDeque::with_capacity(cfg.send_queue_blocks);
@@ -235,9 +254,21 @@ pub fn run_transfer_traced(
         } else {
             0.0
         };
-        let cpu_start = cpu_free.max(backpressure);
+        // Dispatch to the earliest-free lane (with one lane this is the old
+        // serial `cpu_free` arithmetic, bit-for-bit).
+        let lane = lanes
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        let cpu_start = lanes[lane].max(backpressure);
         let cpu_done = cpu_start + comp_secs;
-        cpu_free = cpu_done;
+        lanes[lane] = cpu_done;
+        // The reorder gate ships frames in submission order, so epoch time
+        // advances monotonically even when lanes finish out of order.
+        let emit_t = cpu_done.max(record_clock);
+        record_clock = emit_t;
 
         // Stage 2: wire.
         let rx_backpressure = if rx_done_q.len() >= cfg.recv_queue_blocks {
@@ -245,7 +276,7 @@ pub fn run_transfer_traced(
         } else {
             0.0
         };
-        let net_start = cpu_done.max(net_free).max(rx_backpressure);
+        let net_start = emit_t.max(net_free).max(rx_backpressure);
         let net_secs = link.transmit_secs(wire, net_start);
         let net_done = net_start + net_secs;
         net_free = net_done;
@@ -266,7 +297,7 @@ pub fn run_transfer_traced(
 
         // Decision epoch bookkeeping: application bytes count at the moment
         // they were handed (compressed) to the I/O layer.
-        let queue_depth = net_done_q.iter().filter(|&&d| d > cpu_done).count();
+        let queue_depth = net_done_q.iter().filter(|&&d| d > emit_t).count();
         let true_busy_frac = 1.0f64.min(epoch_cpu_busy / cfg.epoch_secs);
         let ctx = EpochContext {
             queue_depth,
@@ -284,12 +315,12 @@ pub fn run_transfer_traced(
                 Class::Low => 8.0,
             }),
         };
-        driver.record(block as u64, cpu_done, &ctx);
+        driver.record(block as u64, emit_t, &ctx);
         if driver.epochs() != last_epoch_count {
-            let dt = (cpu_done - last_epoch_t).max(1e-9);
+            let dt = (emit_t - last_epoch_t).max(1e-9);
             let wire_rate = epoch_wire_bytes as f64 / dt;
-            net_rate_trace.push(cpu_done, wire_rate);
-            cpu_trace.push(cpu_done, 100.0 * (epoch_cpu_busy / dt).min(1.0));
+            net_rate_trace.push(emit_t, wire_rate);
+            cpu_trace.push(emit_t, 100.0 * (epoch_cpu_busy / dt).min(1.0));
             if trace.enabled() {
                 // One contended-share sample and one wire-rate sample per
                 // epoch keeps trace volume proportional to epochs, not
@@ -298,7 +329,7 @@ pub fn run_transfer_traced(
                 trace.emit(
                     &SimEvent {
                         epoch,
-                        t: cpu_done,
+                        t: emit_t,
                         kind: "bandwidth",
                         flow: SimEvent::NO_FLOW,
                         value: link.nominal_share_bps(),
@@ -309,7 +340,7 @@ pub fn run_transfer_traced(
                 trace.emit(
                     &SimEvent {
                         epoch,
-                        t: cpu_done,
+                        t: emit_t,
                         kind: "sample",
                         flow: SimEvent::NO_FLOW,
                         value: wire_rate,
@@ -321,7 +352,7 @@ pub fn run_transfer_traced(
             epoch_cpu_busy = 0.0;
             epoch_wire_bytes = 0;
             last_epoch_count = driver.epochs();
-            last_epoch_t = cpu_done;
+            last_epoch_t = emit_t;
         }
     }
 
@@ -573,5 +604,44 @@ mod tests {
         let b = static_run(Class::Moderate, 2, 200, 2);
         assert_eq!(a.completion_secs, b.completion_secs);
         assert_eq!(a.wire_bytes, b.wire_bytes);
+    }
+
+    fn pooled_run(class: Class, level: usize, total_mb: u64, workers: usize) -> TransferOutcome {
+        let cfg = TransferConfig { pipeline_workers: workers, ..small_cfg(total_mb, 0) };
+        let speed = SpeedModel::paper_fit();
+        run_transfer(&cfg, &speed, &mut ConstantClass(class), Box::new(StaticModel::new(level, 4)))
+    }
+
+    #[test]
+    fn one_worker_pool_is_bit_identical_to_serial() {
+        let serial = static_run(Class::Moderate, 2, 200, 0);
+        let pooled = pooled_run(Class::Moderate, 2, 200, 1);
+        assert_eq!(serial.completion_secs, pooled.completion_secs);
+        assert_eq!(serial.wire_bytes, pooled.wire_bytes);
+        assert_eq!(serial.epochs, pooled.epochs);
+    }
+
+    #[test]
+    fn worker_pool_accelerates_cpu_bound_transfer() {
+        // HEAVY on HIGH data is CPU-bound (~27 MB/s on one lane); four
+        // lanes must cut completion time well past the 1.5× acceptance bar.
+        let serial = pooled_run(Class::High, 3, 200, 1);
+        let pooled = pooled_run(Class::High, 3, 200, 4);
+        let speedup = serial.completion_secs / pooled.completion_secs;
+        assert!(speedup >= 1.5, "4-worker speedup only {speedup:.2}×");
+        // The reorder gate keeps the wire stream identical.
+        assert_eq!(serial.wire_bytes, pooled.wire_bytes);
+        assert_eq!(serial.blocks_per_level, pooled.blocks_per_level);
+    }
+
+    #[test]
+    fn worker_pool_does_not_change_wire_bound_transfer() {
+        // Uncompressed transfers are wire-bound: extra CPU lanes must not
+        // buy more than a few percent.
+        let serial = pooled_run(Class::High, 0, 500, 1);
+        let pooled = pooled_run(Class::High, 0, 500, 4);
+        let speedup = serial.completion_secs / pooled.completion_secs;
+        assert!(speedup < 1.1, "wire-bound speedup {speedup:.2}× should be ~1");
+        assert_eq!(serial.wire_bytes, pooled.wire_bytes);
     }
 }

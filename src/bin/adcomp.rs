@@ -7,8 +7,8 @@
 //! scheme is meant to be deployed — no coordination with the receiver.
 //!
 //! ```text
-//! adcomp compress   [-l NO|LIGHT|MEDIUM|HEAVY|DYNAMIC] [-b BLOCK_KB] [-t EPOCH_S] [IN] [OUT]
-//! adcomp decompress [IN] [OUT]
+//! adcomp compress   [-l NO|LIGHT|MEDIUM|HEAVY|DYNAMIC] [-b BLOCK_KB] [-t EPOCH_S] [--pipeline-workers W] [IN] [OUT]
+//! adcomp decompress [--pipeline-workers W] [IN] [OUT]
 //! adcomp probe      [IN]          # report compressibility + per-level ratios
 //! adcomp trace      [-l LEVEL] [-t EPOCH_S] [--class C] [--flows N] [--gb G] [OUT.jsonl]
 //! adcomp chaos      [--runs N] [--seed S] [--cases]   # fault-injection soak
@@ -41,6 +41,7 @@ struct Options {
     runs: usize,
     seed: u64,
     cases: bool,
+    pipeline_workers: usize,
     input: Option<String>,
     output: Option<String>,
 }
@@ -54,7 +55,9 @@ fn usage() -> ! {
          \x20      adcomp chaos      [--runs N] [--seed S] [--cases]\n\
          LEVEL: NO | LIGHT | MEDIUM | HEAVY | DYNAMIC (default DYNAMIC)\n\
          C    : HIGH | MODERATE | LOW (default HIGH); N: 0..=3 (default 2); G: simulated GB (default 2)\n\
-         chaos: N seeded fault-injection runs (default 64); --cases streams per-case JSON lines"
+         chaos: N seeded fault-injection runs (default 64); --cases streams per-case JSON lines\n\
+         --pipeline-workers W (compress/decompress/trace): compression worker\n\
+         \x20    threads; 1 = serial (default, or $ADCOMP_THREADS), 0 = auto"
     );
     std::process::exit(2)
 }
@@ -90,6 +93,12 @@ fn parse_options(args: &[String]) -> Options {
         runs: 64,
         seed: 0xC4405,
         cases: false,
+        // Workers default to $ADCOMP_THREADS when set, else serial.
+        pipeline_workers: std::env::var("ADCOMP_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1),
         input: None,
         output: None,
     };
@@ -152,6 +161,17 @@ fn parse_options(args: &[String]) -> Options {
                 opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
             "--cases" => opts.cases = true,
+            "--pipeline-workers" | "-j" => {
+                i += 1;
+                let w: usize =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if w > 64 {
+                    eprintln!("pipeline workers must be 0 (auto) ..=64");
+                    std::process::exit(2);
+                }
+                opts.pipeline_workers =
+                    if w == 0 { adcomp::core::pipeline::default_workers() } else { w };
+            }
             "-h" | "--help" => usage(),
             other => {
                 if opts.input.is_none() {
@@ -197,6 +217,9 @@ fn cmd_compress(opts: Options) -> io::Result<()> {
         opts.epoch_secs,
         Box::new(WallClock::new()),
     );
+    if opts.pipeline_workers > 1 {
+        writer.set_pipeline_workers(opts.pipeline_workers);
+    }
     io::copy(&mut input, &mut writer)?;
     let (mut out, stats) = writer.finish()?;
     out.flush()?;
@@ -223,6 +246,9 @@ fn cmd_decompress(opts: Options) -> io::Result<()> {
     let input = open_input(&opts.input)?;
     let mut output = open_output(&opts.output)?;
     let mut reader = AdaptiveReader::new(input);
+    if opts.pipeline_workers > 1 {
+        reader.set_pipeline_workers(opts.pipeline_workers);
+    }
     io::copy(&mut reader, &mut output)?;
     output.flush()?;
     eprintln!(
@@ -290,6 +316,7 @@ fn cmd_trace(opts: Options) -> io::Result<()> {
         epoch_secs: opts.epoch_secs,
         deterministic: true,
         cpu_jitter: 0.0,
+        pipeline_workers: opts.pipeline_workers,
         ..TransferConfig::paper_default()
     };
     let model: Box<dyn DecisionModel> = match opts.level {

@@ -192,3 +192,136 @@ fn ec2_platform_fluctuation_increases_completion_variance() {
     let (cv_ec2, _) = sd_of(Platform::Ec2);
     assert!(cv_ec2 > cv_kvm, "EC2 CV {cv_ec2} should exceed KVM CV {cv_kvm}");
 }
+
+// ---------------------------------------------------------------------------
+// Table-2 grid under the pipelined sender (worker-pool model).
+// ---------------------------------------------------------------------------
+
+const TABLE2_CLASSES: [(Class, &str); 3] = [
+    (Class::High, "HIGH"),
+    (Class::Moderate, "MODERATE"),
+    (Class::Low, "LOW"),
+];
+const TABLE2_LEVELS: [&str; 4] = ["NO", "LIGHT", "MEDIUM", "HEAVY"];
+
+fn table2_cell(class: Class, flows: usize, level: usize, workers: usize) -> f64 {
+    let cfg = TransferConfig {
+        total_bytes: GB,
+        background_flows: flows,
+        deterministic: true,
+        cpu_jitter: 0.0,
+        pipeline_workers: workers,
+        ..TransferConfig::paper_default()
+    };
+    let speed = SpeedModel::paper_fit();
+    run_transfer(
+        &cfg,
+        &speed,
+        &mut ConstantClass(class),
+        Box::new(StaticModel::new(level, 4)),
+    )
+    .completion_secs
+}
+
+/// Renders the Table-2-style grid as canonical JSON, keeping only the
+/// quantities the worker pool must never perturb: application bytes, wire
+/// bytes and block counts. Completion times are deliberately excluded —
+/// they are *supposed* to change with the worker count.
+fn table2_grid(workers: usize) -> String {
+    let speed = SpeedModel::paper_fit();
+    let mut s = String::from("{\n");
+    let mut first = true;
+    for (class, cname) in TABLE2_CLASSES {
+        for (level, lname) in TABLE2_LEVELS.iter().enumerate() {
+            let cfg = TransferConfig {
+                total_bytes: GB / 2,
+                background_flows: 1,
+                deterministic: true,
+                cpu_jitter: 0.0,
+                pipeline_workers: workers,
+                ..TransferConfig::paper_default()
+            };
+            let out = run_transfer(
+                &cfg,
+                &speed,
+                &mut ConstantClass(class),
+                Box::new(StaticModel::new(level, 4)),
+            );
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            s.push_str(&format!(
+                "  \"{cname}/{lname}\": {{\"app_bytes\": {}, \"wire_bytes\": {}, \"blocks\": {}}}",
+                out.app_bytes, out.wire_bytes, out.blocks_per_level[level]
+            ));
+        }
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+/// The wire-level Table-2 grid is byte-identical no matter how many
+/// compression workers the sender runs, and matches the pinned golden.
+/// Regenerate the golden with `ADCOMP_REGEN_GOLDEN=1 cargo test
+/// --test paper_shapes table2` after an intentional codec change.
+#[test]
+fn table2_grid_is_byte_identical_across_worker_counts() {
+    let serial = table2_grid(1);
+    for workers in [2usize, 4] {
+        assert_eq!(table2_grid(workers), serial, "workers {workers}");
+    }
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/table2_pipeline.json"
+    );
+    if std::env::var_os("ADCOMP_REGEN_GOLDEN").is_some() {
+        std::fs::write(golden_path, &serial).unwrap();
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden missing — run once with ADCOMP_REGEN_GOLDEN=1");
+    assert_eq!(serial, golden, "Table-2 grid drifted from the pinned golden");
+}
+
+/// The paper's crossover structure survives the pipelined sender. Extra
+/// workers shrink the CPU share, which can only shift the crossover
+/// *toward* heavier compression — they never make compression less
+/// attractive and never touch the uncompressed (wire-bound) path.
+#[test]
+fn crossover_ordering_survives_pipelined_path() {
+    let no_serial: Vec<f64> = TABLE2_CLASSES
+        .iter()
+        .map(|(class, _)| table2_cell(*class, 2, 0, 1))
+        .collect();
+    for workers in [1usize, 2, 4] {
+        // LIGHT beats NO on compressible data under contention — the
+        // paper's central crossover — at every worker count.
+        let no = table2_cell(Class::High, 2, 0, workers);
+        let light = table2_cell(Class::High, 2, 1, workers);
+        assert!(
+            light < no * 0.5,
+            "workers {workers}: LIGHT {light} vs NO {no}"
+        );
+        for (ci, (class, cname)) in TABLE2_CLASSES.iter().enumerate() {
+            // The uncompressed path never enters the worker pool: its
+            // completion time is bit-identical at every worker count.
+            let no_w = table2_cell(*class, 2, 0, workers);
+            assert_eq!(no_w, no_serial[ci], "{cname}: NO drifted at {workers} workers");
+            // HEAVY stays the worst *compressed* level in every cell.
+            let heavy = table2_cell(*class, 2, 3, workers);
+            for level in 1..3 {
+                let other = table2_cell(*class, 2, level, workers);
+                assert!(
+                    heavy > other,
+                    "{cname}/{workers}: HEAVY {heavy} vs level {level} {other}"
+                );
+                // More workers never slow a compressed transfer down.
+                let serial_t = table2_cell(*class, 2, level, 1);
+                assert!(
+                    other <= serial_t + 1e-9,
+                    "{cname}/{level}: {workers} workers {other} vs serial {serial_t}"
+                );
+            }
+        }
+    }
+}
