@@ -1,0 +1,111 @@
+//! Regression gate + schema lint over the bench ledgers.
+//!
+//! For every bench key in a ledger that has a row pinned with
+//! `"baseline": true` *and* at least one row appended after it, the gate
+//! compares the latest row's throughput against the baseline and fails
+//! (exit 1) when it has dropped more than the tolerance (default 10%).
+//! Keys without a pinned baseline, or whose baseline is the newest row,
+//! are reported but not gated — new benches can enter the ledger without
+//! ceremony.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate --lint BENCH_codecs.json BENCH_pipeline.json   # schema only
+//! bench_gate --ledger BENCH_codecs.json [--tolerance 0.10]  # lint + gate
+//! ```
+//!
+//! CI runs `--lint` on every ledger (cheap, deterministic) and the full
+//! gate on ledgers whose baselines were measured on a comparable host.
+
+use adcomp_bench::ledger::{Ledger, DEFAULT_TOLERANCE};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut lint_paths: Vec<String> = Vec::new();
+    let mut gate_paths: Vec<String> = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut i = 0;
+    let mut mode: Option<&str> = None;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--lint" => mode = Some("lint"),
+            "--ledger" => mode = Some("ledger"),
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|t| (0.0..1.0).contains(t))
+                    .unwrap_or_else(|| {
+                        eprintln!("--tolerance requires a fraction in [0, 1)");
+                        std::process::exit(2);
+                    });
+            }
+            path if !path.starts_with("--") => match mode {
+                Some("lint") => lint_paths.push(path.to_string()),
+                Some("ledger") => gate_paths.push(path.to_string()),
+                None => {
+                    eprintln!("pass --lint or --ledger before file paths");
+                    std::process::exit(2);
+                }
+                _ => unreachable!(),
+            },
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if lint_paths.is_empty() && gate_paths.is_empty() {
+        eprintln!("usage: bench_gate --lint <files...> | --ledger <files...> [--tolerance 0.10]");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+
+    for path in lint_paths.iter().chain(gate_paths.iter()) {
+        match Ledger::load(Path::new(path)).and_then(|l| l.lint().map(|()| l)) {
+            Ok(l) => println!("lint OK: {path} ({} rows)", l.rows.len()),
+            Err(e) => {
+                eprintln!("lint FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    for path in &gate_paths {
+        let Ok(ledger) = Ledger::load(Path::new(path)) else {
+            // Already reported by the lint pass above.
+            continue;
+        };
+        let checks = ledger.gate(tolerance);
+        if checks.is_empty() {
+            println!("gate: {path}: no gated keys (no baseline rows with newer measurements)");
+            continue;
+        }
+        for c in &checks {
+            let verdict = if c.pass { "ok " } else { "FAIL" };
+            println!(
+                "gate {verdict} {:<32} latest {:>9.1} MB/s ({}) vs baseline {:>9.1} MB/s ({}) ratio {:.3}",
+                c.bench, c.latest_mbps, c.latest_label, c.baseline_mbps, c.baseline_label, c.ratio
+            );
+            if !c.pass {
+                failed = true;
+            }
+        }
+        let bad = checks.iter().filter(|c| !c.pass).count();
+        println!(
+            "gate: {path}: {}/{} keys within {:.0}% of baseline",
+            checks.len() - bad,
+            checks.len(),
+            tolerance * 100.0
+        );
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

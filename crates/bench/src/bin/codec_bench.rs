@@ -1,0 +1,179 @@
+//! Codec hot-loop throughput grid → bench ledger rows.
+//!
+//! Measures `compress` (fresh tables), `compress_scratch` (reused
+//! [`Scratch`] — the adaptive writer's real per-block path), `decompress`
+//! (fresh decode state) and `decompress_scratch` (reused
+//! [`DecodeScratch`] — the frame reader's real per-block path) for every
+//! codec level × corpus class, using the same 512 KiB seed-42 samples and
+//! median-of-samples methodology as the criterion benches, so rows are
+//! comparable with the historical `BENCH_codecs.json` entries.
+//!
+//! Usage:
+//!
+//! ```text
+//! codec_bench                          # print the grid
+//! codec_bench --append BENCH_codecs.json --label pr7-after
+//! codec_bench --append ... --label pr7-before --baseline   # pin the gate
+//! codec_bench --smoke                  # tiny samples, CI wiring check
+//! ```
+//!
+//! `--append` parses the ledger, appends one row per cell and rewrites the
+//! file deterministically; `bench_gate` then compares the newest rows
+//! against the pinned baselines.
+
+use adcomp_bench::ledger::{host_fields, today, Ledger, Row};
+use adcomp_codecs::{codec_for, CodecId, DecodeScratch, Scratch};
+use adcomp_corpus::{generate, Class};
+use std::path::Path;
+use std::time::Instant;
+
+const SAMPLE_LEN: usize = 512 * 1024;
+const SMOKE_LEN: usize = 64 * 1024;
+const SEED: u64 = 42;
+
+/// Median ns/iter of `samples` timed batches, each batch sized to run at
+/// least `min_batch_secs`.
+fn measure(mut f: impl FnMut(), samples: usize, min_batch_secs: f64) -> f64 {
+    // Warm-up + batch calibration.
+    f();
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().as_secs_f64().max(1e-9);
+    let iters = (min_batch_secs / once).ceil().max(1.0) as usize;
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    per_iter[samples / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let baseline = args.iter().any(|a| a == "--baseline");
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{name} requires an argument");
+                std::process::exit(2);
+            })
+        })
+    };
+    let append = flag("--append");
+    let label = flag("--label").unwrap_or_else(|| "local".to_string());
+    let date = flag("--date").unwrap_or_else(today);
+
+    let len = if smoke { SMOKE_LEN } else { SAMPLE_LEN };
+    let (samples, min_batch) = if smoke { (3, 0.005) } else { (9, 0.25) };
+    let note = format!("sample_len={len} seed={SEED}");
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut push = |bench: String, ns: f64| {
+        let mbps = (len as f64 / (ns / 1e9)) / 1e6;
+        println!("{bench:<32} {ns:>14.1} ns/iter {mbps:>10.1} MB/s");
+        rows.push(Row {
+            date: date.clone(),
+            label: label.clone(),
+            bench,
+            mbps,
+            ns_per_iter: Some(ns),
+            secs: None,
+            baseline,
+            note: Some(note.clone()),
+        });
+    };
+
+    for class in Class::ALL {
+        let data = generate(class, len, SEED);
+        for id in CodecId::ALL {
+            if id == CodecId::Raw {
+                continue;
+            }
+            let codec = codec_for(id);
+            let key = |group: &str| format!("{group}/{}/{}", id.level_name(), class.name());
+
+            let mut out = Vec::with_capacity(len * 2);
+            let ns = measure(
+                || {
+                    out.clear();
+                    codec.compress(&data, &mut out);
+                },
+                samples,
+                min_batch,
+            );
+            push(key("compress"), ns);
+
+            let mut scratch = Scratch::new();
+            let mut out = Vec::with_capacity(len * 2);
+            let ns = measure(
+                || {
+                    out.clear();
+                    codec.compress_with(&mut scratch, &data, &mut out);
+                },
+                samples,
+                min_batch,
+            );
+            push(key("compress_scratch"), ns);
+
+            let mut wire = Vec::new();
+            codec.compress(&data, &mut wire);
+            let mut out = Vec::with_capacity(len);
+            let ns = measure(
+                || {
+                    out.clear();
+                    codec.decompress(&wire, len, &mut out).unwrap();
+                },
+                samples,
+                min_batch,
+            );
+            push(key("decompress"), ns);
+
+            let mut dscratch = DecodeScratch::new();
+            let mut out = Vec::with_capacity(len);
+            let ns = measure(
+                || {
+                    out.clear();
+                    codec.decompress_with(&mut dscratch, &wire, len, &mut out).unwrap();
+                },
+                samples,
+                min_batch,
+            );
+            push(key("decompress_scratch"), ns);
+        }
+    }
+
+    if let Some(path) = append {
+        let path = Path::new(&path);
+        let mut ledger = if path.exists() {
+            Ledger::load(path).unwrap_or_else(|e| {
+                eprintln!("cannot load ledger: {e}");
+                std::process::exit(1);
+            })
+        } else {
+            Ledger::new(
+                "Codec hot-loop throughput ledger: append-only rows from codec_bench \
+                 (512 KiB seed-42 samples, median ns/iter). Rows with \"baseline\": true \
+                 pin the regression gate; run bench_gate --ledger <this file> to check. \
+                 Append: cargo run --release -p adcomp-bench --bin codec_bench -- \
+                 --append BENCH_codecs.json --label <label>.",
+                host_fields(),
+            )
+        };
+        ledger.rows.extend(rows);
+        ledger.lint().unwrap_or_else(|e| {
+            eprintln!("refusing to write a ledger that fails lint: {e}");
+            std::process::exit(1);
+        });
+        ledger.save(path).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        eprintln!("appended {} rows to {}", Class::ALL.len() * 3 * 4, path.display());
+    }
+}

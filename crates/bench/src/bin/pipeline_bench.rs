@@ -19,9 +19,12 @@
 //! pinned seed (the CI gate); `--quick` shrinks the corpus.
 //!
 //! Run: `cargo run --release -p adcomp-bench --bin pipeline_bench [--quick]`
-//! Writes `BENCH_pipeline.json` (override with `--out <path>` or
-//! `ADCOMP_BENCH_JSON`).
+//! Appends one ledger row per scenario to `BENCH_pipeline.json` (override
+//! with `--out <path>` or `ADCOMP_BENCH_JSON`; set the row provenance with
+//! `--label <label>`, pin gate baselines with `--baseline`). `bench_gate
+//! --ledger` compares the newest rows against the pinned baselines.
 
+use adcomp_bench::ledger::{host_fields, today, Ledger, Row};
 use adcomp_core::model::StaticModel;
 use adcomp_core::stream::AdaptiveWriter;
 use adcomp_corpus::{generate, Class};
@@ -97,30 +100,18 @@ fn median_run(data: &[u8], workers: usize, secs_per_byte: f64, reps: usize) -> (
     (times[reps / 2], wire, digest)
 }
 
-fn host_json() -> String {
-    let cpu = std::fs::read_to_string("/proc/cpuinfo")
-        .ok()
-        .and_then(|s| {
-            s.lines()
-                .find(|l| l.starts_with("model name"))
-                .and_then(|l| l.split(':').nth(1))
-                .map(|v| v.trim().to_string())
-        })
-        .unwrap_or_else(|| "unknown".to_string());
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    format!("{{\"cpu\": \"{cpu}\", \"cores\": {cores}}}")
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let quick = args.iter().any(|a| a == "--quick") || smoke;
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
+    let baseline = args.iter().any(|a| a == "--baseline");
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out")
         .or_else(|| std::env::var("ADCOMP_BENCH_JSON").ok())
         .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let label = flag("--label").unwrap_or_else(|| "local".to_string());
 
     let len = if quick { 2 << 20 } else { 8 << 20 };
     let data = generate(Class::Moderate, len, SEED);
@@ -162,28 +153,57 @@ fn main() {
     let speedup_cpu = t_serial / t_cpu4;
     let speedup_overlap = t_ser_wire / t_pipe_wire;
 
-    let json = format!(
-        "{{\n  \"_doc\": \"Pipelined compression engine (MEDIUM level, MODERATE corpus, {blk} KiB blocks). pure_cpu discards frames at production speed; overlap ships them through a wire throttled to ~1.5x the compression time, so the serial path pays cpu+wire back to back while the pipelined path hides the cpu behind the wire. byte_identical asserts the 2- and 4-worker wire streams equal the serial baseline bit for bit. Regenerate: cargo run --release -p adcomp-bench --bin pipeline_bench.\",\n  \"host\": {host},\n  \"date\": \"{date}\",\n  \"sample_len\": {len},\n  \"byte_identical\": {ok},\n  \"wire_bytes\": {wire},\n  \"results\": [\n    {{\"bench\": \"pure_cpu/serial\", \"secs\": {t0:.4}, \"app_mbps\": {m0:.2}}},\n    {{\"bench\": \"pure_cpu/4_workers\", \"secs\": {t1:.4}, \"app_mbps\": {m1:.2}}},\n    {{\"bench\": \"overlap/serial\", \"secs\": {t2:.4}, \"app_mbps\": {m2:.2}}},\n    {{\"bench\": \"overlap/4_workers\", \"secs\": {t3:.4}, \"app_mbps\": {m3:.2}}}\n  ],\n  \"speedup_4_workers\": {{\"pure_cpu\": {s0:.2}, \"overlap\": {s1:.2}}}\n}}\n",
-        blk = BLOCK / 1024,
-        host = host_json(),
-        date = "2026-08-06",
-        len = len,
-        ok = ok,
-        wire = wire,
-        t0 = t_serial,
-        m0 = mbps(t_serial),
-        t1 = t_cpu4,
-        m1 = mbps(t_cpu4),
-        t2 = t_ser_wire,
-        m2 = mbps(t_ser_wire),
-        t3 = t_pipe_wire,
-        m3 = mbps(t_pipe_wire),
-        s0 = speedup_cpu,
-        s1 = speedup_overlap,
-    );
-    print!("{json}");
-    std::fs::write(&out_path, &json).unwrap();
-    eprintln!("wrote {out_path}");
+    let date = today();
+    let note = format!("sample_len={len} wire_bytes={wire} byte_identical={ok}");
+    let cells =
+        [("pure_cpu/serial", t_serial), ("pure_cpu/4_workers", t_cpu4),
+         ("overlap/serial", t_ser_wire), ("overlap/4_workers", t_pipe_wire)];
+    let rows: Vec<Row> = cells
+        .iter()
+        .map(|&(bench, secs)| Row {
+            date: date.clone(),
+            label: label.clone(),
+            bench: bench.to_string(),
+            mbps: mbps(secs),
+            ns_per_iter: None,
+            secs: Some(secs),
+            baseline,
+            note: Some(note.clone()),
+        })
+        .collect();
+    for r in &rows {
+        println!("{:<20} {:>8.4} s {:>8.2} MB/s", r.bench, r.secs.unwrap(), r.mbps);
+    }
+    println!("speedup_4_workers: pure_cpu {speedup_cpu:.2}x, overlap {speedup_overlap:.2}x");
+
+    let path = std::path::Path::new(&out_path);
+    let mut ledger = if path.exists() {
+        Ledger::load(path).unwrap_or_else(|e| {
+            eprintln!("cannot load ledger: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        Ledger::new(
+            "Pipelined compression engine ledger (MEDIUM level, MODERATE corpus, 128 KiB \
+             blocks). pure_cpu discards frames at production speed; overlap ships them \
+             through a wire throttled to ~1.5x the compression time, so the serial path \
+             pays cpu+wire back to back while the pipelined path hides the cpu behind the \
+             wire. Every run asserts the 2- and 4-worker wire streams equal the serial \
+             baseline bit for bit. Rows with baseline=true pin the bench_gate reference. \
+             Append: cargo run --release -p adcomp-bench --bin pipeline_bench -- --label <label>.",
+            host_fields(),
+        )
+    };
+    ledger.rows.extend(rows);
+    ledger.lint().unwrap_or_else(|e| {
+        eprintln!("refusing to write a ledger that fails lint: {e}");
+        std::process::exit(1);
+    });
+    ledger.save(path).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    eprintln!("appended 4 rows to {out_path}");
 
     if speedup_overlap < 1.5 {
         eprintln!("FAIL: overlap speedup {speedup_overlap:.2} < 1.5");

@@ -1,0 +1,672 @@
+//! Append-only bench trajectory ledger.
+//!
+//! `BENCH_codecs.json` and `BENCH_pipeline.json` are not snapshots that
+//! get overwritten per PR — they are *ledgers*: every measurement run
+//! appends rows, so the files record the performance trajectory of the
+//! codebase over time. A row marked `"baseline": true` pins the reference
+//! the regression gate compares against; `bench_gate` fails CI when the
+//! latest row for any bench key drops more than the tolerance below its
+//! pinned baseline.
+//!
+//! The file format stays ordinary JSON (one row object per line inside
+//! `"rows"`) so the ledgers remain human-diffable and greppable:
+//!
+//! ```json
+//! {
+//!   "_doc": "...",
+//!   "schema": "adcomp-bench-ledger-v1",
+//!   "host": {"cpu": "...", "cores": 1},
+//!   "rows": [
+//!     {"date": "2026-08-06", "label": "seed@f1e4728", "bench": "compress/LIGHT/HIGH", "mbps": 1517.7, "ns_per_iter": 345458.7},
+//!     {"date": "2026-08-07", "label": "pr6-before", "bench": "compress/LIGHT/HIGH", "mbps": 1517.7, "baseline": true},
+//!     {"date": "2026-08-07", "label": "pr6-after", "bench": "compress/LIGHT/HIGH", "mbps": 1890.3}
+//!   ]
+//! }
+//! ```
+//!
+//! Everything is hand-rolled (no serde — the build is offline) and
+//! deterministic: field order is fixed, floats use Rust's shortest
+//! round-trip formatting, rows re-serialize byte-identically.
+
+use adcomp_trace::json::ObjWriter;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Ledger schema identifier; bump on incompatible layout changes.
+pub const SCHEMA: &str = "adcomp-bench-ledger-v1";
+
+/// Default regression tolerance: latest may be up to 10% below baseline.
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// One measurement row. `mbps` is the gated quantity (higher is better);
+/// `ns_per_iter` / `secs` are optional raw-time companions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Measurement date, `YYYY-MM-DD`.
+    pub date: String,
+    /// Provenance label, e.g. `seed@f1e4728` or `pr6-after`.
+    pub label: String,
+    /// Bench key, e.g. `compress/LIGHT/HIGH` or `overlap/4_workers`.
+    pub bench: String,
+    /// Throughput in MB/s — what the gate compares.
+    pub mbps: f64,
+    /// Median nanoseconds per iteration (micro-benches).
+    pub ns_per_iter: Option<f64>,
+    /// Median seconds per run (macro-benches).
+    pub secs: Option<f64>,
+    /// True pins this row as the gate's reference for its bench key.
+    pub baseline: bool,
+    /// Free-form context (corpus seed, worker count, ...).
+    pub note: Option<String>,
+}
+
+/// A parsed ledger: doc string, host block (preserved verbatim as parsed
+/// fields), and the append-only rows.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    pub doc: String,
+    /// Host description fields in file order (`cpu`, `cores`, ...).
+    pub host: Vec<(String, JVal)>,
+    pub rows: Vec<Row>,
+}
+
+/// Minimal JSON value — just enough to round-trip the ledger files.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JVal {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JVal>),
+    Obj(Vec<(String, JVal)>),
+}
+
+impl JVal {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            JVal::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            JVal::Null => out.push_str("null"),
+            JVal::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JVal::Num(n) => adcomp_trace::json::write_f64(out, *n),
+            JVal::Str(s) => adcomp_trace::json::write_str(out, s),
+            JVal::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            JVal::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    adcomp_trace::json::write_str(out, k);
+                    out.push(':');
+                    out.push(' ');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// One gate comparison: the latest row for a bench key against its pinned
+/// baseline.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    pub bench: String,
+    pub baseline_label: String,
+    pub baseline_mbps: f64,
+    pub latest_label: String,
+    pub latest_mbps: f64,
+    /// `latest / baseline` — below `1 - tolerance` fails.
+    pub ratio: f64,
+    pub pass: bool,
+}
+
+impl Ledger {
+    pub fn new(doc: &str, host: Vec<(String, JVal)>) -> Self {
+        Ledger { doc: doc.to_string(), host, rows: Vec::new() }
+    }
+
+    pub fn load(path: &Path) -> Result<Ledger, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        Ledger::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    pub fn parse(text: &str) -> Result<Ledger, String> {
+        let val = parse_json(text)?;
+        let JVal::Obj(fields) = val else {
+            return Err("top level is not an object".into());
+        };
+        let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let schema = get("schema")
+            .and_then(JVal::as_str)
+            .ok_or("missing \"schema\" field")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        let doc = get("_doc").and_then(JVal::as_str).unwrap_or_default().to_string();
+        let host = match get("host") {
+            Some(JVal::Obj(h)) => h.clone(),
+            _ => Vec::new(),
+        };
+        let rows_val = get("rows").ok_or("missing \"rows\" array")?;
+        let JVal::Arr(items) = rows_val else {
+            return Err("\"rows\" is not an array".into());
+        };
+        let mut rows = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            rows.push(Row::from_jval(item).map_err(|e| format!("rows[{i}]: {e}"))?);
+        }
+        Ok(Ledger { doc, host, rows })
+    }
+
+    /// Deterministic serialization: fixed field order, one row per line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"_doc\": ");
+        adcomp_trace::json::write_str(&mut out, &self.doc);
+        out.push_str(",\n  \"schema\": ");
+        adcomp_trace::json::write_str(&mut out, SCHEMA);
+        out.push_str(",\n  \"host\": ");
+        JVal::Obj(self.host.clone()).write_json(&mut out);
+        out.push_str(",\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&row.to_json());
+        }
+        if !self.rows.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Schema lint: every row must carry a plausible date, non-empty label
+    /// and bench key, and a finite positive throughput.
+    pub fn lint(&self) -> Result<(), String> {
+        for (i, row) in self.rows.iter().enumerate() {
+            let err = |msg: String| Err(format!("rows[{i}] ({}): {msg}", row.bench));
+            if !valid_date(&row.date) {
+                return err(format!("bad date {:?} (want YYYY-MM-DD)", row.date));
+            }
+            if row.label.is_empty() {
+                return err("empty label".into());
+            }
+            if row.bench.is_empty() {
+                return err("empty bench key".into());
+            }
+            if !(row.mbps.is_finite() && row.mbps > 0.0) {
+                return err(format!("mbps {} not a positive finite number", row.mbps));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the regression gate: for every bench key that has both a
+    /// pinned baseline and at least one later row, compares the latest row
+    /// against the baseline. Returns one [`GateCheck`] per gated key;
+    /// bench keys without a baseline (or with nothing newer than it) are
+    /// not gated.
+    pub fn gate(&self, tolerance: f64) -> Vec<GateCheck> {
+        let mut keys: Vec<&str> = Vec::new();
+        for row in &self.rows {
+            if !keys.contains(&row.bench.as_str()) {
+                keys.push(&row.bench);
+            }
+        }
+        let mut checks = Vec::new();
+        for key in keys {
+            let base = self
+                .rows
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|(_, r)| r.bench == key && r.baseline);
+            let Some((bi, base)) = base else { continue };
+            let latest = self
+                .rows
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|(i, r)| *i > bi && r.bench == key);
+            let Some((_, latest)) = latest else { continue };
+            let ratio = latest.mbps / base.mbps;
+            checks.push(GateCheck {
+                bench: key.to_string(),
+                baseline_label: base.label.clone(),
+                baseline_mbps: base.mbps,
+                latest_label: latest.label.clone(),
+                latest_mbps: latest.mbps,
+                ratio,
+                pass: ratio >= 1.0 - tolerance,
+            });
+        }
+        checks
+    }
+}
+
+impl Row {
+    fn from_jval(val: &JVal) -> Result<Row, String> {
+        let JVal::Obj(fields) = val else {
+            return Err("row is not an object".into());
+        };
+        let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let req_str = |k: &str| {
+            get(k)
+                .and_then(JVal::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {k:?}"))
+        };
+        Ok(Row {
+            date: req_str("date")?,
+            label: req_str("label")?,
+            bench: req_str("bench")?,
+            mbps: get("mbps")
+                .and_then(JVal::as_num)
+                .ok_or("missing number field \"mbps\"")?,
+            ns_per_iter: get("ns_per_iter").and_then(JVal::as_num),
+            secs: get("secs").and_then(JVal::as_num),
+            baseline: matches!(get("baseline"), Some(JVal::Bool(true))),
+            note: get("note").and_then(JVal::as_str).map(str::to_string),
+        })
+    }
+
+    /// One-line JSON object, fixed field order, optional fields omitted.
+    pub fn to_json(&self) -> String {
+        let mut o = ObjWriter::new();
+        o.str_field("date", &self.date);
+        o.str_field("label", &self.label);
+        o.str_field("bench", &self.bench);
+        o.f64_field("mbps", round2(self.mbps));
+        if let Some(ns) = self.ns_per_iter {
+            o.f64_field("ns_per_iter", round2(ns));
+        }
+        if let Some(secs) = self.secs {
+            o.f64_field("secs", round4(secs));
+        }
+        if self.baseline {
+            o.bool_field("baseline", true);
+        }
+        if let Some(note) = &self.note {
+            o.str_field("note", note);
+        }
+        o.finish()
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+fn round4(x: f64) -> f64 {
+    (x * 10_000.0).round() / 10_000.0
+}
+
+fn valid_date(s: &str) -> bool {
+    let b = s.as_bytes();
+    b.len() == 10
+        && b[4] == b'-'
+        && b[7] == b'-'
+        && b.iter().enumerate().all(|(i, c)| matches!(i, 4 | 7) || c.is_ascii_digit())
+}
+
+/// `YYYY-MM-DD` for a Unix timestamp (days-from-epoch civil conversion).
+pub fn civil_date(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days, shifted so the era starts 0000-03-01.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Today's date from the system clock.
+pub fn today() -> String {
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    civil_date(now)
+}
+
+/// Host description for new ledgers: CPU model and core count.
+pub fn host_fields() -> Vec<(String, JVal)> {
+    let cpu = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    vec![
+        ("cpu".to_string(), JVal::Str(cpu)),
+        ("cores".to_string(), JVal::Num(cores as f64)),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser (offline build: no serde).
+
+fn parse_json(text: &str) -> Result<JVal, String> {
+    let mut p = Parser { b: text.as_bytes(), i: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<JVal, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JVal::Str(self.string()?)),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b't') => self.literal("true").map(|_| JVal::Bool(true)),
+            Some(b'f') => self.literal("false").map(|_| JVal::Bool(false)),
+            Some(b'n') => self.literal("null").map(|_| JVal::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected value at offset {}", self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JVal, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(JVal::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(JVal::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JVal, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(JVal::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("short \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from a &str, so
+                    // boundaries are valid).
+                    let rest = &self.b[self.i..];
+                    let ch = std::str::from_utf8(&rest[..rest.len().min(4)])
+                        .unwrap_or("\u{FFFD}")
+                        .chars()
+                        .next()
+                        .unwrap_or('\u{FFFD}');
+                    s.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JVal, String> {
+        let start = self.i;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JVal::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(date: &str, label: &str, bench: &str, mbps: f64, baseline: bool) -> Row {
+        Row {
+            date: date.into(),
+            label: label.into(),
+            bench: bench.into(),
+            mbps,
+            ns_per_iter: None,
+            secs: None,
+            baseline,
+            note: None,
+        }
+    }
+
+    fn sample() -> Ledger {
+        let mut l = Ledger::new("test ledger", vec![("cpu".into(), JVal::Str("test".into()))]);
+        l.rows.push(row("2026-08-06", "seed", "compress/LIGHT/HIGH", 1500.0, false));
+        l.rows.push(row("2026-08-07", "pr6-before", "compress/LIGHT/HIGH", 1520.0, true));
+        l.rows.push(row("2026-08-07", "pr6-after", "compress/LIGHT/HIGH", 1900.0, false));
+        l.rows.push(row("2026-08-07", "pr6-before", "decompress/HEAVY/LOW", 14.6, true));
+        l.rows.push(row("2026-08-07", "pr6-after", "decompress/HEAVY/LOW", 15.0, false));
+        l
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let l = sample();
+        let text = l.to_json();
+        let back = Ledger::parse(&text).unwrap();
+        assert_eq!(back.doc, l.doc);
+        assert_eq!(back.host, l.host);
+        assert_eq!(back.rows, l.rows);
+        // Deterministic: serialize-parse-serialize is a fixed point.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn lint_accepts_good_and_rejects_bad_rows() {
+        let mut l = sample();
+        assert!(l.lint().is_ok());
+        l.rows[0].date = "yesterday".into();
+        assert!(l.lint().unwrap_err().contains("bad date"));
+        let mut l = sample();
+        l.rows[1].mbps = 0.0;
+        assert!(l.lint().unwrap_err().contains("mbps"));
+        let mut l = sample();
+        l.rows[2].bench = String::new();
+        assert!(l.lint().unwrap_err().contains("empty bench"));
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let checks = sample().gate(DEFAULT_TOLERANCE);
+        assert_eq!(checks.len(), 2);
+        assert!(checks.iter().all(|c| c.pass), "{checks:?}");
+    }
+
+    /// The acceptance demonstration: perturb a pinned baseline >10% above
+    /// the latest measurement and the gate must fail that key.
+    #[test]
+    fn gate_fails_when_baseline_perturbed_past_tolerance() {
+        let mut l = sample();
+        // Latest decompress/HEAVY/LOW is 15.0; push its baseline to 17.0
+        // so latest/baseline = 0.88 < 0.90.
+        l.rows[3].mbps = 17.0;
+        let checks = l.gate(DEFAULT_TOLERANCE);
+        let heavy = checks.iter().find(|c| c.bench == "decompress/HEAVY/LOW").unwrap();
+        assert!(!heavy.pass, "gate must fail at ratio {:.3}", heavy.ratio);
+        // The other key is untouched and still passes.
+        assert!(checks.iter().find(|c| c.bench == "compress/LIGHT/HIGH").unwrap().pass);
+    }
+
+    #[test]
+    fn gate_ignores_keys_without_baseline_or_newer_rows() {
+        let mut l = sample();
+        // A key with rows but no baseline: not gated.
+        l.rows.push(row("2026-08-07", "x", "compress/NEW/KEY", 10.0, false));
+        // A key whose baseline is the newest row: not gated.
+        l.rows.push(row("2026-08-07", "x", "compress/PINNED/ONLY", 10.0, true));
+        let checks = l.gate(DEFAULT_TOLERANCE);
+        assert!(checks.iter().all(|c| c.bench != "compress/NEW/KEY"));
+        assert!(checks.iter().all(|c| c.bench != "compress/PINNED/ONLY"));
+    }
+
+    #[test]
+    fn civil_date_known_values() {
+        assert_eq!(civil_date(0), "1970-01-01");
+        assert_eq!(civil_date(86_400), "1970-01-02");
+        // 2026-08-07 00:00:00 UTC.
+        assert_eq!(civil_date(1_786_060_800), "2026-08-07");
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_garbage() {
+        assert!(Ledger::parse("{}").is_err());
+        assert!(Ledger::parse("{\"schema\": \"v0\", \"rows\": []}").is_err());
+        assert!(Ledger::parse("not json").is_err());
+        let ok = format!("{{\"schema\": \"{SCHEMA}\", \"rows\": []}}");
+        assert!(Ledger::parse(&ok).unwrap().rows.is_empty());
+    }
+}

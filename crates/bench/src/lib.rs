@@ -5,6 +5,7 @@
 //! helpers: argument parsing, scaled experiment volumes, and model
 //! construction.
 
+pub mod ledger;
 pub mod runner;
 pub mod table2;
 

@@ -20,7 +20,7 @@
 //! ```
 
 use crate::crc32::crc32;
-use crate::{codec_for, Codec, CodecError, CodecId, Result, Scratch};
+use crate::{codec_for, Codec, CodecError, CodecId, DecodeScratch, Result, Scratch};
 use adcomp_trace::{CodecEvent, FaultEvent, NullSink, TraceEvent, TraceSink, NO_EPOCH};
 use std::io::{self, Read, Write};
 
@@ -187,7 +187,8 @@ pub fn encode_block_flags(
 /// Decodes one frame from the start of `input`, appending the recovered
 /// application bytes to `out`. Returns the header and the number of input
 /// bytes consumed. Length fields are validated against
-/// [`DEFAULT_MAX_FRAME`] before any allocation.
+/// [`DEFAULT_MAX_FRAME`] before any allocation. Thin wrapper over
+/// [`decode_block_with`]; hot paths should hold a [`DecodeScratch`].
 pub fn decode_block(input: &[u8], out: &mut Vec<u8>) -> Result<(FrameHeader, usize)> {
     decode_block_limited(input, out, DEFAULT_MAX_FRAME)
 }
@@ -196,6 +197,18 @@ pub fn decode_block(input: &[u8], out: &mut Vec<u8>) -> Result<(FrameHeader, usi
 /// length fields must be ≤ `max_frame` or the frame is rejected with
 /// [`CodecError::FrameTooLarge`] *before* any payload or output allocation.
 pub fn decode_block_limited(
+    input: &[u8],
+    out: &mut Vec<u8>,
+    max_frame: u32,
+) -> Result<(FrameHeader, usize)> {
+    decode_block_with(&mut DecodeScratch::new(), input, out, max_frame)
+}
+
+/// [`decode_block_limited`] with reusable decode working memory: zero
+/// per-block heap allocation in steady state, output byte-identical to the
+/// fresh-scratch path.
+pub fn decode_block_with(
+    scratch: &mut DecodeScratch,
     input: &[u8],
     out: &mut Vec<u8>,
     max_frame: u32,
@@ -215,8 +228,12 @@ pub fn decode_block_limited(
         return Err(CodecError::ChecksumMismatch { expected: header.crc, actual: actual_crc });
     }
     let out_start = out.len();
-    if let Err(e) = codec_for(header.codec).decompress(payload, header.uncompressed_len as usize, out)
-    {
+    if let Err(e) = codec_for(header.codec).decompress_with(
+        scratch,
+        payload,
+        header.uncompressed_len as usize,
+        out,
+    ) {
         // Decoders may have appended partial output before detecting the
         // corruption; never leak it to the caller.
         out.truncate(out_start);
@@ -496,6 +513,8 @@ impl RecoveryStats {
 pub struct FrameReader<R: Read, S: TraceSink = NullSink> {
     inner: R,
     payload_buf: Vec<u8>,
+    /// Reusable decode working memory — steady-state decode is zero-alloc.
+    decode_scratch: DecodeScratch,
     /// Bytes returned to the stream for re-scanning (recovery only; empty
     /// on the fault-free path).
     carry: Vec<u8>,
@@ -542,6 +561,7 @@ impl<R: Read, S: TraceSink> FrameReader<R, S> {
         FrameReader {
             inner,
             payload_buf: Vec::new(),
+            decode_scratch: DecodeScratch::new(),
             carry: Vec::new(),
             carry_pos: 0,
             policy,
@@ -790,7 +810,8 @@ impl<R: Read, S: TraceSink> FrameReader<R, S> {
                 return Ok(None);
             };
             let out_start = out.len();
-            if let Err(e) = codec_for(header.codec).decompress(
+            if let Err(e) = codec_for(header.codec).decompress_with(
+                &mut self.decode_scratch,
                 &self.payload_buf,
                 header.uncompressed_len as usize,
                 out,

@@ -25,7 +25,7 @@ const MAX_MATCH: usize = MIN_MATCH + 7 + 8 + 256; // 273
 const LIT_CTX: usize = 8;
 const MAX_DIST_BITS: u32 = 27;
 
-struct Model {
+pub(crate) struct Model {
     is_match: [u16; 2],
     literal: Vec<[u16; 256]>,
     len_choice: u16,
@@ -37,7 +37,7 @@ struct Model {
 }
 
 impl Model {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Model {
             is_match: [PROB_INIT; 2],
             literal: vec![[PROB_INIT; 256]; LIT_CTX],
@@ -52,7 +52,7 @@ impl Model {
 
     /// Resets every probability to 0.5 without touching the heap, so the
     /// model can be reused across independently-decodable blocks.
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.is_match.fill(PROB_INIT);
         for ctx in self.literal.iter_mut() {
             ctx.fill(PROB_INIT);
@@ -333,8 +333,25 @@ pub fn compress_with(scratch: &mut Scratch, input: &[u8], out: &mut Vec<u8>) {
 }
 
 /// Decompresses exactly `expected_len` bytes from `input` into `out`
-/// (appending).
+/// (appending), allocating a fresh probability model. Thin wrapper over
+/// [`decompress_with`]; hot paths should hold a
+/// [`crate::scratch::DecodeScratch`] and call that instead.
 pub fn decompress(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
+    decompress_with(&mut crate::scratch::DecodeScratch::new(), input, expected_len, out)
+}
+
+/// [`decompress`] with a reusable probability model: in steady state the
+/// HEAVY decode path performs no heap allocation per block (the model is
+/// reset in place — a freshly-reset model is state-identical to a new one,
+/// so output bytes cannot differ). Match copies go through
+/// `qlz::copy_match` (memcpy/memset/doubling chunks) instead of
+/// per-byte pushes.
+pub fn decompress_with(
+    scratch: &mut crate::scratch::DecodeScratch,
+    input: &[u8],
+    expected_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<()> {
     let start = out.len();
     // Untrusted length: clamp the eager reservation (see qlz::decompress).
     out.reserve(expected_len.min(crate::frame::DEFAULT_BLOCK_LEN * 2));
@@ -346,7 +363,8 @@ pub fn decompress(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Resul
         return Err(CodecError::Truncated);
     }
     let mut rc = RangeDecoder::new(input);
-    let mut m = Model::new();
+    let m = scratch.heavy_model.get_or_insert_with(|| Box::new(Model::new()));
+    m.reset();
     let mut prev_byte = 0u8;
     let mut state = 0usize;
     while out.len() < target {
@@ -356,8 +374,8 @@ pub fn decompress(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Resul
             prev_byte = b;
             state = 0;
         } else {
-            let len = decode_len(&mut rc, &mut m);
-            let dist = decode_dist(&mut rc, &mut m, len)?;
+            let len = decode_len(&mut rc, m);
+            let dist = decode_dist(&mut rc, m, len)?;
             let produced = out.len() - start;
             if dist == 0 || dist > produced {
                 return Err(CodecError::Corrupt("match distance exceeds output"));
@@ -365,15 +383,7 @@ pub fn decompress(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Resul
             if out.len() + len > target {
                 return Err(CodecError::Corrupt("match overruns expected length"));
             }
-            #[allow(clippy::explicit_counter_loop)]
-            {
-                let mut src = out.len() - dist;
-                for _ in 0..len {
-                    let b = out[src];
-                    out.push(b);
-                    src += 1;
-                }
-            }
+            crate::qlz::copy_match(out, dist, len);
             prev_byte = out[out.len() - 1];
             state = 1;
         }

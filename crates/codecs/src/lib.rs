@@ -25,7 +25,7 @@ pub mod qlz;
 pub mod rangecoder;
 pub mod scratch;
 
-pub use scratch::Scratch;
+pub use scratch::{DecodeScratch, Scratch};
 
 use std::fmt;
 
@@ -149,6 +149,25 @@ pub trait Codec: Send + Sync {
     /// Decompresses `input` (exactly `expected_len` output bytes), appending
     /// to `out`.
     fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()>;
+
+    /// Decompresses `input`, appending to `out`, reusing the working memory
+    /// in `scratch` so steady-state block decoding is allocation-free — the
+    /// decode-side mirror of [`Codec::compress_with`].
+    ///
+    /// Produces output **byte-identical** to [`Codec::decompress`] and
+    /// returns the same result on every input, valid or corrupt. The
+    /// default implementation ignores `scratch` for codecs without decode
+    /// working memory.
+    fn decompress_with(
+        &self,
+        scratch: &mut DecodeScratch,
+        input: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let _ = scratch;
+        self.decompress(input, expected_len, out)
+    }
 }
 
 /// Level 0: stored.
@@ -225,6 +244,15 @@ impl Codec for HeavyCodec {
     }
     fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
         heavy::decompress(input, expected_len, out)
+    }
+    fn decompress_with(
+        &self,
+        scratch: &mut DecodeScratch,
+        input: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        heavy::decompress_with(scratch, input, expected_len, out)
     }
 }
 

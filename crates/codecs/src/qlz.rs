@@ -49,19 +49,45 @@ fn hash4(data: &[u8], i: usize, bits: u32) -> usize {
 }
 
 /// Counts equal bytes starting at `(a, b)` (with `a < b`), capped at
-/// `limit`. Word-oriented: compares 8 bytes at a time via `u64` XOR and
-/// extends into the first differing word with `trailing_zeros`, falling back
-/// to a byte loop for the tail near `limit`/end of buffer.
+/// `limit`. Wide block compares: 16 bytes per step via `u128` XOR (the
+/// compiler lowers this to two overlapped 8-byte loads, or one SSE2 compare
+/// where profitable), extending into the first differing block with
+/// `trailing_zeros`; the tail is a branch-light 8/4/2/1 ladder of the same
+/// shape, so no byte-at-a-time loop survives on any input. All loads go
+/// through `from_le_bytes` on checked subslices — safe Rust, no alignment
+/// assumptions.
 ///
 /// Requires `a < b` and `b + limit <= data.len()` (so both windows are in
 /// bounds); this is what the compressors guarantee via
-/// `limit = min(n - b, MAX_MATCH)`.
+/// `limit = min(n - b, MAX_MATCH)`. Returns exactly what
+/// [`match_len_naive`] returns — the wire parse must not change by a byte.
 #[inline]
 pub fn match_len(data: &[u8], a: usize, b: usize, limit: usize) -> usize {
     debug_assert!(a < b);
     debug_assert!(b + limit <= data.len());
     let mut n = 0;
-    while n + 8 <= limit {
+    // Narrow first compare: most candidate probes mismatch inside the
+    // first word, so the fail path stays one u64 load pair wide; the
+    // 16-byte blocks below only run once a real match is confirmed.
+    if limit >= 8 {
+        let x = u64::from_le_bytes(data[a..a + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(data[b..b + 8].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            return (diff.trailing_zeros() >> 3) as usize;
+        }
+        n = 8;
+    }
+    while n + 16 <= limit {
+        let x = u128::from_le_bytes(data[a + n..a + n + 16].try_into().unwrap());
+        let y = u128::from_le_bytes(data[b + n..b + n + 16].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            return n + (diff.trailing_zeros() >> 3) as usize;
+        }
+        n += 16;
+    }
+    if n + 8 <= limit {
         let x = u64::from_le_bytes(data[a + n..a + n + 8].try_into().unwrap());
         let y = u64::from_le_bytes(data[b + n..b + n + 8].try_into().unwrap());
         let diff = x ^ y;
@@ -70,7 +96,25 @@ pub fn match_len(data: &[u8], a: usize, b: usize, limit: usize) -> usize {
         }
         n += 8;
     }
-    while n < limit && data[a + n] == data[b + n] {
+    if n + 4 <= limit {
+        let x = u32::from_le_bytes(data[a + n..a + n + 4].try_into().unwrap());
+        let y = u32::from_le_bytes(data[b + n..b + n + 4].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            return n + (diff.trailing_zeros() >> 3) as usize;
+        }
+        n += 4;
+    }
+    if n + 2 <= limit {
+        let x = u16::from_le_bytes(data[a + n..a + n + 2].try_into().unwrap());
+        let y = u16::from_le_bytes(data[b + n..b + n + 2].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            return n + (diff.trailing_zeros() >> 3) as usize;
+        }
+        n += 2;
+    }
+    if n < limit && data[a + n] == data[b + n] {
         n += 1;
     }
     n
@@ -322,15 +366,119 @@ pub fn compress_medium_with(scratch: &mut Scratch, input: &[u8], out: &mut Vec<u
     scratch.note_out(crate::CodecId::QlzMedium, produced);
 }
 
+/// Appends `len` bytes from `off` bytes back in `out` — the LZ match copy,
+/// shared by the qlz and HEAVY decoders. Branch-light: three shapes, each a
+/// bulk copy rather than a byte loop.
+///
+/// * `off >= len` — non-overlapping: one `extend_from_within` (a single
+///   memcpy).
+/// * `off == 1` — run-length: `resize` with the repeated byte (a memset).
+/// * otherwise — overlapping with period `off`: doubling chunks; each
+///   `extend_from_within` sources only already-written bytes, so the
+///   periodic extension is byte-identical to the naive loop while doing
+///   O(log(len/off)) copies instead of `len` pushes.
+///
+/// Caller guarantees `0 < off <= out.len()` (validated against the
+/// produced length before the call).
+#[inline]
+pub(crate) fn copy_match(out: &mut Vec<u8>, off: usize, len: usize) {
+    debug_assert!(off >= 1 && off <= out.len());
+    let src = out.len() - off;
+    if off >= len {
+        out.extend_from_within(src..src + len);
+    } else if off == 1 {
+        let b = out[src];
+        out.resize(out.len() + len, b);
+    } else {
+        let mut remaining = len;
+        while remaining > 0 {
+            let chunk = (out.len() - src).min(remaining);
+            out.extend_from_within(src..src + chunk);
+            remaining -= chunk;
+        }
+    }
+}
+
 /// Decompresses a token stream produced by either setting.
 ///
 /// `expected_len` is the uncompressed size recorded in the frame header.
+///
+/// Branch-light hot loop: consecutive literal bits in a control byte are
+/// counted with `trailing_zeros` and copied as one `copy_from_slice` run,
+/// and match copies go through `copy_match` (memcpy/memset/doubling
+/// chunks) instead of per-byte pushes. Output bytes, consumed bytes and
+/// every error case are identical to [`decompress_reference`] — the
+/// differential proptests in `tests/hot_loops.rs` hold the two together.
 pub fn decompress(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
     let start = out.len();
     // `expected_len` comes from an untrusted frame header: never pre-reserve
     // more than a sane block bound eagerly. `out` still grows on demand to
     // the *actual* decoded size, which corrupt input cannot inflate past
     // `expected_len` (the target check below).
+    out.reserve(expected_len.min(crate::frame::DEFAULT_BLOCK_LEN * 2));
+    let target = start + expected_len;
+    let n = input.len();
+    let mut p = 0usize;
+    'outer: while out.len() < target {
+        if p >= n {
+            return Err(CodecError::Truncated);
+        }
+        let ctrl = input[p];
+        p += 1;
+        let mut bit = 0u32;
+        while bit < 8 {
+            if out.len() == target {
+                break 'outer;
+            }
+            if ctrl >> bit & 1 == 0 {
+                // Literal run: every consecutive zero bit is one literal
+                // byte. The sentinel bit at position `8 - bit` caps the
+                // count at the control byte's remaining bits.
+                let run = ((ctrl as u32 >> bit) | (1u32 << (8 - bit))).trailing_zeros() as usize;
+                let want = run.min(target - out.len());
+                let avail = n - p;
+                if want > avail {
+                    // Same partial-progress-then-error shape as the
+                    // reference: available literals are produced before
+                    // the truncation is reported.
+                    out.extend_from_slice(&input[p..]);
+                    return Err(CodecError::Truncated);
+                }
+                out.extend_from_slice(&input[p..p + want]);
+                p += want;
+                bit += want as u32;
+            } else {
+                if p + 3 > n {
+                    return Err(CodecError::Truncated);
+                }
+                let len = input[p] as usize + MIN_MATCH;
+                let off = u16::from_le_bytes([input[p + 1], input[p + 2]]) as usize;
+                p += 3;
+                let produced = out.len() - start;
+                if off == 0 || off > produced {
+                    return Err(CodecError::Corrupt("match offset out of range"));
+                }
+                if out.len() + len > target {
+                    return Err(CodecError::Corrupt("match overruns expected length"));
+                }
+                copy_match(out, off, len);
+                bit += 1;
+            }
+        }
+    }
+    if p != input.len() {
+        // Only control-byte padding bits may remain; extra payload means
+        // a corrupt frame.
+        return Err(CodecError::Corrupt("trailing bytes after stream end"));
+    }
+    Ok(())
+}
+
+/// Byte-at-a-time reference decoder — the pre-optimization loop, kept (like
+/// [`match_len_naive`]) as the oracle for differential property tests. Not
+/// used on any hot path.
+pub fn decompress_reference(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
+    let start = out.len();
     out.reserve(expected_len.min(crate::frame::DEFAULT_BLOCK_LEN * 2));
     let target = start + expected_len;
     let mut p = 0usize;
@@ -365,19 +513,17 @@ pub fn decompress(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Resul
                 // Overlapping copies must run byte-by-byte.
                 #[allow(clippy::explicit_counter_loop)]
                 {
-                let mut src = out.len() - off;
-                for _ in 0..len {
-                    let b = out[src];
-                    out.push(b);
-                    src += 1;
-                }
+                    let mut src = out.len() - off;
+                    for _ in 0..len {
+                        let b = out[src];
+                        out.push(b);
+                        src += 1;
+                    }
                 }
             }
         }
     }
     if p != input.len() {
-        // Only control-byte padding bits may remain; extra payload means
-        // a corrupt frame.
         return Err(CodecError::Corrupt("trailing bytes after stream end"));
     }
     Ok(())

@@ -78,6 +78,33 @@ impl Default for Scratch {
     }
 }
 
+/// Reusable per-decoder working memory — the decode-side mirror of
+/// [`Scratch`]. Today this is the HEAVY probability model (the only decode
+/// state that costs heap); LIGHT/MEDIUM decode is table-free. Held by
+/// `FrameReader` and each `DecodePool` worker so steady-state decode
+/// performs **zero heap allocations per block**, matching the compress
+/// side's contract.
+///
+/// Determinism contract: decoding through a reused `DecodeScratch` produces
+/// byte-identical output to a fresh one — the model is reset in place to
+/// the exact state `Model::new()` builds.
+pub struct DecodeScratch {
+    /// HEAVY: probability model (boxed so qlz-only readers never pay).
+    pub(crate) heavy_model: Option<Box<crate::heavy::Model>>,
+}
+
+impl DecodeScratch {
+    pub fn new() -> Self {
+        DecodeScratch { heavy_model: None }
+    }
+}
+
+impl Default for DecodeScratch {
+    fn default() -> Self {
+        DecodeScratch::new()
+    }
+}
+
 /// Resets `v` to `len` entries of `u32::MAX` without shrinking capacity;
 /// allocates only when `len` grows beyond the current capacity.
 #[inline]

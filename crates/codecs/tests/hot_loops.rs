@@ -1,0 +1,227 @@
+//! Differential tests pinning the optimized hot loops to their scalar
+//! references:
+//!
+//! * the branch-light `qlz::decompress` against the byte-at-a-time
+//!   `qlz::decompress_reference` — identical output bytes on success,
+//!   identical partial output *and* error on corrupt/truncated input;
+//! * the wide `match_len` against `match_len_naive` on adversarial layouts
+//!   (overlap distances 1..16, block-boundary straddles, every length up
+//!   to 1 KiB);
+//! * the slicing-by-8 CRC against the table-free bitwise reference.
+//!
+//! The wire format is frozen: these tests are the contract that lets the
+//! hot loops change shape without changing a single byte.
+
+use adcomp_codecs::crc32::{crc32, crc32_bitwise, Hasher};
+use adcomp_codecs::qlz::{
+    compress_light, compress_medium, decompress, decompress_reference, match_len, match_len_naive,
+};
+use adcomp_codecs::CodecError;
+use adcomp_corpus::{generate, Class};
+use proptest::prelude::*;
+
+/// Runs both decoders on the same input and asserts byte-identical output
+/// and identical results — including the partial output the reference
+/// leaves behind before reporting an error.
+fn assert_decoders_agree(input: &[u8], expected_len: usize) {
+    let mut fast = Vec::new();
+    let mut slow = Vec::new();
+    let fast_res = decompress(input, expected_len, &mut fast);
+    let slow_res = decompress_reference(input, expected_len, &mut slow);
+    assert_eq!(fast_res, slow_res, "result mismatch (expected_len={expected_len})");
+    assert_eq!(fast, slow, "output mismatch (expected_len={expected_len})");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Valid streams: compress arbitrary small-alphabet data (long matches,
+    /// the regime where the fast paths actually fire) and decode through
+    /// both paths.
+    #[test]
+    fn decode_agrees_on_valid_streams(
+        data in proptest::collection::vec(0u8..4, 0..4096),
+        medium in any::<bool>(),
+    ) {
+        let mut wire = Vec::new();
+        if medium {
+            compress_medium(&data, &mut wire);
+        } else {
+            compress_light(&data, &mut wire);
+        }
+        assert_decoders_agree(&wire, data.len());
+    }
+
+    /// Mutated streams: flip one byte anywhere in a valid token stream.
+    /// Both decoders must fail identically (or both still succeed, e.g. a
+    /// literal byte flip) with identical partial output.
+    #[test]
+    fn decode_agrees_on_corrupt_streams(
+        data in proptest::collection::vec(0u8..8, 1..2048),
+        flip in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut wire = Vec::new();
+        compress_medium(&data, &mut wire);
+        let pos = flip.index(wire.len());
+        wire[pos] ^= xor;
+        assert_decoders_agree(&wire, data.len());
+    }
+
+    /// Truncated streams: cut a valid stream anywhere. The truncated-run
+    /// partial-progress semantics must match exactly.
+    #[test]
+    fn decode_agrees_on_truncated_streams(
+        data in proptest::collection::vec(0u8..4, 1..2048),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut wire = Vec::new();
+        compress_light(&data, &mut wire);
+        let keep = cut.index(wire.len());
+        assert_decoders_agree(&wire[..keep], data.len());
+    }
+
+    /// Wrong declared length (shorter and longer than the real payload):
+    /// the `target` bookkeeping in the run-length literal path must agree
+    /// with the reference's per-byte check.
+    #[test]
+    fn decode_agrees_on_wrong_expected_len(
+        data in proptest::collection::vec(0u8..4, 1..1024),
+        declared in 0usize..2048,
+    ) {
+        let mut wire = Vec::new();
+        compress_light(&data, &mut wire);
+        assert_decoders_agree(&wire, declared);
+    }
+
+    /// Slicing-by-8 CRC equals the bitwise reference on arbitrary data,
+    /// and incremental hashing over arbitrary split points equals one-shot.
+    #[test]
+    fn crc_agrees_with_bitwise(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let expect = crc32_bitwise(&data);
+        prop_assert_eq!(crc32(&data), expect);
+        let cut = split.index(data.len() + 1);
+        let mut h = Hasher::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finish(), expect);
+    }
+}
+
+/// Overlapping matches at every small distance: `abab…`-style periods 1..16
+/// force `copy_match` through its memset (off=1), periodic-doubling
+/// (off<len) and memcpy (off>=len) branches.
+#[test]
+fn decode_agrees_on_overlap_distances() {
+    for period in 1usize..=16 {
+        let data: Vec<u8> = (0..3000).map(|i| (i % period) as u8).collect();
+        for compress in [compress_light as fn(&[u8], &mut Vec<u8>), compress_medium] {
+            let mut wire = Vec::new();
+            compress(&data, &mut wire);
+            assert_decoders_agree(&wire, data.len());
+            let mut out = Vec::new();
+            decompress(&wire, data.len(), &mut out).unwrap();
+            assert_eq!(out, data, "period={period}");
+        }
+    }
+}
+
+/// Exhaustive `match_len` sweep: every length 0..=1024, with the match
+/// straddling the 16-byte block boundary at every phase (a % 16) and
+/// running exactly to the end of the buffer (the `b + limit == len` edge).
+#[test]
+fn match_len_exhaustive_lengths_and_phases() {
+    for phase in 0usize..16 {
+        // data = prefix junk (phase bytes) + pattern + pattern + mismatch tail
+        for len in (0usize..=64).chain([100, 127, 128, 129, 255, 256, 500, 1000, 1024]) {
+            let mut data = vec![0x55u8; phase];
+            let pattern: Vec<u8> = (0..len).map(|i| (i * 7 + 3) as u8).collect();
+            data.extend_from_slice(&pattern);
+            data.extend_from_slice(&pattern);
+            data.push(0xFF); // guarantee a mismatch after the copies
+            let a = phase;
+            let b = phase + len.max(1);
+            if b >= data.len() {
+                continue;
+            }
+            let limit = (data.len() - b).min(len + 1);
+            assert_eq!(
+                match_len(&data, a, b, limit),
+                match_len_naive(&data, a, b, limit),
+                "phase={phase} len={len}"
+            );
+        }
+    }
+}
+
+/// `match_len` with the two windows overlapping each other (b - a < limit):
+/// the compressors generate these for RLE-ish input, and the wide compare
+/// must still return exactly the naive count.
+#[test]
+fn match_len_overlapping_windows() {
+    let data: Vec<u8> = (0..2048).map(|i| (i / 3 % 5) as u8).collect();
+    for dist in 1usize..=16 {
+        for a in [0usize, 1, 7, 15, 16, 100] {
+            let b = a + dist;
+            let limit = (data.len() - b).min(1024);
+            assert_eq!(
+                match_len(&data, a, b, limit),
+                match_len_naive(&data, a, b, limit),
+                "dist={dist} a={a}"
+            );
+        }
+    }
+}
+
+/// Real corpus round-trips through both decoders, all three classes.
+#[test]
+fn decode_agrees_on_corpus_blocks() {
+    for class in [Class::High, Class::Moderate, Class::Low] {
+        let data = generate(class, 128 * 1024, 7);
+        for compress in [compress_light as fn(&[u8], &mut Vec<u8>), compress_medium] {
+            let mut wire = Vec::new();
+            compress(&data, &mut wire);
+            assert_decoders_agree(&wire, data.len());
+        }
+    }
+}
+
+/// Pinned error-shape checks: the optimized decoder must report the exact
+/// error variants the reference does on hand-built corrupt streams.
+#[test]
+fn decode_error_variants_pinned() {
+    // Empty input, nonzero expected length -> Truncated.
+    let mut out = Vec::new();
+    assert_eq!(decompress(&[], 5, &mut out), Err(CodecError::Truncated));
+
+    // Control byte announcing a match, but the token is cut off.
+    let mut out = Vec::new();
+    assert_eq!(decompress(&[0x01, 0x10], 64, &mut out), Err(CodecError::Truncated));
+
+    // Match with offset 0 (encoded distance bytes = 0) -> corrupt offset.
+    let mut out = Vec::new();
+    assert_eq!(
+        decompress(&[0x01, 0x00, 0x00, 0x00], 64, &mut out),
+        Err(CodecError::Corrupt("match offset out of range"))
+    );
+
+    // Match reaching past the declared uncompressed length.
+    let mut wire = vec![0x00]; // 8 literals
+    wire.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+    wire.push(0x01); // match token next
+    wire.extend_from_slice(&[60, 1, 0]); // len 64, dist 1
+    let mut out = Vec::new();
+    assert_eq!(
+        decompress(&wire, 10, &mut out),
+        Err(CodecError::Corrupt("match overruns expected length"))
+    );
+
+    // And each of those agrees with the reference, partial output included.
+    assert_decoders_agree(&[], 5);
+    assert_decoders_agree(&[0x01, 0x10], 64);
+    assert_decoders_agree(&[0x01, 0x00, 0x00, 0x00], 64);
+    assert_decoders_agree(&wire, 10);
+}

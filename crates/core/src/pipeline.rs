@@ -37,7 +37,7 @@
 //! flagged so the caller can force the controller to level 0.
 
 use adcomp_codecs::frame::{encode_block_flags, BlockInfo};
-use adcomp_codecs::{codec_for, CodecError, CodecId, Scratch};
+use adcomp_codecs::{codec_for, CodecError, CodecId, DecodeScratch, Scratch};
 use adcomp_trace::{PipelineEvent, TraceEvent, TraceHandle, TraceSink as _, NO_EPOCH};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::BTreeMap;
@@ -372,6 +372,9 @@ struct DecodeJob {
     codec: CodecId,
     uncompressed_len: usize,
     payload: Vec<u8>,
+    /// Recycled output buffer (cleared; capacity retained from a previous
+    /// block so steady-state decode allocates nothing).
+    out: Vec<u8>,
 }
 
 /// One decoded block coming back from a [`DecodePool`] worker.
@@ -380,6 +383,9 @@ pub struct Decoded {
     pub seq: u64,
     /// The recovered application bytes (empty when `err` is set).
     pub bytes: Vec<u8>,
+    /// The wire payload buffer the job travelled in, handed back so the
+    /// caller can refill it for a later frame instead of allocating.
+    pub payload: Vec<u8>,
     /// Decode failure, if any. With CRC validation upstream this only
     /// fires on a checksum collision over corrupt data — the caller maps
     /// it through its `RecoveryPolicy` exactly like the serial reader.
@@ -387,17 +393,24 @@ pub struct Decoded {
 }
 
 fn decode_worker(rx: Receiver<DecodeJob>, tx: Sender<Decoded>) {
+    // One decode scratch per worker, reused for the thread's lifetime.
+    let mut scratch = DecodeScratch::new();
     while let Ok(job) = rx.recv() {
-        let mut bytes = Vec::new();
-        let err = match codec_for(job.codec).decompress(&job.payload, job.uncompressed_len, &mut bytes)
-        {
+        let mut bytes = job.out;
+        bytes.clear();
+        let err = match codec_for(job.codec).decompress_with(
+            &mut scratch,
+            &job.payload,
+            job.uncompressed_len,
+            &mut bytes,
+        ) {
             Ok(()) => None,
             Err(e) => {
                 bytes.clear();
                 Some(e)
             }
         };
-        if tx.send(Decoded { seq: job.seq, bytes, err }).is_err() {
+        if tx.send(Decoded { seq: job.seq, bytes, payload: job.payload, err }).is_err() {
             break;
         }
     }
@@ -414,6 +427,9 @@ pub struct DecodePool {
     next_seq: u64,
     in_flight: usize,
     gate: SeqGate<Decoded>,
+    /// Output buffers returned via [`DecodePool::recycle`], reissued to
+    /// later jobs so steady-state decode is allocation-free.
+    spare_out: Vec<Vec<u8>>,
 }
 
 impl DecodePool {
@@ -443,6 +459,19 @@ impl DecodePool {
             next_seq: 0,
             in_flight: 0,
             gate: SeqGate::new(),
+            spare_out: Vec::new(),
+        }
+    }
+
+    /// Hands a consumed output buffer back to the pool for reuse by a later
+    /// job. Callers that recycle every [`Decoded::bytes`] they finish with
+    /// make the whole decode pipeline zero-alloc in steady state.
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        // Bound the free list: anything beyond one buffer per pipeline slot
+        // can never be in use at once.
+        if self.spare_out.len() < self.depth {
+            self.spare_out.push(buf);
         }
     }
 
@@ -474,7 +503,8 @@ impl DecodePool {
             self.gate.release(&mut ready);
             self.in_flight -= ready.len();
         }
-        let job = DecodeJob { seq: self.next_seq, codec, uncompressed_len, payload };
+        let out = self.spare_out.pop().unwrap_or_default();
+        let job = DecodeJob { seq: self.next_seq, codec, uncompressed_len, payload, out };
         self.job_tx
             .as_ref()
             .expect("pool already shut down")

@@ -373,6 +373,11 @@ pub struct AdaptiveReader<R: Read> {
     /// (`FrameReader::read_frame`); only the pure payload decompression is
     /// farmed out, and blocks are released in wire order.
     pool: Option<DecodePool>,
+    /// Recycled wire-payload buffers (pipelined mode): each [`Decoded`]
+    /// hands its payload back and `refill_pipelined` reuses it for a later
+    /// frame, so steady-state pipelined decode performs no per-frame
+    /// allocation on the reader thread.
+    spare_payloads: Vec<Vec<u8>>,
 }
 
 impl<R: Read> AdaptiveReader<R> {
@@ -391,6 +396,7 @@ impl<R: Read> AdaptiveReader<R> {
             pos: 0,
             eof: false,
             pool: None,
+            spare_payloads: Vec::new(),
         }
     }
 
@@ -475,6 +481,16 @@ impl<R: Read> AdaptiveReader<R> {
                     // serial reader there is nothing left to re-scan.
                 }
             }
+            // Hand both buffers back for reuse: the output to the pool,
+            // the wire payload to the reader-thread free list.
+            if let Some(pool) = self.pool.as_mut() {
+                pool.recycle(d.bytes);
+                if self.spare_payloads.len() < pool.workers() * 2 {
+                    let mut p = d.payload;
+                    p.clear();
+                    self.spare_payloads.push(p);
+                }
+            }
         }
         Ok(())
     }
@@ -483,22 +499,22 @@ impl<R: Read> AdaptiveReader<R> {
     /// pool, release in wire order. Returns with `pending` non-empty or
     /// `eof` set with the pipeline fully drained.
     fn refill_pipelined(&mut self) -> io::Result<()> {
-        let mut payload = Vec::new();
         loop {
             while !self.eof
                 && self.pool.as_ref().expect("pipelined refill without a pool").has_capacity()
             {
+                let mut payload = self.spare_payloads.pop().unwrap_or_default();
                 match self.frames.read_frame(&mut payload)? {
                     Some(h) => {
                         let pool = self.pool.as_mut().expect("pipelined refill without a pool");
-                        let batch = pool.submit(
-                            h.codec,
-                            h.uncompressed_len as usize,
-                            std::mem::take(&mut payload),
-                        );
+                        let batch =
+                            pool.submit(h.codec, h.uncompressed_len as usize, payload);
                         self.absorb_decoded(batch)?;
                     }
-                    None => self.eof = true,
+                    None => {
+                        self.spare_payloads.push(payload);
+                        self.eof = true;
+                    }
                 }
             }
             if self.eof {
