@@ -82,6 +82,12 @@ fn main() {
             continue;
         };
         let checks = ledger.gate(tolerance);
+        // Name every key the gate skipped and why, so a measurement that
+        // fell out of the gate (say, a new row without a re-pinned
+        // baseline) is a visible diagnostic rather than a silent pass.
+        for (key, why) in ledger.ungated_keys() {
+            println!("gate skip {key:<32} {why}");
+        }
         if checks.is_empty() {
             println!("gate: {path}: no gated keys (no baseline rows with newer measurements)");
             continue;

@@ -1,0 +1,59 @@
+//! Prometheus text-exposition conformance lint over scrape bodies.
+//!
+//! Runs the same [`adcomp_trace::conformance_lint`] the unit tests and the
+//! `adcomp top` sim path apply, but against scrape files captured from a
+//! live `/metrics` endpoint — CI's smoke test pipes the body it scraped
+//! through here so endpoint output is held to the identical contract:
+//! escaped HELP/label text, `TYPE` before samples, contiguous families, no
+//! duplicate series, non-negative counters, and complete histograms
+//! (`+Inf` bucket, `_sum`, `_count`, cumulative buckets).
+//!
+//! ```text
+//! prom_lint scrape.txt [...]     # lint files
+//! some-scraper | prom_lint -     # lint stdin
+//! ```
+//!
+//! Exit 0 when every input passes; 1 with one line per violation
+//! otherwise.
+
+use adcomp_trace::{conformance_lint, parse_samples};
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: prom_lint <scrape.txt ...> (or - for stdin)");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        let body = if path == "-" {
+            let mut s = String::new();
+            std::io::stdin().read_to_string(&mut s).expect("read stdin");
+            s
+        } else {
+            match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("prom_lint: {path}: {e}");
+                    failed = true;
+                    continue;
+                }
+            }
+        };
+        match conformance_lint(&body) {
+            Ok(()) => {
+                println!("prom_lint OK: {path} ({} samples)", parse_samples(&body).len());
+            }
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("prom_lint FAIL: {path}: {e}");
+                }
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -275,6 +275,41 @@ impl Ledger {
         }
         checks
     }
+
+    /// Bench keys present in the ledger that [`Ledger::gate`] does *not*
+    /// gate, each with the reason: either no row for the key is pinned
+    /// `"baseline": true`, or the pinned baseline is the newest row so
+    /// there is nothing to compare against it. `bench_gate` prints these
+    /// by name — a key with fresh measurements but no pinned baseline is
+    /// exactly the state a forgotten re-pin leaves behind, and it must
+    /// never be a silent skip.
+    pub fn ungated_keys(&self) -> Vec<(String, &'static str)> {
+        let mut keys: Vec<&str> = Vec::new();
+        for row in &self.rows {
+            if !keys.contains(&row.bench.as_str()) {
+                keys.push(&row.bench);
+            }
+        }
+        let mut out = Vec::new();
+        for key in keys {
+            let base = self
+                .rows
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|(_, r)| r.bench == key && r.baseline);
+            match base {
+                None => out.push((key.to_string(), "no row pinned \"baseline\": true")),
+                Some((bi, _)) => {
+                    let newer = self.rows.iter().enumerate().any(|(i, r)| i > bi && r.bench == key);
+                    if !newer {
+                        out.push((key.to_string(), "pinned baseline is the newest row"));
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 impl Row {
@@ -651,6 +686,26 @@ mod tests {
         let checks = l.gate(DEFAULT_TOLERANCE);
         assert!(checks.iter().all(|c| c.bench != "compress/NEW/KEY"));
         assert!(checks.iter().all(|c| c.bench != "compress/PINNED/ONLY"));
+    }
+
+    /// Every key the gate skips must come back from [`Ledger::ungated_keys`]
+    /// with a reason naming the key — the `bench_gate` diagnostic contract.
+    #[test]
+    fn ungated_keys_are_named_with_reasons() {
+        let mut l = sample();
+        // Fully gated ledger: nothing to report.
+        assert!(l.ungated_keys().is_empty());
+        l.rows.push(row("2026-08-07", "x", "compress/NEW/KEY", 10.0, false));
+        l.rows.push(row("2026-08-07", "x", "compress/PINNED/ONLY", 10.0, true));
+        let ungated = l.ungated_keys();
+        assert_eq!(ungated.len(), 2, "{ungated:?}");
+        let reason = |key: &str| {
+            ungated.iter().find(|(k, _)| k == key).map(|(_, why)| *why).unwrap()
+        };
+        assert!(reason("compress/NEW/KEY").contains("no row pinned"));
+        assert!(reason("compress/PINNED/ONLY").contains("newest row"));
+        // Gated keys never appear.
+        assert!(ungated.iter().all(|(k, _)| k != "compress/LIGHT/HIGH"));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use crate::crc32::crc32;
 use crate::{codec_for, Codec, CodecError, CodecId, DecodeScratch, Result, Scratch};
+use adcomp_metrics::registry::{self, CounterKind, LabelFamily, MetricsRegistry, SpanKind};
 use adcomp_trace::{CodecEvent, FaultEvent, NullSink, TraceEvent, TraceSink, NO_EPOCH};
 use std::io::{self, Read, Write};
 
@@ -41,6 +42,16 @@ pub const FLAG_RECORD_ALIGNED: u8 = 0b0000_0010;
 /// allocation. Generous (blocks in this workspace are ≤ 128 KiB) so that
 /// only forged length fields trip it.
 pub const DEFAULT_MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Live-registry counters shared by both encode entry points.
+fn record_encode_counters(m: &MetricsRegistry, info: &BlockInfo) {
+    m.counter_add(CounterKind::BlocksCompressed, 1);
+    m.counter_add(CounterKind::CodecInBytes, info.uncompressed_len as u64);
+    m.counter_add(CounterKind::CodecOutBytes, info.frame_len as u64);
+    if info.raw_fallback {
+        m.counter_add(CounterKind::RawFallbacks, 1);
+    }
+}
 
 /// Parsed frame header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -331,23 +342,34 @@ impl<W: Write, S: TraceSink> FrameWriter<W, S> {
     /// Encodes one block with the given codec and writes the frame.
     pub fn write_block(&mut self, codec: &dyn Codec, data: &[u8]) -> io::Result<BlockInfo> {
         self.wire_buf.clear();
+        let metrics = registry::global();
+        let timed = self.sink.enabled() || metrics.is_some_and(MetricsRegistry::wall_spans);
         let info;
-        if self.sink.enabled() {
-            // Trace-only work (timestamping + event construction) lives
-            // entirely inside this branch, which `NullSink` compiles out.
+        let mut compress_ns = 0;
+        if timed {
+            // Trace/metrics-only work (timestamping + event construction)
+            // lives entirely inside this branch; with `NullSink` and no
+            // registry installed it reduces to one relaxed load.
             let start = std::time::Instant::now();
             info = encode_block_with(&mut self.codec_scratch, codec, data, &mut self.wire_buf);
+            compress_ns = start.elapsed().as_nanos() as u64;
+        } else {
+            info = encode_block_with(&mut self.codec_scratch, codec, data, &mut self.wire_buf);
+        }
+        if self.sink.enabled() {
             self.sink.emit(&TraceEvent::Codec(CodecEvent {
                 epoch: self.trace_epoch,
                 t: self.trace_t,
                 level: codec.id().level_name(),
                 in_bytes: info.uncompressed_len as u64,
                 out_bytes: info.frame_len as u64,
-                compress_ns: start.elapsed().as_nanos() as u64,
+                compress_ns,
                 raw_fallback: info.raw_fallback,
             }));
-        } else {
-            info = encode_block_with(&mut self.codec_scratch, codec, data, &mut self.wire_buf);
+        }
+        if let Some(m) = metrics {
+            m.span_ns(SpanKind::Compress, compress_ns);
+            record_encode_counters(m, &info);
         }
         self.inner.write_all(&self.wire_buf)?;
         self.app_bytes += info.uncompressed_len as u64;
@@ -378,6 +400,10 @@ impl<W: Write, S: TraceSink> FrameWriter<W, S> {
                 compress_ns,
                 raw_fallback: info.raw_fallback,
             }));
+        }
+        if let Some(m) = registry::global() {
+            m.span_ns(SpanKind::Compress, compress_ns);
+            record_encode_counters(m, &info);
         }
         self.inner.write_all(frame)?;
         self.app_bytes += info.uncompressed_len as u64;
@@ -603,6 +629,9 @@ impl<R: Read, S: TraceSink> FrameReader<R, S> {
                 attempt,
             }));
         }
+        if let Some(m) = registry::global() {
+            m.label_count(LabelFamily::FaultKind, kind, 1);
+        }
     }
 
     /// One `read` against the inner stream with the policy's transient
@@ -805,11 +834,19 @@ impl<R: Read, S: TraceSink> FrameReader<R, S> {
     /// corrupt/truncated bytes (check [`FrameReader::recovery`] to tell the
     /// two apart).
     pub fn read_block(&mut self, out: &mut Vec<u8>) -> io::Result<Option<FrameHeader>> {
+        let metrics = registry::global();
+        let timed = metrics.is_some_and(MetricsRegistry::wall_spans);
         loop {
-            let Some((header, header_bytes)) = self.read_valid_frame()? else {
+            let start = timed.then(std::time::Instant::now);
+            let frame = self.read_valid_frame()?;
+            if let (Some(m), Some(s)) = (metrics, start) {
+                m.span_ns(SpanKind::FrameRead, s.elapsed().as_nanos() as u64);
+            }
+            let Some((header, header_bytes)) = frame else {
                 return Ok(None);
             };
             let out_start = out.len();
+            let start = timed.then(std::time::Instant::now);
             if let Err(e) = codec_for(header.codec).decompress_with(
                 &mut self.decode_scratch,
                 &self.payload_buf,
@@ -822,6 +859,16 @@ impl<R: Read, S: TraceSink> FrameReader<R, S> {
                     continue;
                 }
                 return Ok(None);
+            }
+            if let Some(m) = metrics {
+                if let Some(s) = start {
+                    m.span_ns(SpanKind::Decompress, s.elapsed().as_nanos() as u64);
+                }
+                m.counter_add(CounterKind::BlocksDecompressed, 1);
+                m.counter_add(
+                    CounterKind::WireInBytes,
+                    (HEADER_LEN + header.payload_len as usize) as u64,
+                );
             }
             self.app_bytes += header.uncompressed_len as u64;
             self.wire_bytes += (HEADER_LEN + header.payload_len as usize) as u64;
@@ -840,10 +887,24 @@ impl<R: Read, S: TraceSink> FrameReader<R, S> {
     /// payload-decompression to a worker pool. Updates `wire_bytes` and
     /// `blocks` (`app_bytes` is the decoding caller's to account).
     pub fn read_frame(&mut self, payload: &mut Vec<u8>) -> io::Result<Option<FrameHeader>> {
-        match self.read_valid_frame()? {
+        let metrics = registry::global();
+        let start = metrics
+            .is_some_and(MetricsRegistry::wall_spans)
+            .then(std::time::Instant::now);
+        let frame = self.read_valid_frame()?;
+        if let (Some(m), Some(s)) = (metrics, start) {
+            m.span_ns(SpanKind::FrameRead, s.elapsed().as_nanos() as u64);
+        }
+        match frame {
             Some((header, _)) => {
                 payload.clear();
                 payload.extend_from_slice(&self.payload_buf);
+                if let Some(m) = metrics {
+                    m.counter_add(
+                        CounterKind::WireInBytes,
+                        (HEADER_LEN + header.payload_len as usize) as u64,
+                    );
+                }
                 self.wire_bytes += (HEADER_LEN + header.payload_len as usize) as u64;
                 self.blocks += 1;
                 Ok(Some(header))

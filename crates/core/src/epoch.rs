@@ -263,7 +263,16 @@ impl EpochDriver {
             observed_ratio: ctx.observed_ratio,
             data_entropy: ctx.data_entropy,
         };
+        let metrics = adcomp_metrics::registry::global();
+        // Wall-timing the decision is skipped in virtual-mode registries
+        // (sim cells feed this same code path; see registry docs).
+        let decide_start = metrics
+            .is_some_and(adcomp_metrics::MetricsRegistry::wall_spans)
+            .then(std::time::Instant::now);
         let decision = self.model.decide_detailed(&obs);
+        if let (Some(m), Some(s)) = (metrics, decide_start) {
+            m.span_ns(adcomp_metrics::SpanKind::EpochDecision, s.elapsed().as_nanos() as u64);
+        }
         debug_assert!(decision.level < self.model.num_levels());
         let step = EpochStep {
             epoch: self.epochs,
@@ -288,6 +297,20 @@ impl EpochDriver {
         if self.trace.enabled() {
             self.trace.emit(&step.epoch_event().into());
             self.trace.emit(&step.decision_event().into());
+        }
+        if let Some(m) = metrics {
+            use adcomp_metrics::registry::{CounterKind, GaugeKind, HistKind, LabelFamily};
+            m.counter_add(CounterKind::Epochs, 1);
+            m.level_epoch(step.level);
+            if let Some(case) = step.case {
+                m.label_count(LabelFamily::DecisionCase, case.name(), 1);
+            }
+            if step.rate.is_finite() && step.rate >= 0.0 {
+                m.observe(HistKind::EpochRate, step.rate as u64);
+            }
+            // Last-write-wins: dropped by virtual-mode registries, where
+            // parallel sim cells would race on it.
+            m.gauge_set(GaugeKind::CurrentLevel, step.level as i64);
         }
         step
     }

@@ -38,6 +38,7 @@
 
 use adcomp_codecs::frame::{encode_block_flags, BlockInfo};
 use adcomp_codecs::{codec_for, CodecError, CodecId, DecodeScratch, Scratch};
+use adcomp_metrics::registry::{self, CounterKind, GaugeKind, HistKind, MetricsRegistry, SpanKind};
 use adcomp_trace::{PipelineEvent, TraceEvent, TraceHandle, TraceSink as _, NO_EPOCH};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::BTreeMap;
@@ -266,6 +267,18 @@ impl CompressPool {
 
     fn collect(&mut self, done: Completion) {
         self.gate.park(done.seq, done);
+        if let Some(m) = registry::global() {
+            m.gauge_max(GaugeKind::ReorderDepthMax, self.gate.parked() as i64);
+        }
+    }
+
+    fn note_drained(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        if let Some(m) = registry::global() {
+            m.gauge_add(GaugeKind::CompressInFlight, -(n as i64));
+        }
     }
 
     /// Submits one block for compression at the caller-chosen `level` /
@@ -280,6 +293,17 @@ impl CompressPool {
     ) -> Vec<Completion> {
         // Backpressure: wait until in-flight drops below the bound. All
         // lower-numbered blocks are in the pool, so they will complete.
+        let metrics = registry::global();
+        let stall_start = if self.in_flight >= self.depth {
+            if let Some(m) = metrics {
+                m.counter_add(CounterKind::PipelineStalls, 1);
+            }
+            metrics
+                .is_some_and(MetricsRegistry::wall_spans)
+                .then(std::time::Instant::now)
+        } else {
+            None
+        };
         while self.in_flight >= self.depth {
             self.emit_event("stall", self.next_seq);
             let done = self.done_rx.recv().expect("compress worker pool hung up");
@@ -288,14 +312,21 @@ impl CompressPool {
             self.gate.release(&mut ready);
             if !ready.is_empty() {
                 self.in_flight -= ready.len();
+                self.note_drained(ready.len());
                 for c in &ready {
                     self.emit_event("drain", c.seq);
+                }
+                if let (Some(m), Some(t0)) = (metrics, stall_start) {
+                    m.span_ns(SpanKind::PoolStall, t0.elapsed().as_nanos() as u64);
                 }
                 self.finish_submit(level, codec, extra_flags, data);
                 let mut more = self.drain_ready();
                 ready.append(&mut more);
                 return ready;
             }
+        }
+        if let (Some(m), Some(t0)) = (metrics, stall_start) {
+            m.span_ns(SpanKind::PoolStall, t0.elapsed().as_nanos() as u64);
         }
         self.finish_submit(level, codec, extra_flags, data);
         self.drain_ready()
@@ -320,6 +351,12 @@ impl CompressPool {
         self.next_seq += 1;
         self.in_flight += 1;
         self.emit_event("submit", seq);
+        if let Some(m) = registry::global() {
+            m.counter_add(CounterKind::PipelineSubmits, 1);
+            m.gauge_add(GaugeKind::CompressInFlight, 1);
+            m.gauge_max(GaugeKind::CompressInFlightMax, self.in_flight as i64);
+            m.observe(HistKind::QueueDepth, self.in_flight as u64);
+        }
     }
 
     /// Opportunistically pulls finished completions without blocking and
@@ -331,6 +368,7 @@ impl CompressPool {
         let mut ready = Vec::new();
         self.gate.release(&mut ready);
         self.in_flight -= ready.len();
+        self.note_drained(ready.len());
         for c in &ready {
             self.emit_event("drain", c.seq);
         }
@@ -347,6 +385,7 @@ impl CompressPool {
             let mut more = Vec::new();
             self.gate.release(&mut more);
             self.in_flight -= more.len();
+            self.note_drained(more.len());
             for c in &more {
                 self.emit_event("drain", c.seq);
             }
@@ -398,6 +437,7 @@ fn decode_worker(rx: Receiver<DecodeJob>, tx: Sender<Decoded>) {
     while let Ok(job) = rx.recv() {
         let mut bytes = job.out;
         bytes.clear();
+        let timer = registry::span(SpanKind::Decompress);
         let err = match codec_for(job.codec).decompress_with(
             &mut scratch,
             &job.payload,
@@ -410,6 +450,12 @@ fn decode_worker(rx: Receiver<DecodeJob>, tx: Sender<Decoded>) {
                 Some(e)
             }
         };
+        drop(timer);
+        if err.is_none() {
+            if let Some(m) = registry::global() {
+                m.counter_add(CounterKind::BlocksDecompressed, 1);
+            }
+        }
         if tx.send(Decoded { seq: job.seq, bytes, payload: job.payload, err }).is_err() {
             break;
         }
@@ -493,6 +539,15 @@ impl DecodePool {
         self.in_flight < self.depth
     }
 
+    fn note_decoded(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        if let Some(m) = registry::global() {
+            m.gauge_add(GaugeKind::DecodeInFlight, -(n as i64));
+        }
+    }
+
     /// Submits one validated payload for decompression; returns blocks now
     /// releasable in wire order. Blocks while the pipeline is at capacity.
     pub fn submit(&mut self, codec: CodecId, uncompressed_len: usize, payload: Vec<u8>) -> Vec<Decoded> {
@@ -502,6 +557,7 @@ impl DecodePool {
             self.gate.park(done.seq, done);
             self.gate.release(&mut ready);
             self.in_flight -= ready.len();
+            self.note_decoded(ready.len());
         }
         let out = self.spare_out.pop().unwrap_or_default();
         let job = DecodeJob { seq: self.next_seq, codec, uncompressed_len, payload, out };
@@ -512,6 +568,12 @@ impl DecodePool {
             .expect("decode worker pool hung up");
         self.next_seq += 1;
         self.in_flight += 1;
+        if let Some(m) = registry::global() {
+            m.counter_add(CounterKind::DecodeSubmits, 1);
+            m.gauge_add(GaugeKind::DecodeInFlight, 1);
+            m.gauge_max(GaugeKind::DecodeInFlightMax, self.in_flight as i64);
+            m.observe(HistKind::QueueDepth, self.in_flight as u64);
+        }
         let mut more = self.drain_ready();
         ready.append(&mut more);
         ready
@@ -525,6 +587,7 @@ impl DecodePool {
         let mut ready = Vec::new();
         self.gate.release(&mut ready);
         self.in_flight -= ready.len();
+        self.note_decoded(ready.len());
         ready
     }
 
@@ -532,11 +595,22 @@ impl DecodePool {
     /// nothing is in flight); returns everything releasable.
     pub fn wait_ready(&mut self) -> Vec<Decoded> {
         let mut ready = self.drain_ready();
+        if !ready.is_empty() || self.in_flight == 0 {
+            return ready;
+        }
+        let metrics = registry::global();
+        let wait_start = metrics
+            .is_some_and(MetricsRegistry::wall_spans)
+            .then(std::time::Instant::now);
         while ready.is_empty() && self.in_flight > 0 {
             let done = self.done_rx.recv().expect("decode worker pool hung up");
             self.gate.park(done.seq, done);
             self.gate.release(&mut ready);
             self.in_flight -= ready.len();
+            self.note_decoded(ready.len());
+        }
+        if let (Some(m), Some(t0)) = (metrics, wait_start) {
+            m.span_ns(SpanKind::DecodeWait, t0.elapsed().as_nanos() as u64);
         }
         ready
     }
@@ -551,6 +625,7 @@ impl DecodePool {
             let before = ready.len();
             self.gate.release(&mut ready);
             self.in_flight -= ready.len() - before;
+            self.note_decoded(ready.len() - before);
         }
         ready
     }

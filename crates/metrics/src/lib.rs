@@ -4,20 +4,30 @@
 //!
 //! * [`rate`] — epoch-based application-data-rate meters (the only input
 //!   the paper's decision model consumes) and time series for the figures;
+//! * [`registry`] — the live, lock-free sharded [`MetricsRegistry`]
+//!   (atomic counters/gauges, log-linear histograms, span timers) that
+//!   running processes scrape while under load;
 //! * [`stats`] — online moments, five-number summaries, histograms;
 //! * [`table`] — paper-style ASCII tables and CSV output.
 //!
 //! Everything here is clock-agnostic: timestamps are plain `f64` seconds,
-//! supplied either by a wall clock or by the discrete-event simulator.
+//! supplied either by a wall clock or by the discrete-event simulator
+//! (the registry makes the split explicit via [`RegistryMode`]).
 
 pub mod plot;
 pub mod quantile;
 pub mod rate;
+pub mod registry;
 pub mod stats;
 pub mod table;
 
 pub use quantile::{P2Quantile, StreamingSummary};
 pub use rate::{EpochRate, RateMeter, TimeSeries};
+pub use registry::{
+    HistKind, HistSnapshot, LabelFamily, MetricsRegistry, RegistryMode, RegistrySnapshot,
+    SpanKind, SpanTimer,
+};
+pub use registry::{CounterKind, GaugeKind};
 pub use stats::{Histogram, OnlineStats, Summary};
 pub use table::{mean_sd_cell, Align, Table};
 

@@ -150,6 +150,7 @@ pub struct Histogram {
     lo: f64,
     hi: f64,
     buckets: Vec<u64>,
+    sum: f64,
     pub underflow: u64,
     pub overflow: u64,
 }
@@ -157,10 +158,11 @@ pub struct Histogram {
 impl Histogram {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
         assert!(hi > lo && buckets > 0);
-        Histogram { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0 }
+        Histogram { lo, hi, buckets: vec![0; buckets], sum: 0.0, underflow: 0, overflow: 0 }
     }
 
     pub fn push(&mut self, x: f64) {
+        self.sum += x;
         if x < self.lo {
             self.underflow += 1;
         } else if x >= self.hi {
@@ -178,6 +180,12 @@ impl Histogram {
 
     pub fn total(&self) -> u64 {
         self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Exact sum of every pushed value (including out-of-range ones);
+    /// feeds the Prometheus `_sum` series.
+    pub fn sum(&self) -> f64 {
+        self.sum
     }
 
     /// Bucket midpoint values, for rendering.

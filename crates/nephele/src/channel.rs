@@ -18,6 +18,7 @@ use adcomp_core::controller::ControllerConfig;
 use adcomp_core::epoch::{Clock, EpochContext, EpochDriver, WallClock};
 use adcomp_core::model::{DecisionModel, RateBasedModel, StaticModel};
 use adcomp_core::pipeline::{Completion, CompressPool};
+use adcomp_metrics::registry::{self, CounterKind, MetricsRegistry, SpanKind};
 use adcomp_trace::{ChannelEvent, TraceHandle, TraceSink as _, NO_EPOCH};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -450,6 +451,9 @@ impl RecordWriter {
         self.push_bytes(&len)?;
         self.push_bytes(record)?;
         self.stats.records += 1;
+        if let Some(m) = registry::global() {
+            m.counter_add(CounterKind::ChannelRecords, 1);
+        }
         Ok(())
     }
 
@@ -479,8 +483,10 @@ impl RecordWriter {
         let level = self.driver.level();
         let flags = if self.aligned && self.cur_block_aligned { FLAG_RECORD_ALIGNED } else { 0 };
         self.frame_scratch.clear();
+        let metrics = registry::global();
+        let timed = self.trace.enabled() || metrics.is_some_and(MetricsRegistry::wall_spans);
         let info;
-        if self.trace.enabled() {
+        if timed {
             let start = std::time::Instant::now();
             info = encode_block_flags(
                 &mut self.codec_scratch,
@@ -489,17 +495,23 @@ impl RecordWriter {
                 &mut self.frame_scratch,
                 flags,
             );
-            self.trace.emit(
-                &ChannelEvent {
-                    epoch: self.driver.epochs(),
-                    t: self.clock.now(),
-                    kind: "block",
-                    bytes: info.uncompressed_len as u64,
-                    wait_ns: start.elapsed().as_nanos() as u64,
-                    level: level as u32,
-                }
-                .into(),
-            );
+            let encode_ns = start.elapsed().as_nanos() as u64;
+            if self.trace.enabled() {
+                self.trace.emit(
+                    &ChannelEvent {
+                        epoch: self.driver.epochs(),
+                        t: self.clock.now(),
+                        kind: "block",
+                        bytes: info.uncompressed_len as u64,
+                        wait_ns: encode_ns,
+                        level: level as u32,
+                    }
+                    .into(),
+                );
+            }
+            if let Some(m) = metrics {
+                m.span_ns(SpanKind::Compress, encode_ns);
+            }
         } else {
             info = encode_block_flags(
                 &mut self.codec_scratch,
@@ -513,6 +525,10 @@ impl RecordWriter {
         self.stats.app_bytes += info.uncompressed_len as u64;
         self.stats.wire_bytes += info.frame_len as u64;
         self.stats.blocks_per_level[level] += 1;
+        if let Some(m) = metrics {
+            m.counter_add(CounterKind::ChannelBlocks, 1);
+            m.level_block(level, 1);
+        }
         let bytes = self.buf.len() as u64;
         self.buf.clear();
         let ctx = EpochContext { observed_ratio: Some(info.wire_ratio()), ..Default::default() };
@@ -575,6 +591,11 @@ impl RecordWriter {
             self.stats.app_bytes += c.info.uncompressed_len as u64;
             self.stats.wire_bytes += c.info.frame_len as u64;
             self.stats.blocks_per_level[level] += 1;
+            if let Some(m) = registry::global() {
+                m.counter_add(CounterKind::ChannelBlocks, 1);
+                m.level_block(level, 1);
+                m.span_ns(SpanKind::Compress, c.compress_ns);
+            }
             self.last_ratio = Some(c.info.wire_ratio());
             if self.buf.capacity() == 0 {
                 // Recycle the block buffer that just came back from the pool.
@@ -683,20 +704,28 @@ impl RecordReader {
             if self.eof {
                 return Ok(false);
             }
-            let received = if self.trace.enabled() {
+            let metrics = registry::global();
+            let timed = self.trace.enabled() || metrics.is_some_and(MetricsRegistry::wall_spans);
+            let received = if timed {
                 let start = std::time::Instant::now();
                 let received = self.source.recv()?;
-                self.trace.emit(
-                    &ChannelEvent {
-                        epoch: NO_EPOCH,
-                        t: self.started.elapsed().as_secs_f64(),
-                        kind: "stall",
-                        bytes: received.as_ref().map_or(0, |f| f.len() as u64),
-                        wait_ns: start.elapsed().as_nanos() as u64,
-                        level: 0,
-                    }
-                    .into(),
-                );
+                let wait_ns = start.elapsed().as_nanos() as u64;
+                if self.trace.enabled() {
+                    self.trace.emit(
+                        &ChannelEvent {
+                            epoch: NO_EPOCH,
+                            t: self.started.elapsed().as_secs_f64(),
+                            kind: "stall",
+                            bytes: received.as_ref().map_or(0, |f| f.len() as u64),
+                            wait_ns,
+                            level: 0,
+                        }
+                        .into(),
+                    );
+                }
+                if let Some(m) = metrics {
+                    m.span_ns(SpanKind::ChannelStall, wait_ns);
+                }
                 received
             } else {
                 self.source.recv()?

@@ -1,0 +1,269 @@
+//! `adcomp top` — ASCII dashboard over a Prometheus scrape.
+//!
+//! The renderer takes exposition *text* (from the in-process registry or
+//! an HTTP scrape of a remote `/metrics`) and derives every panel from
+//! the parsed samples: there is one code path whether you watch a local
+//! sim or a live server. Span quantiles are recomputed from the
+//! cumulative `_bucket` series the same way the registry computes them
+//! (first `le` whose cumulative count reaches the rank), so dashboard
+//! p50/p99/p999 match a scrape byte for byte — and in sim mode the whole
+//! render is deterministic for any `ADCOMP_THREADS`.
+
+use crate::promlint::{parse_samples, Sample};
+use std::fmt::Write as _;
+
+/// Formats a duration given in seconds with a fixed 4-significant-digit
+/// µs/ms/s ladder.
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.3}s")
+    }
+}
+
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.1} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1} kB", b / 1e3)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+fn fmt_rate(bps: f64) -> String {
+    format!("{}/s", fmt_bytes(bps))
+}
+
+struct View<'a> {
+    samples: &'a [Sample],
+}
+
+impl<'a> View<'a> {
+    /// First sample of `name` with no (or any) labels.
+    fn value(&self, name: &str) -> Option<f64> {
+        self.samples.iter().find(|s| s.name == name).map(|s| s.value)
+    }
+
+    /// `(label_value, sample_value)` pairs of a labelled counter family.
+    fn family(&self, name: &str, key: &str) -> Vec<(String, f64)> {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| s.label(key).map(|l| (l.to_string(), s.value)))
+            .collect()
+    }
+
+    /// Histogram quantile for a family + optional selector label, walked
+    /// from the cumulative `_bucket` series.
+    fn hist_quantile(&self, family: &str, label: Option<(&str, &str)>, q: f64) -> Option<f64> {
+        let matches = |s: &&Sample| {
+            s.name == format!("{family}_bucket")
+                && label.is_none_or(|(k, v)| s.label(k) == Some(v))
+        };
+        let mut buckets: Vec<(f64, f64)> = self
+            .samples
+            .iter()
+            .filter(matches)
+            .filter_map(|s| {
+                let le = s.label("le")?;
+                let le = if le == "+Inf" { f64::INFINITY } else { le.parse().ok()? };
+                Some((le, s.value))
+            })
+            .collect();
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let count = buckets.last()?.1;
+        if count == 0.0 {
+            return None;
+        }
+        let rank = (q * count).ceil().clamp(1.0, count);
+        buckets.iter().find(|&&(_, cum)| cum >= rank).map(|&(le, _)| le)
+    }
+
+    fn hist_count(&self, family: &str, label: Option<(&str, &str)>) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| {
+                s.name == format!("{family}_count")
+                    && label.is_none_or(|(k, v)| s.label(k) == Some(v))
+            })
+            .map(|s| s.value)
+            .sum()
+    }
+}
+
+/// Renders the dashboard for one scrape body. Pure text → text.
+#[must_use]
+pub fn render_top(exposition: &str) -> String {
+    let samples = parse_samples(exposition);
+    let v = View { samples: &samples };
+    let mut out = String::new();
+
+    let mode = samples
+        .iter()
+        .find(|s| s.name == "adcomp_registry_info")
+        .and_then(|s| s.label("mode").map(str::to_string))
+        .unwrap_or_else(|| "unknown".to_string());
+    let _ = writeln!(out, "adcomp top · registry mode: {mode}");
+    let _ = writeln!(out);
+
+    // Level + epoch panel.
+    let level = v.value("adcomp_current_level");
+    let level_str = match level {
+        Some(l) if l >= 0.0 => format!("{l:.0}"),
+        _ => "-".to_string(),
+    };
+    let epochs = v.value("adcomp_epochs_total").unwrap_or(0.0);
+    let _ = writeln!(out, "level now : {level_str:<8} epochs : {epochs:.0}");
+
+    let levels = v.family("adcomp_level_epochs_total", "level");
+    if !levels.is_empty() {
+        let max = levels.iter().map(|(_, n)| *n).fold(1.0f64, f64::max);
+        let mut line = String::from("levels    : ");
+        for (i, (l, n)) in levels.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let bar = "█".repeat(((n / max) * 8.0).ceil() as usize);
+            let _ = write!(line, "L{l} {bar} {n:.0}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+
+    let cases = v.family("adcomp_decisions_total", "case");
+    if !cases.is_empty() {
+        let parts: Vec<String> =
+            cases.iter().map(|(c, n)| format!("{c} {n:.0}")).collect();
+        let _ = writeln!(out, "decisions : {}", parts.join(" · "));
+    }
+
+    // Throughput panel.
+    let blocks = v.value("adcomp_blocks_compressed_total").unwrap_or(0.0)
+        + v.value("adcomp_sim_blocks_total").unwrap_or(0.0);
+    let decoded = v.value("adcomp_blocks_decompressed_total").unwrap_or(0.0);
+    let raw = v.value("adcomp_raw_fallbacks_total").unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "blocks    : compressed {blocks:.0} · decompressed {decoded:.0} · raw-fallback {raw:.0}"
+    );
+    let cin = v.value("adcomp_codec_in_bytes_total").unwrap_or(0.0);
+    let cout = v.value("adcomp_codec_out_bytes_total").unwrap_or(0.0);
+    if cin > 0.0 {
+        let _ = writeln!(
+            out,
+            "bytes     : in {} → wire {} (ratio {:.3})",
+            fmt_bytes(cin),
+            fmt_bytes(cout),
+            cout / cin
+        );
+    }
+    let rate_n = v.hist_count("adcomp_epoch_rate_bytes_per_second", None);
+    if rate_n > 0.0 {
+        let p50 = v.hist_quantile("adcomp_epoch_rate_bytes_per_second", None, 0.5).unwrap_or(0.0);
+        let p99 = v.hist_quantile("adcomp_epoch_rate_bytes_per_second", None, 0.99).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "epoch rate: p50 {} · p99 {} (n={rate_n:.0})",
+            fmt_rate(p50),
+            fmt_rate(p99)
+        );
+    }
+
+    // Queue panel.
+    let cq = v.value("adcomp_compress_in_flight").unwrap_or(0.0);
+    let cqm = v.value("adcomp_compress_in_flight_max").unwrap_or(0.0);
+    let dq = v.value("adcomp_decode_in_flight").unwrap_or(0.0);
+    let dqm = v.value("adcomp_decode_in_flight_max").unwrap_or(0.0);
+    let rm = v.value("adcomp_reorder_depth_max").unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "queues    : compress {cq:.0} (max {cqm:.0}) · decode {dq:.0} (max {dqm:.0}) · reorder max {rm:.0}"
+    );
+
+    // Span latency table: every span label present in the scrape.
+    let mut spans: Vec<String> = samples
+        .iter()
+        .filter(|s| s.name == "adcomp_span_seconds_count")
+        .filter_map(|s| s.label("span").map(str::to_string))
+        .collect();
+    spans.dedup();
+    if !spans.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>10} {:>10} {:>10}",
+            "span", "count", "p50", "p99", "p999"
+        );
+        for span in spans {
+            let sel = Some(("span", span.as_str()));
+            let count = v.hist_count("adcomp_span_seconds", sel);
+            let q = |q: f64| {
+                v.hist_quantile("adcomp_span_seconds", sel, q)
+                    .map_or("-".to_string(), fmt_secs)
+            };
+            let _ = writeln!(
+                out,
+                "{span:<16} {count:>9.0} {:>10} {:>10} {:>10}",
+                q(0.5),
+                q(0.99),
+                q(0.999)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRAPE: &str = "\
+adcomp_registry_info{mode=\"virtual\"} 1
+adcomp_epochs_total 36
+adcomp_level_epochs_total{level=\"0\"} 12
+adcomp_level_epochs_total{level=\"2\"} 24
+adcomp_decisions_total{case=\"improved\"} 9
+adcomp_decisions_total{case=\"stable\"} 20
+adcomp_blocks_compressed_total 0
+adcomp_sim_blocks_total 420
+adcomp_codec_in_bytes_total 55000000
+adcomp_codec_out_bytes_total 21300000
+adcomp_current_level -1
+adcomp_span_seconds_bucket{span=\"compress\",le=\"0.000811\"} 210
+adcomp_span_seconds_bucket{span=\"compress\",le=\"0.0023\"} 416
+adcomp_span_seconds_bucket{span=\"compress\",le=\"0.0041\"} 420
+adcomp_span_seconds_bucket{span=\"compress\",le=\"+Inf\"} 420
+adcomp_span_seconds_sum{span=\"compress\"} 0.4
+adcomp_span_seconds_count{span=\"compress\"} 420
+";
+
+    #[test]
+    fn renders_every_panel_from_a_scrape() {
+        let top = render_top(SCRAPE);
+        assert!(top.contains("registry mode: virtual"), "{top}");
+        assert!(top.contains("epochs : 36"), "{top}");
+        assert!(top.contains("L0"), "{top}");
+        assert!(top.contains("stable 20"), "{top}");
+        assert!(top.contains("compressed 420"), "{top}");
+        assert!(top.contains("ratio 0.387"), "{top}");
+        // p50 rank 210 lands in the first bucket, p99/p999 above it.
+        assert!(top.contains("compress"), "{top}");
+        assert!(top.contains("811.0µs"), "{top}");
+        assert!(top.contains("4.10ms"), "{top}");
+        // Unset current level renders as '-'.
+        assert!(top.contains("level now : -"), "{top}");
+    }
+
+    #[test]
+    fn render_is_pure_text_to_text() {
+        assert_eq!(render_top(SCRAPE), render_top(SCRAPE));
+        // Empty scrape still renders headers without panicking.
+        let empty = render_top("");
+        assert!(empty.contains("adcomp top"), "{empty}");
+    }
+}

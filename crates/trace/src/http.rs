@@ -1,0 +1,188 @@
+//! Minimal hand-rolled HTTP/1.0 server and client for the `/metrics`
+//! endpoint — `std::net` only, compat-shim house style (the build runs
+//! fully offline, so no hyper/tiny-http).
+//!
+//! The server is deliberately tiny: one accept thread, one request per
+//! connection, `GET /metrics` answered from a render callback, everything
+//! else 404/405. That is exactly what a Prometheus scraper (or
+//! `adcomp top --url`) needs and nothing more; the multi-tenant daemon of
+//! ROADMAP item 1 can grow from here.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-connection read cap and timeout: a scrape request is a few hundred
+/// bytes; anything bigger or slower is cut off.
+const MAX_REQUEST: usize = 8 * 1024;
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A running `/metrics` endpoint. Dropping (or [`MetricsServer::shutdown`])
+/// stops the accept loop and joins the thread.
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks a free port)
+    /// and serves `render()` at `GET /metrics` until shut down.
+    pub fn start<F>(addr: &str, render: F) -> std::io::Result<MetricsServer>
+    where
+        F: Fn() -> String + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new().name("adcomp-metrics-http".into()).spawn(
+            move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Serve inline: scrapes are rare and short, and a
+                    // single-threaded loop cannot be connection-bombed
+                    // into unbounded threads.
+                    let _ = serve_one(stream, &render);
+                }
+            },
+        )?;
+        Ok(MetricsServer { local_addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.thread.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_one<F: Fn() -> String>(mut stream: TcpStream, render: &F) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the blank line ending the request head.
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() >= MAX_REQUEST {
+            return respond(&mut stream, "400 Bad Request", "request too large\n");
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    match (method, path.split('?').next().unwrap_or("")) {
+        ("GET", "/metrics") => {
+            let body = render();
+            let header = format!(
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                body.len()
+            );
+            stream.write_all(header.as_bytes())?;
+            stream.write_all(body.as_bytes())
+        }
+        ("GET", _) => respond(&mut stream, "404 Not Found", "only /metrics is served\n"),
+        _ => respond(&mut stream, "405 Method Not Allowed", "GET only\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+/// Hand-rolled HTTP GET: fetches `path` from `addr` and returns the body.
+/// Non-200 statuses come back as `io::Error` with the status line.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> std::io::Result<String> {
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let req = format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let response = String::from_utf8_lossy(&response).into_owned();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(std::io::Error::other(format!("HTTP error: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_and_404s_everything_else() {
+        let server =
+            MetricsServer::start("127.0.0.1:0", || "adcomp_up 1\n".to_string()).unwrap();
+        let addr = server.local_addr().to_string();
+        let body = http_get(&addr, "/metrics", Duration::from_secs(5)).unwrap();
+        assert_eq!(body, "adcomp_up 1\n");
+        // Repeated scrapes work (one connection each).
+        let body = http_get(&addr, "/metrics", Duration::from_secs(5)).unwrap();
+        assert_eq!(body, "adcomp_up 1\n");
+        let err = http_get(&addr, "/other", Duration::from_secs(5)).unwrap_err();
+        assert!(err.to_string().contains("404"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn render_callback_sees_live_state() {
+        use std::sync::atomic::AtomicU64;
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let server = MetricsServer::start("127.0.0.1:0", move || {
+            format!("adcomp_scrapes {}\n", n2.load(Ordering::Relaxed))
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        assert_eq!(http_get(&addr, "/metrics", IO_TIMEOUT).unwrap(), "adcomp_scrapes 0\n");
+        n.store(7, Ordering::Relaxed);
+        assert_eq!(http_get(&addr, "/metrics", IO_TIMEOUT).unwrap(), "adcomp_scrapes 7\n");
+    }
+}

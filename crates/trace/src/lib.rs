@@ -17,7 +17,14 @@
 //! * [`jsonl`] — JSONL serialization ([`JsonlWriter`]) and the live
 //!   [`JsonlSink`];
 //! * [`prom`] — Prometheus-text snapshots ([`PromSnapshot`],
-//!   [`TraceStats`]) built on `adcomp-metrics` instruments;
+//!   [`TraceStats`]) built on `adcomp-metrics` instruments, plus
+//!   [`render_registry`] for the live `adcomp_metrics` registry;
+//! * [`promlint`] — hand-rolled exposition parser and the conformance
+//!   lint shared by CI, tests and the dashboard;
+//! * [`http`] — the minimal `/metrics` HTTP listener ([`MetricsServer`])
+//!   and scrape client ([`http_get`]);
+//! * [`dash`] — the `adcomp top` ASCII dashboard ([`render_top`]),
+//!   rendered purely from exposition text;
 //! * [`timeline`] — the ASCII Fig.-5-style level-over-time renderer;
 //! * [`manifest`] — per-run/per-cell [`RunManifest`]s so any table cell
 //!   can be replayed and inspected;
@@ -36,12 +43,15 @@
 //! zero-alloc test and the `compress_scratch` bench guard hold with
 //! tracing compiled in.
 
+pub mod dash;
 pub mod diag;
 pub mod events;
+pub mod http;
 pub mod json;
 pub mod jsonl;
 pub mod manifest;
 pub mod prom;
+pub mod promlint;
 pub mod ring;
 pub mod sink;
 pub mod timeline;
@@ -50,9 +60,12 @@ pub use events::{
     ChannelEvent, CodecEvent, DecisionEvent, EpochEvent, EventCounts, FaultEvent, PipelineEvent,
     SimEvent, TraceEvent, MAX_LEVELS, NO_EPOCH,
 };
+pub use dash::render_top;
+pub use http::{http_get, MetricsServer};
 pub use jsonl::{JsonlSink, JsonlWriter};
 pub use manifest::RunManifest;
-pub use prom::{PromSnapshot, TraceStats};
+pub use prom::{render_registry, PromSnapshot, TraceStats};
+pub use promlint::{conformance_lint, parse_samples};
 pub use ring::RingSink;
 pub use sink::{MemorySink, NullSink, TeeSink, TraceHandle, TraceSink};
 pub use timeline::{render_level_timeline, TimelineOptions};

@@ -26,6 +26,9 @@ impl PromSnapshot {
 
     fn header(&mut self, name: &str, help: &str, kind: &str) {
         if !self.seen.iter().any(|s| s == name) {
+            // HELP text has its own escaping rules: backslash and newline
+            // only (quotes are legal there).
+            let help = help.replace('\\', "\\\\").replace('\n', "\\n");
             let _ = writeln!(self.out, "# HELP {name} {help}");
             let _ = writeln!(self.out, "# TYPE {name} {kind}");
             self.seen.push(name.to_string());
@@ -73,25 +76,46 @@ impl PromSnapshot {
     }
 
     /// A full histogram family from a [`Histogram`]: cumulative
-    /// `_bucket{le=…}` series (upper bucket edges), `+Inf`, `_count`.
+    /// `_bucket{le=…}` series (upper bucket edges), `+Inf`, `_sum`,
+    /// `_count`.
     pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)], h: &Histogram) {
-        self.header(name, help, "histogram");
         let counts = h.counts();
         let mids = h.midpoints();
         let width = if mids.len() >= 2 { mids[1] - mids[0] } else { 0.0 };
+        let mut buckets: Vec<(String, u64)> = Vec::with_capacity(counts.len());
         let mut cum = h.underflow;
         for (i, &c) in counts.iter().enumerate() {
             cum += c;
-            let upper = mids[i] + width / 2.0;
+            buckets.push((Self::value(mids[i] + width / 2.0), cum));
+        }
+        self.histogram_cumulative(name, help, labels, &buckets, h.sum(), h.total());
+    }
+
+    /// A histogram family from pre-folded cumulative buckets (`le` edge
+    /// already formatted, count cumulative). Guarantees the `+Inf`
+    /// bucket, `_sum` and `_count` series the exposition format
+    /// requires — the live-registry renderer and [`Self::histogram`]
+    /// both funnel through here.
+    pub fn histogram_cumulative(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        buckets: &[(String, u64)],
+        sum: f64,
+        count: u64,
+    ) {
+        self.header(name, help, "histogram");
+        for (le, cum) in buckets {
             let mut ls: Vec<(&str, &str)> = labels.to_vec();
-            let le = Self::value(upper);
-            ls.push(("le", &le));
+            ls.push(("le", le));
             let _ = writeln!(self.out, "{name}_bucket{} {cum}", Self::labels(&ls));
         }
         let mut ls: Vec<(&str, &str)> = labels.to_vec();
         ls.push(("le", "+Inf"));
-        let _ = writeln!(self.out, "{name}_bucket{} {}", Self::labels(&ls), h.total());
-        let _ = writeln!(self.out, "{name}_count{} {}", Self::labels(labels), h.total());
+        let _ = writeln!(self.out, "{name}_bucket{} {count}", Self::labels(&ls));
+        let _ = writeln!(self.out, "{name}_sum{} {}", Self::labels(labels), Self::value(sum));
+        let _ = writeln!(self.out, "{name}_count{} {count}", Self::labels(labels));
     }
 
     /// Summary-style gauges from an [`OnlineStats`]: `_mean`, `_stddev`,
@@ -314,6 +338,105 @@ impl TraceStats {
     }
 }
 
+/// Renders a live-registry fold as Prometheus exposition text: the
+/// `/metrics` endpoint body and the `adcomp top --raw` output.
+///
+/// Ordering is canonical — enum declaration order for counters, gauges
+/// and histogram kinds, sorted labels for the dynamic families, sparse
+/// bucket edges in ascending order — so two folds of equal totals render
+/// byte-identically regardless of which threads did the work.
+#[must_use]
+pub fn render_registry(snap: &adcomp_metrics::RegistrySnapshot) -> String {
+    use adcomp_metrics::registry::GaugeKind;
+
+    let mut p = PromSnapshot::new();
+    p.gauge(
+        "adcomp_registry_info",
+        "Registry clock regime (wall or virtual) as an info gauge.",
+        &[("mode", snap.mode.as_str())],
+        1.0,
+    );
+    for &(kind, v) in &snap.counters {
+        p.counter(kind.metric(), kind.help(), &[], v);
+    }
+    for (level, &n) in snap.level_epochs.iter().enumerate() {
+        if n > 0 {
+            let l = format!("{level}");
+            p.counter(
+                "adcomp_level_epochs_total",
+                "Epochs spent at each compression level.",
+                &[("level", &l)],
+                n,
+            );
+        }
+    }
+    for (level, &n) in snap.level_blocks.iter().enumerate() {
+        if n > 0 {
+            let l = format!("{level}");
+            p.counter(
+                "adcomp_level_blocks_total",
+                "Blocks emitted at each compression level.",
+                &[("level", &l)],
+                n,
+            );
+        }
+    }
+    for (family, entries) in &snap.labeled {
+        for (label_value, n) in entries {
+            let key = match family {
+                adcomp_metrics::LabelFamily::DecisionCase => "case",
+                adcomp_metrics::LabelFamily::FaultKind => "kind",
+            };
+            p.counter(family.metric(), family.help(), &[(key, label_value)], *n);
+        }
+    }
+    if snap.label_overflow > 0 {
+        p.counter(
+            "adcomp_label_overflow_total",
+            "Labelled-counter updates dropped because a family's slots were full.",
+            &[],
+            snap.label_overflow,
+        );
+    }
+    for &(kind, v) in &snap.gauges {
+        if kind == GaugeKind::CurrentLevel && v < 0 {
+            continue; // Never set (sim mode or before the first epoch).
+        }
+        p.gauge(kind.metric(), kind.help(), &[], v as f64);
+    }
+    // All span kinds share one family, labelled by span; µs → seconds.
+    for (kind, h) in &snap.spans {
+        if h.count == 0 {
+            continue;
+        }
+        let buckets: Vec<(String, u64)> = h
+            .buckets
+            .iter()
+            .map(|&(ub, cum)| (PromSnapshot::value(ub as f64 / 1e6), cum))
+            .collect();
+        p.histogram_cumulative(
+            "adcomp_span_seconds",
+            "Instrumented span durations by kind.",
+            &[("span", kind.metric())],
+            &buckets,
+            h.sum as f64 / 1e6,
+            h.count,
+        );
+    }
+    for (kind, h) in &snap.hists {
+        if h.count == 0 {
+            continue;
+        }
+        let buckets: Vec<(String, u64)> = h
+            .buckets
+            .iter()
+            .map(|&(ub, cum)| (PromSnapshot::value(ub as f64), cum))
+            .collect();
+        p.histogram_cumulative(kind.metric(), kind.help(), &[], &buckets, h.sum as f64, h.count);
+    }
+    p.render()
+}
+
 fn bump(v: &mut Vec<(&'static str, u64)>, key: &'static str) {
     if let Some(e) = v.iter_mut().find(|(k, _)| *k == key) {
         e.1 += 1;
@@ -381,7 +504,80 @@ mod tests {
         assert!(text.contains("adcomp_h_bucket{le=\"5\"} 2"), "{text}");
         assert!(text.contains("adcomp_h_bucket{le=\"10\"} 3"), "{text}");
         assert!(text.contains("adcomp_h_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("adcomp_h_sum 110"), "{text}");
         assert!(text.contains("adcomp_h_count 4"), "{text}");
+        crate::promlint::conformance_lint(&text).expect("histogram family must conform");
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let mut p = PromSnapshot::new();
+        p.gauge("adcomp_g", "line one\nback\\slash", &[], 1.0);
+        let text = p.render();
+        assert!(text.contains(r"# HELP adcomp_g line one\nback\\slash"), "{text}");
+        crate::promlint::conformance_lint(&text).expect("escaped help must conform");
+    }
+
+    #[test]
+    fn trace_stats_render_passes_conformance_lint() {
+        let events = vec![
+            decision(0, "seed", 3, 1e6),
+            decision(1, "stable", 2, 9e5),
+            EpochEvent { epoch: 0, t: 2.0, duration: 2.0, bytes: 2_000_000, rate: 1e6, level: 3 }
+                .into(),
+            CodecEvent {
+                epoch: 0,
+                t: 1.0,
+                level: "HEAVY",
+                in_bytes: 1000,
+                out_bytes: 400,
+                compress_ns: 5_000,
+                raw_fallback: false,
+            }
+            .into(),
+        ];
+        let text = TraceStats::from_events(&events).render();
+        crate::promlint::conformance_lint(&text).unwrap_or_else(|errs| {
+            panic!("TraceStats render violates conformance: {errs:#?}\n{text}")
+        });
+    }
+
+    #[test]
+    fn registry_render_passes_conformance_lint_and_is_canonical() {
+        use adcomp_metrics::registry::{
+            CounterKind, GaugeKind, HistKind, LabelFamily, MetricsRegistry, RegistryMode,
+            SpanKind,
+        };
+        let reg = MetricsRegistry::new(RegistryMode::Wall);
+        reg.counter_add(CounterKind::BlocksCompressed, 7);
+        reg.counter_add(CounterKind::CodecInBytes, 1 << 20);
+        reg.level_epoch(2);
+        reg.level_block(2, 7);
+        reg.gauge_set(GaugeKind::CurrentLevel, 2);
+        reg.gauge_max(GaugeKind::CompressInFlightMax, 3);
+        reg.label_count(LabelFamily::DecisionCase, "stable", 4);
+        reg.label_count(LabelFamily::DecisionCase, "improved", 1);
+        for us in [100u64, 900, 4_000] {
+            reg.span_ns(SpanKind::Compress, us * 1_000);
+        }
+        reg.observe(HistKind::EpochRate, 12_000_000);
+        let text = render_registry(&reg.snapshot());
+        crate::promlint::conformance_lint(&text).unwrap_or_else(|errs| {
+            panic!("registry render violates conformance: {errs:#?}\n{text}")
+        });
+        assert!(text.contains("adcomp_registry_info{mode=\"wall\"} 1"), "{text}");
+        assert!(text.contains("adcomp_blocks_compressed_total 7"), "{text}");
+        assert!(text.contains("adcomp_level_epochs_total{level=\"2\"} 1"), "{text}");
+        assert!(text.contains("adcomp_decisions_total{case=\"improved\"} 1"), "{text}");
+        assert!(text.contains("adcomp_span_seconds_sum{span=\"compress\"} 0.005"), "{text}");
+        assert!(text.contains("adcomp_span_seconds_count{span=\"compress\"} 3"), "{text}");
+        assert!(text.contains("adcomp_current_level 2"), "{text}");
+        // Labels render sorted: improved before stable.
+        let i = text.find("case=\"improved\"").unwrap();
+        let s = text.find("case=\"stable\"").unwrap();
+        assert!(i < s, "{text}");
+        // Two snapshots of identical totals render byte-identically.
+        assert_eq!(text, render_registry(&reg.snapshot()));
     }
 
     #[test]

@@ -37,6 +37,7 @@ use adcomp_codecs::frame::HEADER_LEN;
 use adcomp_core::epoch::{EpochContext, EpochDriver};
 use adcomp_core::model::{DecisionModel, GuestMetrics};
 use adcomp_corpus::{Class, Prng};
+use adcomp_metrics::registry::{self, CounterKind, SpanKind};
 use adcomp_metrics::TimeSeries;
 use adcomp_trace::{SimEvent, TraceHandle, TraceSink as _};
 use std::collections::VecDeque;
@@ -220,6 +221,7 @@ pub fn run_transfer_traced(
     let mut last_epoch_count = 0u64;
     let mut last_epoch_t = 0.0f64;
 
+    let metrics = registry::global();
     let mut produced = 0u64;
     let mut wire_total = 0u64;
     let mut blocks_per_level = vec![0u64; speed.num_levels()];
@@ -294,6 +296,18 @@ pub fn run_transfer_traced(
         blocks_per_level[level] += 1;
         epoch_cpu_busy += comp_secs;
         epoch_wire_bytes += wire;
+        if let Some(m) = metrics {
+            // Virtual-clock feeds: durations come from the simulated
+            // pipeline clocks, so the same histograms fill identically
+            // whichever wall-clock thread runs this cell.
+            m.counter_add(CounterKind::SimBlocks, 1);
+            m.counter_add(CounterKind::CodecInBytes, block as u64);
+            m.counter_add(CounterKind::CodecOutBytes, wire);
+            m.level_block(level, 1);
+            m.span_secs(SpanKind::Compress, comp_secs);
+            m.span_secs(SpanKind::Decompress, rx_secs);
+            m.span_secs(SpanKind::SimBlock, rx_done - cpu_start);
+        }
 
         // Decision epoch bookkeeping: application bytes count at the moment
         // they were handed (compressed) to the I/O layer.

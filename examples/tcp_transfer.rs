@@ -9,8 +9,17 @@
 //! rate-based DYNAMIC scheme under wall-clock time.
 //!
 //! Run with: `cargo run --release --example tcp_transfer [-- <MB> <MB/s>]`
+//!
+//! Pass `--metrics ADDR` (e.g. `--metrics 127.0.0.1:9184`) to install the
+//! live wall-clock metrics registry and serve it at `http://ADDR/metrics`
+//! in Prometheus text format for the duration of the run — scrape it with
+//! `adcomp top --url ADDR` while the transfers execute. `--hold SECS`
+//! keeps the endpoint up that long after the last transfer so one-shot
+//! scrapes (CI smoke tests) don't race the exit.
 
+use adcomp::metrics::registry::{self, RegistryMode};
 use adcomp::prelude::*;
+use adcomp::trace::{render_registry, MetricsServer};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
@@ -103,11 +112,36 @@ fn run_one(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let total_mb: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(96);
-    let link_mbps: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(12.0);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics_addr = None;
+    let mut hold_secs = 0.0f64;
+    // Strip the flag arguments, leaving the positional MB / MB/s pair.
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics" => {
+                metrics_addr = Some(args.remove(i + 1));
+                args.remove(i);
+            }
+            "--hold" => {
+                hold_secs = args.remove(i + 1).parse().expect("--hold takes seconds");
+                args.remove(i);
+            }
+            _ => i += 1,
+        }
+    }
+    let total_mb: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(96);
+    let link_mbps: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12.0);
     let total_bytes = total_mb * 1_000_000;
     let link_bps = link_mbps * 1e6;
+
+    let _server = metrics_addr.map(|addr| {
+        let reg = registry::install(RegistryMode::Wall);
+        let server = MetricsServer::start(&addr, move || render_registry(&reg.snapshot()))
+            .expect("bind metrics endpoint");
+        println!("serving metrics at http://{}/metrics\n", server.local_addr());
+        server
+    });
 
     println!(
         "TCP transfer of {total_mb} MB of HIGH-compressibility data over a \
@@ -165,4 +199,8 @@ fn main() {
         "\nDYNAMIC is {:+.0}% of the best static level (paper bound: at most +22%).",
         (dynamic_secs / best_static - 1.0) * 100.0
     );
+    if hold_secs > 0.0 && _server.is_some() {
+        println!("holding the metrics endpoint for {hold_secs:.0} s...");
+        std::thread::sleep(Duration::from_secs_f64(hold_secs));
+    }
 }

@@ -42,6 +42,10 @@ struct Options {
     seed: u64,
     cases: bool,
     pipeline_workers: usize,
+    url: Option<String>,
+    once: bool,
+    raw: bool,
+    interval: f64,
     input: Option<String>,
     output: Option<String>,
 }
@@ -53,9 +57,13 @@ fn usage() -> ! {
          \x20      adcomp probe      [IN]\n\
          \x20      adcomp trace      [-l LEVEL] [-t EPOCH_S] [--class C] [--flows N] [--gb G] [OUT.jsonl]\n\
          \x20      adcomp chaos      [--runs N] [--seed S] [--cases]\n\
+         \x20      adcomp top        [--url HOST:PORT[/PATH]] [--once] [--raw] [--interval S] [--gb G]\n\
          LEVEL: NO | LIGHT | MEDIUM | HEAVY | DYNAMIC (default DYNAMIC)\n\
          C    : HIGH | MODERATE | LOW (default HIGH); N: 0..=3 (default 2); G: simulated GB (default 2)\n\
          chaos: N seeded fault-injection runs (default 64); --cases streams per-case JSON lines\n\
+         top  : live dashboard from a served /metrics endpoint (--url), or a\n\
+         \x20    deterministic simulated class/flow grid when no --url is given;\n\
+         \x20    --raw prints the Prometheus exposition instead of the dashboard\n\
          --pipeline-workers W (compress/decompress/trace): compression worker\n\
          \x20    threads; 1 = serial (default, or $ADCOMP_THREADS), 0 = auto"
     );
@@ -99,6 +107,10 @@ fn parse_options(args: &[String]) -> Options {
             .and_then(|v| v.parse().ok())
             .filter(|&n| n >= 1)
             .unwrap_or(1),
+        url: None,
+        once: false,
+        raw: false,
+        interval: 2.0,
         input: None,
         output: None,
     };
@@ -161,6 +173,21 @@ fn parse_options(args: &[String]) -> Options {
                 opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
             "--cases" => opts.cases = true,
+            "--url" => {
+                i += 1;
+                opts.url = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+            }
+            "--once" => opts.once = true,
+            "--raw" => opts.raw = true,
+            "--interval" => {
+                i += 1;
+                opts.interval =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if opts.interval.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    eprintln!("refresh interval must be positive seconds");
+                    std::process::exit(2);
+                }
+            }
             "--pipeline-workers" | "-j" => {
                 i += 1;
                 let w: usize =
@@ -403,6 +430,102 @@ fn cmd_chaos(opts: Options) -> io::Result<()> {
     }
 }
 
+/// Runs the deterministic class × flows simulation grid against the
+/// process-global registry (virtual mode) and returns the exposition text.
+/// Work is fanned over `threads` via a shared atomic index; because every
+/// registry write the simulator makes is commutative and virtual-clocked,
+/// the scrape is byte-identical for any thread count.
+fn top_sim_exposition(opts: &Options, threads: usize) -> String {
+    use adcomp::core::model::RateBasedModel;
+    use adcomp::metrics::registry::{self, RegistryMode};
+    use adcomp::vcloud::{run_transfer, ConstantClass, SpeedModel, TransferConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let reg = registry::install(RegistryMode::Virtual);
+    let mut cells = Vec::new();
+    for class in [Class::High, Class::Moderate, Class::Low] {
+        for flows in 0..=2usize {
+            cells.push((class, flows));
+        }
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.max(1) {
+            s.spawn(|| {
+                let speed = SpeedModel::paper_fit();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(class, flows)) = cells.get(i) else { break };
+                    let cfg = TransferConfig {
+                        total_bytes: (opts.gb * 1e9) as u64,
+                        background_flows: flows,
+                        epoch_secs: opts.epoch_secs,
+                        deterministic: true,
+                        cpu_jitter: 0.0,
+                        seed: opts.seed ^ i as u64,
+                        ..TransferConfig::paper_default()
+                    };
+                    let model: Box<dyn DecisionModel> =
+                        Box::new(RateBasedModel::paper_default());
+                    run_transfer(&cfg, &speed, &mut ConstantClass(class), model);
+                }
+            });
+        }
+    });
+    adcomp::trace::render_registry(&reg.snapshot())
+}
+
+/// `adcomp top` — the live ASCII dashboard. With `--url` it scrapes a
+/// served `/metrics` endpoint (refreshing every `--interval` seconds unless
+/// `--once`); without it, it fills a virtual-mode registry from the
+/// deterministic simulation grid and renders that. `--raw` prints the
+/// Prometheus exposition itself instead of the dashboard.
+fn cmd_top(opts: Options) -> io::Result<()> {
+    use adcomp::trace::{conformance_lint, http_get, render_top};
+    use std::time::Duration;
+
+    if let Some(url) = opts.url.clone() {
+        let target = url.strip_prefix("http://").unwrap_or(&url);
+        let (addr, path) = match target.find('/') {
+            Some(i) => (&target[..i], &target[i..]),
+            None => (target, "/metrics"),
+        };
+        loop {
+            let body = http_get(addr, path, Duration::from_secs(5))?;
+            let mut out = io::stdout().lock();
+            if opts.raw {
+                out.write_all(body.as_bytes())?;
+            } else {
+                if !opts.once {
+                    // Clear and home between refreshes, top(1)-style.
+                    write!(out, "\x1b[2J\x1b[H")?;
+                }
+                writeln!(out, "{}", render_top(&body))?;
+            }
+            out.flush()?;
+            if opts.once {
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_secs_f64(opts.interval));
+        }
+    }
+
+    let body = top_sim_exposition(&opts, opts.pipeline_workers);
+    if let Err(errors) = conformance_lint(&body) {
+        for e in &errors {
+            eprintln!("adcomp top: exposition lint: {e}");
+        }
+        return Err(io::Error::other("metrics exposition failed conformance lint"));
+    }
+    let mut out = io::stdout().lock();
+    if opts.raw {
+        out.write_all(body.as_bytes())?;
+    } else {
+        writeln!(out, "{}", render_top(&body))?;
+    }
+    out.flush()
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -413,6 +536,7 @@ fn main() -> ExitCode {
         "probe" | "p" => cmd_probe(opts),
         "trace" | "t" => cmd_trace(opts),
         "chaos" => cmd_chaos(opts),
+        "top" => cmd_top(opts),
         _ => usage(),
     };
     match result {

@@ -127,6 +127,70 @@ fn bad_usage_exits_nonzero() {
     assert!(!out.status.success());
 }
 
+/// Sim-mode `adcomp top` output — both the raw Prometheus exposition and
+/// the rendered dashboard — must be byte-identical across worker counts:
+/// every registry write the simulator makes is commutative and
+/// virtual-clocked, so the thread schedule cannot leak into the scrape.
+#[test]
+fn top_sim_mode_is_deterministic_across_thread_counts() {
+    let run = |threads: &str, raw: bool| {
+        let mut cmd = Command::new(bin());
+        // 0.3 simulated GB per cell: enough virtual time for several
+        // 2-second decision epochs, so the epoch-rate panel is populated.
+        cmd.args(["top", "--once", "--gb", "0.3"]).env("ADCOMP_THREADS", threads);
+        if raw {
+            cmd.arg("--raw");
+        }
+        let out = cmd.output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let raw1 = run("1", true);
+    let raw4 = run("4", true);
+    assert_eq!(raw1, raw4, "raw exposition differs between 1 and 4 threads");
+    let dash1 = run("1", false);
+    let dash4 = run("4", false);
+    assert_eq!(dash1, dash4, "dashboard differs between 1 and 4 threads");
+
+    // The scrape must pass the shared conformance lint, and the dashboard
+    // must carry the headline panels.
+    let text = String::from_utf8(raw1).unwrap();
+    adcomp::trace::conformance_lint(&text).unwrap();
+    assert!(text.contains("adcomp_sim_blocks_total"), "{text}");
+    let dash = String::from_utf8(dash1).unwrap();
+    assert!(dash.contains("registry mode: virtual"), "{dash}");
+    assert!(dash.contains("epoch rate"), "{dash}");
+    assert!(dash.contains("compress"), "{dash}");
+}
+
+/// `adcomp top --url` scrapes a live `/metrics` endpoint: serve a
+/// wall-mode registry in-process and point the binary at it.
+#[test]
+fn top_scrapes_served_metrics_endpoint() {
+    use adcomp::metrics::registry::{self, CounterKind, RegistryMode};
+
+    let reg = registry::install(RegistryMode::Wall);
+    reg.counter_add(CounterKind::Epochs, 3);
+    let server = adcomp::trace::MetricsServer::start("127.0.0.1:0", move || {
+        adcomp::trace::render_registry(&reg.snapshot())
+    })
+    .unwrap();
+    let url = format!("{}", server.local_addr());
+
+    let out = Command::new(bin()).args(["top", "--url", &url, "--once", "--raw"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    adcomp::trace::conformance_lint(&text).unwrap();
+    assert!(text.contains("adcomp_epochs_total 3"), "{text}");
+    assert!(text.contains("mode=\"wall\""), "{text}");
+
+    let out = Command::new(bin()).args(["top", "--url", &url, "--once"]).output().unwrap();
+    assert!(out.status.success());
+    let dash = String::from_utf8(out.stdout).unwrap();
+    assert!(dash.contains("registry mode: wall"), "{dash}");
+    server.shutdown();
+}
+
 #[test]
 fn corrupted_stream_fails_cleanly() {
     let data = adcomp::corpus::generate(adcomp::corpus::Class::Moderate, 500_000, 2);
