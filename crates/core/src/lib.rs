@@ -43,10 +43,14 @@ pub mod duplex;
 pub mod epoch;
 pub mod model;
 pub mod pipeline;
+pub mod retry;
 pub mod stream;
+pub mod throttle;
 
 pub use controller::{ControllerConfig, Decision, DecisionCase, RateController};
 pub use epoch::{Clock, EpochContext, EpochDriver, ManualClock, WallClock};
+pub use retry::{Backoff, IdleTimer};
+pub use throttle::{SharedThrottle, ThrottledReader, ThrottledWriter, TokenBucket};
 pub use model::{
     DecisionModel, EntropyGuidedModel, EpochObservation, GuestMetrics, MetricBasedModel, QueueBasedModel,
     RateBasedModel, SensorThresholdModel, StaticModel, ThresholdSamplingModel, TrainedLevel,

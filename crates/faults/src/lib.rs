@@ -19,6 +19,8 @@
 //!   [`TruncatingWriter`], [`FlakyReader`], [`FlakyWriter`].
 //! - [`transport`] — [`FaultingTransport`], the same fault taxonomy at
 //!   the nephele block-transport layer.
+//! - [`net`] — [`ChaosProxy`], the socket-level counterpart: a seeded
+//!   fault-injecting TCP proxy for client↔server soak runs on loopback.
 //! - [`soak`] — [`SoakCase`] / [`run_case`] /
 //!   [`SoakSummary`](soak::SoakSummary): the chaos harness with a
 //!   deterministic JSON summary (consumed by `chaos_soak` in the bench
@@ -29,11 +31,13 @@
 //! the same number of draws on every branch.
 
 pub mod io;
+pub mod net;
 pub mod plan;
 pub mod soak;
 pub mod transport;
 
 pub use io::{write_all_retry, CorruptingWriter, FlakyReader, FlakyWriter, TruncatingWriter};
+pub use net::{ChaosProxy, Direction, NetAction, NetFaultSpec, NetPlan, ProxyStats};
 pub use plan::{FaultAction, FaultPlan, FaultSpec, InjectStats};
 pub use soak::{run_case, CaseResult, SoakCase, SoakLayer};
 pub use transport::FaultingTransport;

@@ -161,6 +161,20 @@ kinds! {
         ChannelRecords => ("adcomp_channel_records_total", "Records written to nephele channels."),
         ChannelBlocks => ("adcomp_channel_blocks_total", "Blocks shipped over nephele channels."),
         SimBlocks => ("adcomp_sim_blocks_total", "Blocks transferred by the vcloud simulator."),
+        ServeAccepted => ("adcomp_serve_accepted_total", "Transfers admitted by the serve daemon."),
+        ServeCompleted => ("adcomp_serve_completed_total", "Transfers fully received and CRC-verified."),
+        ServeTimeouts => ("adcomp_serve_timeouts_total", "Connections aborted on read/write/idle deadlines."),
+        ServeAborts => ("adcomp_serve_aborts_total", "Connections aborted on stream damage or protocol errors."),
+        ServeResumes => ("adcomp_serve_resumes_total", "Transfers resumed from a verified prefix."),
+        ServeDrains => ("adcomp_serve_drains_total", "Graceful drain requests received."),
+        ServeDrainedTransfers => ("adcomp_serve_drained_transfers_total", "In-flight transfers completed during a drain."),
+        ClientRetries => ("adcomp_client_retries_total", "Client reconnect attempts after transport failures."),
+        BreakerTrips => ("adcomp_breaker_trips_total", "Circuit-breaker openings under CPU pressure."),
+        RecoveryCorruptFrames => ("adcomp_recovery_corrupt_frames_total", "Frames dropped on CRC mismatch or malformed headers."),
+        RecoveryResyncs => ("adcomp_recovery_resyncs_total", "Successful forward scans to the next frame magic."),
+        RecoveryRetries => ("adcomp_recovery_retries_total", "Transient-I/O retries performed by frame readers."),
+        RecoverySkippedBytes => ("adcomp_recovery_skipped_bytes_total", "Wire bytes discarded while resyncing."),
+        RecoveryTruncations => ("adcomp_recovery_truncations_total", "Mid-frame end-of-stream incidents."),
     }
 }
 
@@ -174,6 +188,9 @@ kinds! {
         DecodeInFlight => ("adcomp_decode_in_flight", "Frames inside the decode pool right now (add/sub)."),
         DecodeInFlightMax => ("adcomp_decode_in_flight_max", "High-water mark of decode-pool occupancy (max)."),
         ReorderDepthMax => ("adcomp_reorder_depth_max", "High-water mark of the order-restoring buffer (max)."),
+        ServeActiveConns => ("adcomp_serve_active_conns", "Connections currently inside the serve daemon (add/sub)."),
+        ServeActiveConnsMax => ("adcomp_serve_active_conns_max", "High-water mark of concurrent serve connections (max)."),
+        BreakerOpen => ("adcomp_breaker_open", "1 while the CPU-pressure circuit breaker is open (set)."),
     }
 }
 
@@ -206,6 +223,7 @@ kinds! {
     pub enum LabelFamily {
         DecisionCase => ("adcomp_decisions_total", "Algorithm-1 decision branches taken."),
         FaultKind => ("adcomp_frame_faults_total", "Frame faults and recovery actions by kind."),
+        ShedReason => ("adcomp_serve_shed_total", "Connections shed at admission by reason."),
     }
 }
 

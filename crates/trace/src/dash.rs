@@ -185,6 +185,56 @@ pub fn render_top(exposition: &str) -> String {
         "queues    : compress {cq:.0} (max {cqm:.0}) · decode {dq:.0} (max {dqm:.0}) · reorder max {rm:.0}"
     );
 
+    // Robustness panel: serve-daemon overload and recovery events.
+    // Rendered only when the scrape carries serve metrics, so sim-mode
+    // dashboards stay unchanged.
+    let accepted = v.value("adcomp_serve_accepted_total");
+    if let Some(accepted) = accepted {
+        let completed = v.value("adcomp_serve_completed_total").unwrap_or(0.0);
+        let active = v.value("adcomp_serve_active_conns").unwrap_or(0.0);
+        let active_max = v.value("adcomp_serve_active_conns_max").unwrap_or(0.0);
+        let resumes = v.value("adcomp_serve_resumes_total").unwrap_or(0.0);
+        let timeouts = v.value("adcomp_serve_timeouts_total").unwrap_or(0.0);
+        let aborts = v.value("adcomp_serve_aborts_total").unwrap_or(0.0);
+        let retries = v.value("adcomp_client_retries_total").unwrap_or(0.0);
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "serve     : active {active:.0} (max {active_max:.0}) · accepted {accepted:.0} · \
+             completed {completed:.0} · resumed {resumes:.0}"
+        );
+        let _ = writeln!(
+            out,
+            "overload  : timeouts {timeouts:.0} · aborts {aborts:.0} · client retries {retries:.0}"
+        );
+        let shed = v.family("adcomp_serve_shed_total", "reason");
+        if !shed.is_empty() {
+            let parts: Vec<String> =
+                shed.iter().map(|(r, n)| format!("{r} {n:.0}")).collect();
+            let _ = writeln!(out, "shed      : {}", parts.join(" · "));
+        }
+        let breaker = v.value("adcomp_breaker_open").unwrap_or(0.0);
+        let trips = v.value("adcomp_breaker_trips_total").unwrap_or(0.0);
+        let drains = v.value("adcomp_serve_drains_total").unwrap_or(0.0);
+        let drained = v.value("adcomp_serve_drained_transfers_total").unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "breaker   : {} (trips {trips:.0}) · drains {drains:.0} ({drained:.0} transfers finished draining)",
+            if breaker > 0.0 { "OPEN" } else { "closed" }
+        );
+        let rec_corrupt = v.value("adcomp_recovery_corrupt_frames_total").unwrap_or(0.0);
+        let rec_resync = v.value("adcomp_recovery_resyncs_total").unwrap_or(0.0);
+        let rec_retry = v.value("adcomp_recovery_retries_total").unwrap_or(0.0);
+        let rec_skip = v.value("adcomp_recovery_skipped_bytes_total").unwrap_or(0.0);
+        let rec_trunc = v.value("adcomp_recovery_truncations_total").unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "recovery  : corrupt {rec_corrupt:.0} · resyncs {rec_resync:.0} · retries {rec_retry:.0} · \
+             skipped {} · truncations {rec_trunc:.0}",
+            fmt_bytes(rec_skip)
+        );
+    }
+
     // Span latency table: every span label present in the scrape.
     let mut spans: Vec<String> = samples
         .iter()
@@ -257,6 +307,41 @@ adcomp_span_seconds_count{span=\"compress\"} 420
         assert!(top.contains("4.10ms"), "{top}");
         // Unset current level renders as '-'.
         assert!(top.contains("level now : -"), "{top}");
+    }
+
+    #[test]
+    fn serve_scrape_gets_a_robustness_panel() {
+        let scrape = "\
+adcomp_registry_info{mode=\"wall\"} 1
+adcomp_serve_accepted_total 40
+adcomp_serve_completed_total 37
+adcomp_serve_active_conns 3
+adcomp_serve_active_conns_max 12
+adcomp_serve_resumes_total 5
+adcomp_serve_timeouts_total 2
+adcomp_serve_aborts_total 1
+adcomp_client_retries_total 9
+adcomp_serve_shed_total{reason=\"capacity\"} 4
+adcomp_serve_shed_total{reason=\"tenant_quota\"} 2
+adcomp_breaker_open 1
+adcomp_breaker_trips_total 3
+adcomp_serve_drains_total 1
+adcomp_serve_drained_transfers_total 6
+adcomp_recovery_corrupt_frames_total 8
+adcomp_recovery_skipped_bytes_total 4096
+";
+        let top = render_top(scrape);
+        assert!(top.contains("active 3 (max 12)"), "{top}");
+        assert!(top.contains("accepted 40"), "{top}");
+        assert!(top.contains("resumed 5"), "{top}");
+        assert!(top.contains("timeouts 2"), "{top}");
+        assert!(top.contains("capacity 4 · tenant_quota 2"), "{top}");
+        assert!(top.contains("breaker   : OPEN (trips 3)"), "{top}");
+        assert!(top.contains("drains 1 (6 transfers finished draining)"), "{top}");
+        assert!(top.contains("corrupt 8"), "{top}");
+        assert!(top.contains("skipped 4.1 kB"), "{top}");
+        // No serve metrics in the scrape → no serve panel.
+        assert!(!render_top(SCRAPE).contains("serve     :"), "sim scrape grew a serve panel");
     }
 
     #[test]

@@ -177,6 +177,44 @@ pub struct PipelineEvent {
     pub workers: u32,
 }
 
+/// One serve-daemon lifecycle incident: admission, shedding, timeouts,
+/// drain progress, breaker transitions.
+///
+/// Tenant names are dynamic strings, but events must stay `Copy`, so the
+/// tenant is carried as a stable 64-bit FNV-1a hash ([`ServerEvent::tenant_id`])
+/// — enough to correlate one tenant's events within a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "trace events do nothing unless emitted to a sink"]
+pub struct ServerEvent {
+    pub epoch: u64,
+    pub t: f64,
+    /// What happened: `"accept"`, `"reject"`, `"resume"`, `"done"`,
+    /// `"timeout"`, `"abort"`, `"drain_begin"`, `"drain_done"`,
+    /// `"breaker_open"`, `"breaker_close"`.
+    pub kind: &'static str,
+    /// FNV-1a hash of the tenant name (0 when not tenant-scoped).
+    pub tenant: u64,
+    /// Bytes involved (verified payload bytes; kind-dependent, 0 if n/a).
+    pub bytes: u64,
+    /// Ordinal detail: transfer id, reject reason code, active
+    /// connections at drain — kind-dependent.
+    pub detail: u64,
+}
+
+impl ServerEvent {
+    /// Stable FNV-1a 64-bit hash of a tenant name, used as the `tenant`
+    /// field so events stay `Copy`.
+    #[must_use]
+    pub fn tenant_id(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
 /// The sum type every sink consumes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[must_use = "trace events do nothing unless emitted to a sink"]
@@ -188,6 +226,7 @@ pub enum TraceEvent {
     Channel(ChannelEvent),
     Fault(FaultEvent),
     Pipeline(PipelineEvent),
+    Server(ServerEvent),
 }
 
 impl TraceEvent {
@@ -201,6 +240,7 @@ impl TraceEvent {
             TraceEvent::Channel(_) => "channel",
             TraceEvent::Fault(_) => "fault",
             TraceEvent::Pipeline(_) => "pipeline",
+            TraceEvent::Server(_) => "server",
         }
     }
 
@@ -214,6 +254,7 @@ impl TraceEvent {
             TraceEvent::Channel(e) => e.epoch,
             TraceEvent::Fault(e) => e.epoch,
             TraceEvent::Pipeline(e) => e.epoch,
+            TraceEvent::Server(e) => e.epoch,
         }
     }
 
@@ -227,6 +268,7 @@ impl TraceEvent {
             TraceEvent::Channel(e) => e.t,
             TraceEvent::Fault(e) => e.t,
             TraceEvent::Pipeline(e) => e.t,
+            TraceEvent::Server(e) => e.t,
         }
     }
 
@@ -298,6 +340,14 @@ impl TraceEvent {
                 o.u64_field("reorder_depth", e.reorder_depth as u64);
                 o.u64_field("workers", e.workers as u64);
             }
+            TraceEvent::Server(e) => {
+                o.u64_field("epoch", e.epoch);
+                o.f64_field("t", e.t);
+                o.str_field("kind", e.kind);
+                o.u64_field("tenant", e.tenant);
+                o.u64_field("bytes", e.bytes);
+                o.u64_field("detail", e.detail);
+            }
         }
         o.finish()
     }
@@ -338,6 +388,11 @@ impl From<PipelineEvent> for TraceEvent {
         TraceEvent::Pipeline(e)
     }
 }
+impl From<ServerEvent> for TraceEvent {
+    fn from(e: ServerEvent) -> Self {
+        TraceEvent::Server(e)
+    }
+}
 
 /// Per-kind event counts — the manifest's summary of a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -349,6 +404,7 @@ pub struct EventCounts {
     pub channel: u64,
     pub fault: u64,
     pub pipeline: u64,
+    pub server: u64,
 }
 
 impl EventCounts {
@@ -361,6 +417,7 @@ impl EventCounts {
             TraceEvent::Channel(_) => self.channel += 1,
             TraceEvent::Fault(_) => self.fault += 1,
             TraceEvent::Pipeline(_) => self.pipeline += 1,
+            TraceEvent::Server(_) => self.server += 1,
         }
     }
 
@@ -374,7 +431,7 @@ impl EventCounts {
 
     pub fn total(&self) -> u64 {
         self.decision + self.epoch + self.codec + self.sim + self.channel + self.fault
-            + self.pipeline
+            + self.pipeline + self.server
     }
 
     /// Serializes as a JSON object fragment.
@@ -388,6 +445,7 @@ impl EventCounts {
         o.u64_field("channel", self.channel);
         o.u64_field("fault", self.fault);
         o.u64_field("pipeline", self.pipeline);
+        o.u64_field("server", self.server);
         o.u64_field("total", self.total());
         o.finish()
     }

@@ -12,12 +12,17 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-connection read cap and timeout: a scrape request is a few hundred
 /// bytes; anything bigger or slower is cut off.
 const MAX_REQUEST: usize = 8 * 1024;
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
+/// Overall budget for reading one request head. Because requests are
+/// served inline on the accept thread, this is the longest a slow-loris
+/// client (one byte every few seconds, so a per-read timeout never fires)
+/// can hold the endpoint before being cut off with 408.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(2);
 
 /// A running `/metrics` endpoint. Dropping (or [`MetricsServer::shutdown`])
 /// stops the accept loop and joins the thread.
@@ -85,18 +90,31 @@ impl Drop for MetricsServer {
 }
 
 fn serve_one<F: Fn() -> String>(mut stream: TcpStream, render: &F) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    let start = Instant::now();
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    // Read until the blank line ending the request head.
+    // Read until the blank line ending the request head — within a fixed
+    // overall deadline, not a per-read timeout. A per-read timeout resets
+    // on every byte, so one byte every few seconds would hold the accept
+    // thread forever (slow-loris); the deadline shrinks with each read.
     while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
         if buf.len() >= MAX_REQUEST {
             return respond(&mut stream, "400 Bad Request", "request too large\n");
         }
+        let Some(remaining) = REQUEST_DEADLINE.checked_sub(start.elapsed()) else {
+            return respond(&mut stream, "408 Request Timeout", "request head too slow\n");
+        };
+        stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return respond(&mut stream, "408 Request Timeout", "request head too slow\n");
+            }
             Err(e) => return Err(e),
         }
     }
@@ -168,6 +186,55 @@ mod tests {
         assert_eq!(body, "adcomp_up 1\n");
         let err = http_get(&addr, "/other", Duration::from_secs(5)).unwrap_err();
         assert!(err.to_string().contains("404"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_client_cannot_wedge_the_endpoint() {
+        let server =
+            MetricsServer::start("127.0.0.1:0", || "adcomp_up 1\n".to_string()).unwrap();
+        let addr = server.local_addr();
+        // Slow-loris: open the connection, send a fragment of a request
+        // head, then go silent. Served inline, this used to hold the
+        // accept thread until the per-read timeout — which a drip-feed
+        // can reset forever.
+        let mut loris = TcpStream::connect(addr).unwrap();
+        loris.write_all(b"GET /met").unwrap();
+        // A well-behaved scrape queued behind the loris must still be
+        // answered once the request deadline cuts the loris off.
+        let start = Instant::now();
+        let body =
+            http_get(&addr.to_string(), "/metrics", REQUEST_DEADLINE * 5).unwrap();
+        assert_eq!(body, "adcomp_up 1\n");
+        assert!(
+            start.elapsed() < REQUEST_DEADLINE * 4,
+            "scrape took {:?}; the stalled client wedged the endpoint",
+            start.elapsed()
+        );
+        // The loris itself got a 408 (or a plain close), never a hang.
+        loris.set_read_timeout(Some(REQUEST_DEADLINE * 5)).unwrap();
+        let mut resp = String::new();
+        let _ = loris.read_to_string(&mut resp);
+        assert!(
+            resp.is_empty() || resp.contains("408"),
+            "unexpected loris response: {resp:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_head_is_cut_off() {
+        let server =
+            MetricsServer::start("127.0.0.1:0", || "adcomp_up 1\n".to_string()).unwrap();
+        let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+        // Never send the terminating blank line; the bounded buffer must
+        // end the request long before heap exhaustion.
+        let junk = vec![b'x'; MAX_REQUEST + 1024];
+        let _ = sock.write_all(&junk);
+        sock.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+        let mut resp = String::new();
+        let _ = sock.read_to_string(&mut resp);
+        assert!(resp.contains("400"), "unexpected response: {resp:?}");
         server.shutdown();
     }
 

@@ -58,7 +58,7 @@ pub mod timeline;
 
 pub use events::{
     ChannelEvent, CodecEvent, DecisionEvent, EpochEvent, EventCounts, FaultEvent, PipelineEvent,
-    SimEvent, TraceEvent, MAX_LEVELS, NO_EPOCH,
+    ServerEvent, SimEvent, TraceEvent, MAX_LEVELS, NO_EPOCH,
 };
 pub use dash::render_top;
 pub use http::{http_get, MetricsServer};

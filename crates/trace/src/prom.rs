@@ -158,7 +158,7 @@ impl PromSnapshot {
 /// families.
 #[derive(Debug)]
 pub struct TraceStats {
-    counts: [(&'static str, u64); 7],
+    counts: [(&'static str, u64); 8],
     case_counts: Vec<(&'static str, u64)>,
     fault_kinds: Vec<(&'static str, u64)>,
     fault_bytes: u64,
@@ -187,6 +187,7 @@ impl TraceStats {
                 ("channel", 0),
                 ("fault", 0),
                 ("pipeline", 0),
+                ("server", 0),
             ],
             case_counts: Vec::new(),
             fault_kinds: Vec::new(),
@@ -240,6 +241,7 @@ impl TraceStats {
                     s.fault_bytes += e.bytes;
                 }
                 TraceEvent::Pipeline(_) => s.counts[6].1 += 1,
+                TraceEvent::Server(_) => s.counts[7].1 += 1,
             }
         }
         s
@@ -386,6 +388,7 @@ pub fn render_registry(snap: &adcomp_metrics::RegistrySnapshot) -> String {
             let key = match family {
                 adcomp_metrics::LabelFamily::DecisionCase => "case",
                 adcomp_metrics::LabelFamily::FaultKind => "kind",
+                adcomp_metrics::LabelFamily::ShedReason => "reason",
             };
             p.counter(family.metric(), family.help(), &[(key, label_value)], *n);
         }

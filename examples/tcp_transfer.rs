@@ -17,46 +17,13 @@
 //! keeps the endpoint up that long after the last transfer so one-shot
 //! scrapes (CI smoke tests) don't race the exit.
 
+use adcomp::core::ThrottledWriter;
 use adcomp::metrics::registry::{self, RegistryMode};
 use adcomp::prelude::*;
 use adcomp::trace::{render_registry, MetricsServer};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
-
-/// Caps writes to `rate_bps` with a token bucket (sleeps when exhausted).
-struct ThrottledWriter<W: Write> {
-    inner: W,
-    rate_bps: f64,
-    window_start: Instant,
-    sent_in_window: f64,
-}
-
-impl<W: Write> ThrottledWriter<W> {
-    fn new(inner: W, rate_bps: f64) -> Self {
-        ThrottledWriter { inner, rate_bps, window_start: Instant::now(), sent_in_window: 0.0 }
-    }
-}
-
-impl<W: Write> Write for ThrottledWriter<W> {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        // Pace in ~16 KiB slices so sleeps stay short and smooth.
-        let n = buf.len().min(16 * 1024);
-        self.inner.write_all(&buf[..n])?;
-        self.sent_in_window += n as f64;
-        let elapsed = self.window_start.elapsed().as_secs_f64();
-        let allowed = elapsed * self.rate_bps;
-        if self.sent_in_window > allowed {
-            let debt = (self.sent_in_window - allowed) / self.rate_bps;
-            std::thread::sleep(Duration::from_secs_f64(debt));
-        }
-        Ok(n)
-    }
-
-    fn flush(&mut self) -> std::io::Result<()> {
-        self.inner.flush()
-    }
-}
 
 fn run_one(
     label: &str,

@@ -12,6 +12,11 @@
 //! adcomp probe      [IN]          # report compressibility + per-level ratios
 //! adcomp trace      [-l LEVEL] [-t EPOCH_S] [--class C] [--flows N] [--gb G] [OUT.jsonl]
 //! adcomp chaos      [--runs N] [--seed S] [--cases]   # fault-injection soak
+//! adcomp chaos --net [--runs N] [--seed S] [--fault-rate R]  # socket-level soak
+//! adcomp serve      [--listen A] [--metrics A] [--max-streams N] [--tenant-streams N] [--rate-bps B]
+//! adcomp put        --url HOST:PORT [--tenant T] [--id N] [IN]
+//! adcomp drain      --url HOST:PORT
+//! adcomp proxy      --listen A --url UPSTREAM [--seed S] [--fault-rate R]
 //! ```
 //!
 //! `IN`/`OUT` default to stdin/stdout; `-` selects them explicitly.
@@ -48,6 +53,17 @@ struct Options {
     interval: f64,
     input: Option<String>,
     output: Option<String>,
+    // serve / put / drain / proxy / chaos --net
+    listen: String,
+    metrics: Option<String>,
+    tenant: String,
+    transfer_id: u64,
+    max_streams: usize,
+    tenant_streams: usize,
+    rate_bps: Option<f64>,
+    net: bool,
+    fault_rate: f64,
+    concurrency: usize,
 }
 
 fn usage() -> ! {
@@ -56,11 +72,17 @@ fn usage() -> ! {
          \x20      adcomp decompress [IN] [OUT]\n\
          \x20      adcomp probe      [IN]\n\
          \x20      adcomp trace      [-l LEVEL] [-t EPOCH_S] [--class C] [--flows N] [--gb G] [OUT.jsonl]\n\
-         \x20      adcomp chaos      [--runs N] [--seed S] [--cases]\n\
+         \x20      adcomp chaos      [--runs N] [--seed S] [--cases] [--net [--fault-rate R] [--concurrency N]]\n\
+         \x20      adcomp serve      [--listen A] [--metrics A] [--max-streams N] [--tenant-streams N] [--rate-bps B]\n\
+         \x20      adcomp put        --url HOST:PORT [--tenant T] [--id N] [-l LEVEL] [IN]\n\
+         \x20      adcomp drain      --url HOST:PORT\n\
+         \x20      adcomp proxy      --listen A --url UPSTREAM [--seed S] [--fault-rate R]\n\
          \x20      adcomp top        [--url HOST:PORT[/PATH]] [--once] [--raw] [--interval S] [--gb G]\n\
          LEVEL: NO | LIGHT | MEDIUM | HEAVY | DYNAMIC (default DYNAMIC)\n\
          C    : HIGH | MODERATE | LOW (default HIGH); N: 0..=3 (default 2); G: simulated GB (default 2)\n\
-         chaos: N seeded fault-injection runs (default 64); --cases streams per-case JSON lines\n\
+         chaos: N seeded fault-injection runs (default 64); --cases streams per-case JSON lines;\n\
+         \x20    --net runs real client-proxy-server transfers over loopback sockets\n\
+         serve: overload-resilient daemon; exits 0 once drained (see `adcomp drain`)\n\
          top  : live dashboard from a served /metrics endpoint (--url), or a\n\
          \x20    deterministic simulated class/flow grid when no --url is given;\n\
          \x20    --raw prints the Prometheus exposition instead of the dashboard\n\
@@ -113,6 +135,16 @@ fn parse_options(args: &[String]) -> Options {
         interval: 2.0,
         input: None,
         output: None,
+        listen: "127.0.0.1:0".to_string(),
+        metrics: None,
+        tenant: "default".to_string(),
+        transfer_id: 1,
+        max_streams: 64,
+        tenant_streams: 8,
+        rate_bps: None,
+        net: false,
+        fault_rate: 0.02,
+        concurrency: 4,
     };
     let mut i = 0;
     while i < args.len() {
@@ -173,6 +205,70 @@ fn parse_options(args: &[String]) -> Options {
                 opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
             "--cases" => opts.cases = true,
+            "--net" => opts.net = true,
+            "--listen" => {
+                i += 1;
+                opts.listen = args.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--metrics" => {
+                i += 1;
+                opts.metrics = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+            }
+            "--tenant" => {
+                i += 1;
+                opts.tenant = args.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--id" => {
+                i += 1;
+                opts.transfer_id =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--max-streams" => {
+                i += 1;
+                opts.max_streams =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if opts.max_streams == 0 {
+                    eprintln!("max streams must be positive");
+                    std::process::exit(2);
+                }
+            }
+            "--tenant-streams" => {
+                i += 1;
+                opts.tenant_streams =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if opts.tenant_streams == 0 {
+                    eprintln!("per-tenant streams must be positive");
+                    std::process::exit(2);
+                }
+            }
+            "--rate-bps" => {
+                i += 1;
+                let bps: f64 =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if bps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    eprintln!("tenant rate cap must be positive bytes/s");
+                    std::process::exit(2);
+                }
+                opts.rate_bps = Some(bps);
+            }
+            "--fault-rate" => {
+                i += 1;
+                opts.fault_rate =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if !(0.0..=1.0).contains(&opts.fault_rate) {
+                    eprintln!("fault rate must be in [0, 1]");
+                    std::process::exit(2);
+                }
+            }
+            "--concurrency" => {
+                i += 1;
+                opts.concurrency =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if opts.concurrency == 0 || opts.concurrency > 64 {
+                    eprintln!("concurrency must be 1..=64");
+                    std::process::exit(2);
+                }
+            }
             "--url" => {
                 i += 1;
                 opts.url = Some(args.get(i).unwrap_or_else(|| usage()).clone());
@@ -430,6 +526,183 @@ fn cmd_chaos(opts: Options) -> io::Result<()> {
     }
 }
 
+fn resolve(addr: &str) -> io::Result<std::net::SocketAddr> {
+    use std::net::ToSocketAddrs;
+    addr.strip_prefix("http://")
+        .unwrap_or(addr)
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("cannot resolve {addr}"))
+        })
+}
+
+/// The overload-resilient multi-tenant daemon. Serves until a drain
+/// request (`adcomp drain`) has been received *and* every in-flight
+/// stream has finished, then tears down and exits 0 — the graceful path
+/// CI exercises. `--metrics ADDR` additionally exposes the live registry
+/// at `GET /metrics`.
+fn cmd_serve(opts: Options) -> io::Result<()> {
+    use adcomp::metrics::registry::{self, RegistryMode};
+    use adcomp::serve::{ServeConfig, Server};
+    use adcomp::trace::{render_registry, MetricsServer};
+    use std::time::Duration;
+
+    let reg = registry::install(RegistryMode::Wall);
+    let metrics = match &opts.metrics {
+        Some(addr) => {
+            Some(MetricsServer::start(addr, move || render_registry(&reg.snapshot()))?)
+        }
+        None => None,
+    };
+    let server = Server::start(ServeConfig {
+        addr: opts.listen.clone(),
+        max_streams: opts.max_streams,
+        per_tenant_streams: opts.tenant_streams,
+        tenant_rate_bps: opts.rate_bps,
+        ..ServeConfig::default()
+    })?;
+    eprintln!("adcomp serve: listening on {}", server.local_addr());
+    if let Some(m) = &metrics {
+        eprintln!("adcomp serve: metrics on http://{}/metrics", m.local_addr());
+    }
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        if server.draining() && server.active() == 0 {
+            break;
+        }
+    }
+    let stats = server.shutdown();
+    if let Some(m) = metrics {
+        m.shutdown();
+    }
+    eprintln!(
+        "adcomp serve: drained and stopped: {} accepted, {} completed ({} while draining), \
+         {} resumed, {} shed, {} timeouts, {} aborts",
+        stats.accepted,
+        stats.completed,
+        stats.drained_transfers,
+        stats.resumed,
+        stats.shed,
+        stats.timeouts,
+        stats.aborts,
+    );
+    Ok(())
+}
+
+/// Uploads a file (or stdin) to a daemon with bounded-retry backoff and
+/// resume-from-last-verified-byte.
+fn cmd_put(opts: Options) -> io::Result<()> {
+    use adcomp::serve::{put, PutOptions};
+
+    let Some(url) = opts.url.clone() else {
+        eprintln!("adcomp put: --url HOST:PORT is required");
+        std::process::exit(2);
+    };
+    let addr = resolve(&url)?;
+    let mut payload = Vec::new();
+    open_input(&opts.input)?.read_to_end(&mut payload)?;
+    let put_opts = PutOptions {
+        tenant: opts.tenant.clone(),
+        transfer_id: opts.transfer_id,
+        block_len: opts.block_kb * 1024,
+        epoch_secs: opts.epoch_secs,
+        workers: opts.pipeline_workers,
+        level: opts.level,
+        ..PutOptions::default()
+    };
+    let report = put(addr, &payload, &put_opts)?;
+    eprintln!(
+        "adcomp put: {} bytes as {}/{} in {} attempt(s){}, crc {:#010x}",
+        payload.len(),
+        opts.tenant,
+        opts.transfer_id,
+        report.attempts,
+        if report.resumed { " (resumed)" } else { "" },
+        report.crc,
+    );
+    Ok(())
+}
+
+/// Asks a daemon to drain gracefully.
+fn cmd_drain(opts: Options) -> io::Result<()> {
+    use std::time::Duration;
+
+    let Some(url) = opts.url.clone() else {
+        eprintln!("adcomp drain: --url HOST:PORT is required");
+        std::process::exit(2);
+    };
+    let inflight = adcomp::serve::drain(resolve(&url)?, Duration::from_secs(5))?;
+    eprintln!("adcomp drain: draining; {inflight} transfer(s) still in flight");
+    Ok(())
+}
+
+/// A standalone fault-injecting TCP proxy in front of an upstream
+/// (`--url`), driven by the same seeded plans as the soak. Runs until
+/// killed.
+fn cmd_proxy(opts: Options) -> io::Result<()> {
+    use adcomp::faults::net::{ChaosProxy, NetFaultSpec};
+    use std::time::Duration;
+
+    let Some(url) = opts.url.clone() else {
+        eprintln!("adcomp proxy: --url UPSTREAM_HOST:PORT is required");
+        std::process::exit(2);
+    };
+    let spec = NetFaultSpec::from_rate(opts.seed, opts.fault_rate);
+    let proxy = ChaosProxy::start_on(&opts.listen, resolve(&url)?, spec)?;
+    eprintln!(
+        "adcomp proxy: {} -> {} (seed {:#x}, fault rate {})",
+        proxy.local_addr(),
+        url,
+        opts.seed,
+        opts.fault_rate,
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// The socket-level half of the chaos gauntlet (`chaos --net`): seeded
+/// client ↔ ChaosProxy ↔ server runs over real loopback sockets.
+fn cmd_net_chaos(opts: Options) -> io::Result<()> {
+    use adcomp::serve::{run_net_soak, NetSoakConfig};
+
+    let cfg = NetSoakConfig {
+        runs: opts.runs as u32,
+        seed: opts.seed,
+        concurrency: opts.concurrency as u32,
+        fault_rate: opts.fault_rate,
+        ..NetSoakConfig::default()
+    };
+    let mut show = |done: u32, total: u32| {
+        eprint!("\radcomp chaos --net: {done}/{total} transfers");
+        let _ = io::stderr().flush();
+    };
+    let summary = run_net_soak(&cfg, Some(&mut show));
+    eprintln!();
+    println!("{}", summary.to_json());
+    eprintln!(
+        "adcomp chaos --net: {} runs (seed {:#x}, rate {}): {} completed ({} resumed), \
+         {} failed, {} retries, faults {}+{}+{}+{} (corrupt/partial/stall/close)",
+        summary.runs,
+        opts.seed,
+        opts.fault_rate,
+        summary.completed,
+        summary.resumed,
+        summary.failed,
+        summary.retries,
+        summary.corrupts,
+        summary.partials,
+        summary.stalls,
+        summary.closes,
+    );
+    if summary.clean() {
+        Ok(())
+    } else {
+        Err(io::Error::other("net soak contract broken (see summary JSON)"))
+    }
+}
+
 /// Runs the deterministic class × flows simulation grid against the
 /// process-global registry (virtual mode) and returns the exposition text.
 /// Work is fanned over `threads` via a shared atomic index; because every
@@ -535,7 +808,12 @@ fn main() -> ExitCode {
         "decompress" | "d" => cmd_decompress(opts),
         "probe" | "p" => cmd_probe(opts),
         "trace" | "t" => cmd_trace(opts),
+        "chaos" if opts.net => cmd_net_chaos(opts),
         "chaos" => cmd_chaos(opts),
+        "serve" => cmd_serve(opts),
+        "put" => cmd_put(opts),
+        "drain" => cmd_drain(opts),
+        "proxy" => cmd_proxy(opts),
         "top" => cmd_top(opts),
         _ => usage(),
     };

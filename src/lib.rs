@@ -15,6 +15,7 @@
 //! | [`nephele`] | `adcomp-nephele` | Miniature Nephele dataflow engine with transparently compressing channels |
 //! | [`hostprobe`] | `adcomp-hostprobe` | The paper's §II methodology on the real host: `/proc/stat` sampling + I/O load generators |
 //! | [`metrics`] | `adcomp-metrics` | Rate meters, summary statistics, table rendering |
+//! | [`serve`] | (this crate) | The `adcomp serve` overload-resilient multi-tenant daemon, its retry/resume client, and the socket-level chaos soak |
 //!
 //! ## Sixty-second tour
 //!
@@ -38,6 +39,8 @@
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the binaries that regenerate every figure and table
 //! of the paper.
+
+pub mod serve;
 
 pub use adcomp_codecs as codecs;
 pub use adcomp_core as core;

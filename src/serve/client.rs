@@ -1,0 +1,284 @@
+//! The `adcomp put` client: adaptive-compressed upload with bounded
+//! retry, exponential backoff, and resume from the server's last
+//! CRC-verified byte.
+//!
+//! The loop is deliberately dumb on purpose: connect, ask, stream, and on
+//! *any* transport damage throw the socket away and start over. The
+//! server's `start_offset` (its verified-prefix length) is the only
+//! resume state; the client holds none, so a retry after a mid-stream
+//! reset, a stall, or a corrupted frame always continues from a clean
+//! prefix. Combined with the server's fail-fast reader this makes a
+//! completed transfer byte-identical to the input by construction — the
+//! property the socket soak asserts over hundreds of hostile runs.
+
+use super::proto::{
+    read_done, read_response, write_request, RejectReason, Request, Response, NO_LEVEL_CAP,
+};
+use adcomp_codecs::crc32::crc32;
+use adcomp_codecs::LevelSet;
+use adcomp_core::model::{DecisionModel, EpochObservation, RateBasedModel, StaticModel};
+use adcomp_core::stream::AdaptiveWriter;
+use adcomp_core::{Backoff, WallClock};
+use adcomp_metrics::registry::{self, CounterKind};
+use adcomp_trace::{TraceHandle, TraceSink};
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Wraps any [`DecisionModel`] and clamps its choices to the server's
+/// `level_cap` — the circuit breaker's degrade signal. With cap 0 the
+/// adaptive model keeps observing but every block ships RAW.
+pub struct CappedModel {
+    inner: Box<dyn DecisionModel>,
+    cap: usize,
+}
+
+impl CappedModel {
+    pub fn new(inner: Box<dyn DecisionModel>, cap: usize) -> Self {
+        CappedModel { inner, cap }
+    }
+}
+
+impl DecisionModel for CappedModel {
+    fn name(&self) -> String {
+        format!("capped({},{})", self.inner.name(), self.cap)
+    }
+
+    fn num_levels(&self) -> usize {
+        self.inner.num_levels()
+    }
+
+    fn initial_level(&self) -> usize {
+        self.inner.initial_level().min(self.cap)
+    }
+
+    fn decide(&mut self, obs: &EpochObservation) -> usize {
+        self.inner.decide(obs).min(self.cap)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+/// Knobs for one [`put`] call.
+#[derive(Clone)]
+pub struct PutOptions {
+    pub tenant: String,
+    pub transfer_id: u64,
+    /// Retry schedule; [`Backoff::client_default`] unless overridden.
+    pub backoff: Backoff,
+    /// Socket read/write deadline per operation.
+    pub io_timeout: Duration,
+    /// Codec block length.
+    pub block_len: usize,
+    /// Adaptation epoch length, seconds.
+    pub epoch_secs: f64,
+    /// Pipeline compression workers (1 = serial).
+    pub workers: usize,
+    /// Fixed level instead of the adaptive rate-based model.
+    pub level: Option<usize>,
+    /// Trace sink handed to the writer's epoch driver.
+    pub trace: TraceHandle,
+}
+
+impl Default for PutOptions {
+    fn default() -> Self {
+        PutOptions {
+            tenant: "default".to_string(),
+            transfer_id: 1,
+            backoff: Backoff::client_default(),
+            io_timeout: Duration::from_secs(5),
+            block_len: 128 * 1024,
+            epoch_secs: 2.0,
+            workers: 1,
+            level: None,
+            trace: TraceHandle::disabled(),
+        }
+    }
+}
+
+/// What one successful [`put`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutReport {
+    /// Connection attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Whether any attempt resumed from a non-zero offset.
+    pub resumed: bool,
+    /// Application bytes streamed across all attempts (resume makes this
+    /// less than `attempts * len` on a hostile wire).
+    pub bytes_sent: u64,
+    /// The server's CRC of the verified transfer (matches the local CRC).
+    pub crc: u32,
+}
+
+/// Uploads `payload` to an `adcomp serve` daemon, retrying with
+/// exponential backoff and resuming from the server's verified prefix
+/// until the server acknowledges a complete, CRC-matching transfer or the
+/// retry budget is exhausted.
+pub fn put(addr: SocketAddr, payload: &[u8], opts: &PutOptions) -> io::Result<PutReport> {
+    let local_crc = crc32(payload);
+    let mut attempts = 0u32;
+    let mut resumed = false;
+    let mut bytes_sent = 0u64;
+    let mut last_err: io::Error;
+    loop {
+        attempts += 1;
+        match attempt(addr, payload, opts, &mut resumed, &mut bytes_sent) {
+            Ok(done) => {
+                if done.crc != local_crc || done.verified != payload.len() as u64 {
+                    // Should be impossible: every server-side byte was
+                    // CRC-verified per frame. Treat as a hard failure.
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "server receipt mismatch: verified {} crc {:#x}, local {} crc {:#x}",
+                            done.verified,
+                            done.crc,
+                            payload.len(),
+                            local_crc
+                        ),
+                    ));
+                }
+                return Ok(PutReport { attempts, resumed, bytes_sent, crc: done.crc });
+            }
+            Err(AttemptError::Fatal(e)) => return Err(e),
+            Err(AttemptError::Transient(e)) => last_err = e,
+        }
+        // The schedule numbers retries from zero: attempt 1 failing means
+        // retry #0 is next.
+        if !opts.backoff.allows(attempts - 1) {
+            return Err(io::Error::new(
+                last_err.kind(),
+                format!("retries exhausted after {attempts} attempts: {last_err}"),
+            ));
+        }
+        if let Some(m) = registry::global() {
+            m.counter_add(CounterKind::ClientRetries, 1);
+        }
+        std::thread::sleep(Duration::from_secs_f64(opts.backoff.delay_secs(attempts - 1)));
+    }
+}
+
+enum AttemptError {
+    /// Retry after backoff (transport damage, retryable reject).
+    Transient(io::Error),
+    /// Give up now (unservable request, receipt mismatch).
+    Fatal(io::Error),
+}
+
+fn attempt(
+    addr: SocketAddr,
+    payload: &[u8],
+    opts: &PutOptions,
+    resumed: &mut bool,
+    bytes_sent: &mut u64,
+) -> Result<super::proto::Done, AttemptError> {
+    let transient = AttemptError::Transient;
+    let mut sock =
+        TcpStream::connect_timeout(&addr, opts.io_timeout).map_err(transient)?;
+    let _ = sock.set_nodelay(true);
+    sock.set_read_timeout(Some(opts.io_timeout)).map_err(transient)?;
+    sock.set_write_timeout(Some(opts.io_timeout)).map_err(transient)?;
+    write_request(
+        &mut sock,
+        &Request::Put {
+            tenant: opts.tenant.clone(),
+            transfer_id: opts.transfer_id,
+            total_len: payload.len() as u64,
+        },
+    )
+    .map_err(transient)?;
+    let (start, level_cap) = match read_response(&mut sock).map_err(transient)? {
+        Response::Accept { start_offset, level_cap } => (start_offset, level_cap),
+        Response::Reject { reason } => {
+            let e = io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("server rejected put: {}", reason.as_str()),
+            );
+            return Err(if reason.is_retryable() && reason != RejectReason::Draining {
+                AttemptError::Transient(e)
+            } else {
+                // Draining is retryable against a *different* server; for a
+                // single-address client it means "stop submitting".
+                AttemptError::Fatal(e)
+            });
+        }
+    };
+    if start > payload.len() as u64 {
+        return Err(AttemptError::Fatal(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "server claims more verified bytes than the payload holds",
+        )));
+    }
+    if start > 0 {
+        *resumed = true;
+    }
+
+    // Stream payload[start..] through an adaptive writer over the socket.
+    let levels = LevelSet::paper_default();
+    let base: Box<dyn DecisionModel> = match opts.level {
+        Some(level) => Box::new(StaticModel::new(level.min(levels.len() - 1), levels.len())),
+        None => Box::new(RateBasedModel::paper_default()),
+    };
+    let cap = if level_cap == NO_LEVEL_CAP { levels.len() - 1 } else { level_cap as usize };
+    let model = Box::new(CappedModel::new(base, cap));
+    let write_sock = sock.try_clone().map_err(transient)?;
+    let mut writer = AdaptiveWriter::with_params(
+        write_sock,
+        levels,
+        model,
+        opts.block_len,
+        opts.epoch_secs,
+        Box::new(WallClock::new()),
+    );
+    if opts.workers > 1 {
+        writer.set_pipeline_workers(opts.workers);
+    }
+    if opts.trace.enabled() {
+        writer.set_trace(opts.trace.clone());
+    }
+    let rest = &payload[start as usize..];
+    let mut sent_this_attempt = 0u64;
+    for chunk in rest.chunks(opts.block_len.max(1)) {
+        writer.write_all(chunk).map_err(|e| {
+            *bytes_sent += sent_this_attempt;
+            AttemptError::Transient(e)
+        })?;
+        sent_this_attempt += chunk.len() as u64;
+    }
+    writer.finish().map_err(|e| {
+        *bytes_sent += sent_this_attempt;
+        AttemptError::Transient(e)
+    })?;
+    *bytes_sent += sent_this_attempt;
+    // Half-close: our frame stream is done, the receipt comes back on the
+    // same socket.
+    sock.shutdown(Shutdown::Write).map_err(transient)?;
+    let done = read_done(&mut sock).map_err(transient)?;
+    if !done.ok {
+        // Clean close but incomplete (e.g. the wire ate the tail after the
+        // last verified frame): reconnect and resume.
+        return Err(AttemptError::Transient(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("server verified only {} bytes", done.verified),
+        )));
+    }
+    Ok(done)
+}
+
+/// Asks a daemon to drain gracefully. Returns the number of transfers
+/// that were still in flight when the drain began.
+pub fn drain(addr: SocketAddr, io_timeout: Duration) -> io::Result<u64> {
+    let mut sock = TcpStream::connect_timeout(&addr, io_timeout)?;
+    sock.set_read_timeout(Some(io_timeout))?;
+    sock.set_write_timeout(Some(io_timeout))?;
+    write_request(&mut sock, &Request::Drain)?;
+    match read_response(&mut sock)? {
+        Response::Accept { start_offset, .. } => Ok(start_offset),
+        Response::Reject { reason } => Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!("drain rejected: {}", reason.as_str()),
+        )),
+    }
+}

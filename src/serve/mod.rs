@@ -1,0 +1,367 @@
+//! `adcomp serve` — the overload-resilient multi-tenant compression
+//! daemon, its client, and the socket-level chaos soak.
+//!
+//! This module is the network face of the adaptive stream: every accepted
+//! TCP connection decodes one adaptive frame stream through its own
+//! [`AdaptiveReader`](adcomp_core::stream::AdaptiveReader), and every
+//! robustness mechanism the paper's shared-cloud setting demands —
+//! admission control, load shedding, deadlines, a CPU-pressure circuit
+//! breaker, graceful drain, and reconnect-with-resume — lives here:
+//!
+//! * [`proto`] — the tiny length-prefixed handshake (request / verdict /
+//!   receipt) around the self-describing frame stream;
+//! * [`server`] — [`Server`] / [`ServeConfig`]: thread-per-connection
+//!   daemon with per-tenant quotas, typed [`RejectReason`] shedding,
+//!   idle + wall deadlines, verified-prefix transfer table, and drain;
+//! * [`client`] — [`put`] / [`PutOptions`]: bounded-retry exponential
+//!   backoff uploads that resume from the server's last verified byte;
+//! * [`netsoak`] — the loopback client ↔ [`ChaosProxy`](adcomp_faults::net::ChaosProxy)
+//!   ↔ server gauntlet behind `adcomp chaos --net`.
+
+pub mod client;
+pub mod netsoak;
+pub mod proto;
+pub mod server;
+
+pub use client::{drain, put, CappedModel, PutOptions, PutReport};
+pub use netsoak::{run_net_soak, NetSoakConfig, NetSoakSummary};
+pub use proto::{Done, RejectReason, Request, Response, NO_LEVEL_CAP};
+pub use server::{payload_crc, ServeConfig, ServeStats, Server};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcomp_corpus::Prng;
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            keep_payloads: true,
+            io_timeout: Duration::from_secs(2),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn payload(seed: u64, len: usize) -> Vec<u8> {
+        let mut rng = Prng::new(seed);
+        // Half compressible, half noise, so the adaptive model has
+        // something to chew on.
+        (0..len)
+            .map(|i| if i % 2 == 0 { (i / 7) as u8 } else { rng.next_u32() as u8 })
+            .collect()
+    }
+
+    #[test]
+    fn put_roundtrips_byte_identical() {
+        let server = Server::start(test_config()).unwrap();
+        let data = payload(1, 200_000);
+        let opts = PutOptions { tenant: "t1".into(), transfer_id: 7, ..Default::default() };
+        let report = put(server.local_addr(), &data, &opts).unwrap();
+        assert_eq!(report.attempts, 1);
+        assert!(!report.resumed);
+        assert_eq!(report.crc, payload_crc(&data));
+        assert_eq!(server.payload("t1", 7).unwrap(), data);
+        assert!(server.is_completed("t1", 7));
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.aborts, 0);
+    }
+
+    #[test]
+    fn empty_payload_completes() {
+        let server = Server::start(test_config()).unwrap();
+        let opts = PutOptions { tenant: "t".into(), transfer_id: 1, ..Default::default() };
+        let report = put(server.local_addr(), &[], &opts).unwrap();
+        assert_eq!(report.crc, payload_crc(&[]));
+        assert!(server.is_completed("t", 1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn draining_rejects_new_puts_and_stats_count_it() {
+        let server = Server::start(test_config()).unwrap();
+        server.begin_drain();
+        let opts = PutOptions { tenant: "t".into(), transfer_id: 1, ..Default::default() };
+        let err = put(server.local_addr(), b"hello", &opts).unwrap_err();
+        assert!(err.to_string().contains("draining"), "unexpected error: {err}");
+        let stats = server.shutdown();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.accepted, 0);
+    }
+
+    #[test]
+    fn oversize_put_is_rejected_fatally() {
+        let mut cfg = test_config();
+        cfg.max_transfer_bytes = 16;
+        let server = Server::start(cfg).unwrap();
+        let opts = PutOptions { tenant: "t".into(), transfer_id: 1, ..Default::default() };
+        let err = put(server.local_addr(), &[0u8; 64], &opts).unwrap_err();
+        assert!(err.to_string().contains("too_large"), "unexpected error: {err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_handshake_gets_typed_reject_not_hang() {
+        let server = Server::start(test_config()).unwrap();
+        let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        use std::io::Write;
+        sock.write_all(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let resp = proto::read_response(&mut sock).unwrap();
+        assert_eq!(resp, Response::Reject { reason: RejectReason::BadRequest });
+        let stats = server.shutdown();
+        assert_eq!(stats.shed, 1);
+    }
+
+    #[test]
+    fn tenant_quota_sheds_concurrent_streams() {
+        let mut cfg = test_config();
+        cfg.per_tenant_streams = 1;
+        cfg.io_timeout = Duration::from_secs(2);
+        let server = Server::start(cfg).unwrap();
+        // First connection: handshake and park mid-stream so the slot is
+        // held.
+        let mut held = TcpStream::connect(server.local_addr()).unwrap();
+        proto::write_request(
+            &mut held,
+            &Request::Put { tenant: "t".into(), transfer_id: 1, total_len: 1000 },
+        )
+        .unwrap();
+        match proto::read_response(&mut held).unwrap() {
+            Response::Accept { .. } => {}
+            other => panic!("expected accept, got {other:?}"),
+        }
+        // Second stream, same tenant: quota reject.
+        let opts = PutOptions {
+            tenant: "t".into(),
+            transfer_id: 2,
+            backoff: adcomp_core::Backoff::new(0.01, 2.0, 0.05, 1),
+            ..Default::default()
+        };
+        let err = put(server.local_addr(), b"more", &opts).unwrap_err();
+        assert!(err.to_string().contains("tenant_quota"), "unexpected error: {err}");
+        // Different tenant is unaffected.
+        let opts2 = PutOptions { tenant: "u".into(), transfer_id: 1, ..Default::default() };
+        put(server.local_addr(), b"fine", &opts2).unwrap();
+        drop(held);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_client_times_out_and_slot_is_reclaimed() {
+        let mut cfg = test_config();
+        cfg.io_timeout = Duration::from_millis(100);
+        let server = Server::start(cfg).unwrap();
+        let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+        proto::write_request(
+            &mut sock,
+            &Request::Put { tenant: "t".into(), transfer_id: 1, total_len: 100 },
+        )
+        .unwrap();
+        match proto::read_response(&mut sock).unwrap() {
+            Response::Accept { .. } => {}
+            other => panic!("expected accept, got {other:?}"),
+        }
+        // Send nothing; the idle timeout must fire and free the slot.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.active() > 0 {
+            assert!(std::time::Instant::now() < deadline, "idle stream never timed out");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn breaker_caps_levels_to_raw() {
+        let server = Server::start(test_config()).unwrap();
+        server.set_breaker(true);
+        assert!(server.breaker_open());
+        let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+        proto::write_request(
+            &mut sock,
+            &Request::Put { tenant: "t".into(), transfer_id: 1, total_len: 10 },
+        )
+        .unwrap();
+        match proto::read_response(&mut sock).unwrap() {
+            Response::Accept { level_cap, .. } => assert_eq!(level_cap, 0),
+            other => panic!("expected accept, got {other:?}"),
+        }
+        drop(sock);
+        server.set_breaker(false);
+        assert!(!server.breaker_open());
+        let stats = server.shutdown();
+        assert_eq!(stats.breaker_trips, 1);
+    }
+
+    #[test]
+    fn pressure_probe_trips_breaker_with_hysteresis() {
+        let hot = Arc::new(AtomicBool::new(true));
+        let probe = {
+            let hot = Arc::clone(&hot);
+            Arc::new(move || if hot.load(Ordering::Relaxed) { 0.95 } else { 0.1 })
+                as Arc<dyn Fn() -> f64 + Send + Sync>
+        };
+        let mut cfg = test_config();
+        cfg.pressure_probe = Some(probe);
+        cfg.probe_interval = Duration::from_millis(10);
+        let server = Server::start(cfg).unwrap();
+        let wait = |want: bool| {
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while server.breaker_open() != want {
+                assert!(std::time::Instant::now() < deadline, "breaker never reached {want}");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        };
+        wait(true);
+        hot.store(false, Ordering::Relaxed);
+        wait(false);
+        server.shutdown();
+    }
+
+    #[test]
+    fn mid_stream_disconnect_resumes_from_verified_prefix() {
+        let server = Server::start(test_config()).unwrap();
+        let data = payload(2, 300_000);
+        // Attempt 1: stream roughly half the payload through a raw writer,
+        // then cut the connection. Small blocks so several frames land and
+        // get verified before the cut.
+        {
+            let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+            proto::write_request(
+                &mut sock,
+                &Request::Put {
+                    tenant: "t".into(),
+                    transfer_id: 9,
+                    total_len: data.len() as u64,
+                },
+            )
+            .unwrap();
+            match proto::read_response(&mut sock).unwrap() {
+                Response::Accept { start_offset: 0, .. } => {}
+                other => panic!("expected fresh accept, got {other:?}"),
+            }
+            use adcomp_codecs::LevelSet;
+            use adcomp_core::model::StaticModel;
+            use adcomp_core::stream::AdaptiveWriter;
+            use std::io::Write;
+            let levels = LevelSet::paper_default();
+            let n = levels.len();
+            let mut w = AdaptiveWriter::with_params(
+                sock.try_clone().unwrap(),
+                levels,
+                Box::new(StaticModel::new(0, n)),
+                8 * 1024,
+                2.0,
+                Box::new(adcomp_core::WallClock::new()),
+            );
+            w.write_all(&data[..150_000]).unwrap();
+            let (inner, _) = w.finish().unwrap();
+            drop(inner);
+            drop(sock); // abrupt close, no Done exchange
+        }
+        // Wait until the server notices the cut and frees the slot.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while server.active() > 0 {
+            assert!(std::time::Instant::now() < deadline, "cut stream never reaped");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let verified = server.verified_len("t", 9).unwrap();
+        assert!(verified > 0 && verified <= 150_000, "verified {verified}");
+        // Attempt 2: the real client resumes and completes.
+        let opts = PutOptions { tenant: "t".into(), transfer_id: 9, ..Default::default() };
+        let report = put(server.local_addr(), &data, &opts).unwrap();
+        assert!(report.resumed);
+        assert!(report.bytes_sent < data.len() as u64 + 1);
+        assert_eq!(server.payload("t", 9).unwrap(), data);
+        let stats = server.shutdown();
+        assert_eq!(stats.resumed, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn drain_waits_for_inflight_stream_without_truncation() {
+        let server = Server::start(test_config()).unwrap();
+        let data = payload(3, 120_000);
+        // Start a slow PUT on its own thread: handshake, then trickle.
+        let addr = server.local_addr();
+        let data_cl = data.clone();
+        let writer = std::thread::spawn(move || {
+            let mut sock = TcpStream::connect(addr).unwrap();
+            proto::write_request(
+                &mut sock,
+                &Request::Put {
+                    tenant: "slow".into(),
+                    transfer_id: 1,
+                    total_len: data_cl.len() as u64,
+                },
+            )
+            .unwrap();
+            match proto::read_response(&mut sock).unwrap() {
+                Response::Accept { .. } => {}
+                other => panic!("expected accept, got {other:?}"),
+            }
+            use adcomp_codecs::LevelSet;
+            use adcomp_core::model::StaticModel;
+            use adcomp_core::stream::AdaptiveWriter;
+            use std::io::Write;
+            let levels = LevelSet::paper_default();
+            let n = levels.len();
+            let mut w = AdaptiveWriter::with_params(
+                sock.try_clone().unwrap(),
+                levels,
+                Box::new(StaticModel::new(1, n)),
+                8 * 1024,
+                2.0,
+                Box::new(adcomp_core::WallClock::new()),
+            );
+            for chunk in data_cl.chunks(8 * 1024) {
+                w.write_all(chunk).unwrap();
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            w.finish().unwrap();
+            sock.shutdown(std::net::Shutdown::Write).unwrap();
+            proto::read_done(&mut sock).unwrap()
+        });
+        // Give the handshake a moment, then drain mid-stream.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.active() == 0 {
+            assert!(std::time::Instant::now() < deadline, "stream never admitted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.begin_drain();
+        // New PUTs are refused while the slow one keeps going.
+        let opts = PutOptions { tenant: "new".into(), transfer_id: 1, ..Default::default() };
+        assert!(put(addr, b"nope", &opts).is_err());
+        assert!(server.drain_and_wait(Duration::from_secs(30)), "drain timed out");
+        let done = writer.join().unwrap();
+        assert!(done.ok, "drained stream was truncated: {done:?}");
+        assert_eq!(done.verified, data.len() as u64);
+        assert_eq!(server.payload("slow", 1).unwrap(), data);
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.drained_transfers, 1);
+    }
+
+    #[test]
+    fn per_tenant_rate_cap_slows_ingest() {
+        let mut cfg = test_config();
+        cfg.tenant_rate_bps = Some(200_000.0); // 200 kB/s
+        let server = Server::start(cfg).unwrap();
+        let data = payload(4, 100_000);
+        let opts = PutOptions { tenant: "capped".into(), transfer_id: 1, ..Default::default() };
+        let t0 = std::time::Instant::now();
+        put(server.local_addr(), &data, &opts).unwrap();
+        let elapsed = t0.elapsed().as_secs_f64();
+        // 100 kB at 200 kB/s is >= 0.5 s of pacing debt; allow generous
+        // slack below that to stay robust on loaded CI machines, while
+        // still proving the throttle engaged at all.
+        assert!(elapsed > 0.2, "rate cap did not pace ingest ({elapsed:.3}s)");
+        assert_eq!(server.payload("capped", 1).unwrap(), data);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,369 @@
+//! The serve-mode wire protocol: a tiny fixed handshake around the
+//! self-describing adaptive frame stream.
+//!
+//! ```text
+//! client → server   request   "ACSV" ver kind [tenant_len tenant id total]
+//! server → client   response  status [start_offset level_cap]
+//! client → server   adaptive frame stream of payload[start_offset..], then
+//!                   TCP half-close (shutdown write)
+//! server → client   done      status verified crc32
+//! ```
+//!
+//! Everything is little-endian and length-prefixed; the handshake carries
+//! no compression parameters because frames are self-describing — the only
+//! negotiated value is `level_cap`, the circuit-breaker's degrade signal.
+//! `start_offset` is the server's count of *verified* application bytes
+//! for `(tenant, transfer_id)`, which is what makes reconnect-and-resume
+//! safe: a retrying client always continues from a clean, CRC-checked
+//! prefix, never from bytes that died in flight.
+//!
+//! Every control frame carries a CRC-32 trailer over its preceding bytes.
+//! The payload stream is already CRC-protected per frame, but an
+//! unprotected handshake would let a single flipped wire bit silently
+//! redirect a stream to the wrong `(tenant, transfer_id)` or forge a
+//! resume offset — the chaos proxy found exactly that. With the trailer,
+//! a damaged control frame is a typed `InvalidData` error (shed as
+//! `bad_request` server-side, a retryable transport error client-side),
+//! never a misrouted transfer.
+
+use adcomp_codecs::crc32::crc32;
+use std::io::{self, Read, Write};
+
+/// Request magic: "adcomp serve" v1.
+pub const MAGIC: [u8; 4] = *b"ACSV";
+/// Protocol version.
+pub const VERSION: u8 = 1;
+/// `level_cap` value meaning "no cap" (breaker closed).
+pub const NO_LEVEL_CAP: u8 = u8::MAX;
+/// Longest accepted tenant name, bytes.
+pub const MAX_TENANT: usize = 64;
+
+/// What a client asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Stream a transfer of `total_len` application bytes.
+    Put { tenant: String, transfer_id: u64, total_len: u64 },
+    /// Begin a graceful drain: stop admitting, finish in-flight streams.
+    Drain,
+}
+
+/// Why an admission was refused. `as_str` doubles as the
+/// `adcomp_serve_shed_total{reason=…}` label value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectReason {
+    /// Global connection budget exhausted.
+    Capacity = 1,
+    /// This tenant's quota exhausted (or the transfer is already being
+    /// streamed on another connection).
+    TenantQuota = 2,
+    /// The server is draining for shutdown.
+    Draining = 3,
+    /// Declared length above the server's per-transfer cap.
+    TooLarge = 4,
+    /// Malformed or incompatible handshake.
+    BadRequest = 5,
+}
+
+impl RejectReason {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::Capacity => "capacity",
+            RejectReason::TenantQuota => "tenant_quota",
+            RejectReason::Draining => "draining",
+            RejectReason::TooLarge => "too_large",
+            RejectReason::BadRequest => "bad_request",
+        }
+    }
+
+    fn from_code(code: u8) -> Option<RejectReason> {
+        Some(match code {
+            1 => RejectReason::Capacity,
+            2 => RejectReason::TenantQuota,
+            3 => RejectReason::Draining,
+            4 => RejectReason::TooLarge,
+            5 => RejectReason::BadRequest,
+            _ => return None,
+        })
+    }
+
+    /// Whether a client should retry after backoff (true) or give up
+    /// immediately (false: the request itself is unservable).
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            RejectReason::Capacity | RejectReason::TenantQuota | RejectReason::Draining
+        )
+    }
+}
+
+/// The server's admission verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// Admitted: stream from `start_offset`; keep the compression level at
+    /// or below `level_cap` ([`NO_LEVEL_CAP`] = uncapped). For a
+    /// [`Request::Drain`], `start_offset` carries the number of transfers
+    /// still in flight.
+    Accept { start_offset: u64, level_cap: u8 },
+    /// Refused, with the reason; the connection is then closed.
+    Reject { reason: RejectReason },
+}
+
+/// End-of-transfer receipt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Done {
+    /// Whether the server holds the complete, CRC-verified transfer.
+    pub ok: bool,
+    /// Verified application bytes held for the transfer.
+    pub verified: u64,
+    /// CRC-32 of the verified bytes.
+    pub crc: u32,
+}
+
+/// Appends the CRC-32 trailer and writes the frame.
+fn write_framed(w: &mut impl Write, mut buf: Vec<u8>) -> io::Result<()> {
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    w.write_all(&buf)
+}
+
+/// Reads `n` more bytes, appending them to `seen` (the CRC input).
+fn read_into(r: &mut impl Read, seen: &mut Vec<u8>, n: usize) -> io::Result<()> {
+    let at = seen.len();
+    seen.resize(at + n, 0);
+    r.read_exact(&mut seen[at..])
+}
+
+/// Reads and checks the 4-byte CRC trailer over `seen`.
+fn check_trailer(r: &mut impl Read, seen: &[u8]) -> io::Result<()> {
+    let mut trailer = [0u8; 4];
+    r.read_exact(&mut trailer)?;
+    if u32::from_le_bytes(trailer) != crc32(seen) {
+        return Err(bad("control frame failed CRC check"));
+    }
+    Ok(())
+}
+
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(32);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    match req {
+        Request::Put { tenant, transfer_id, total_len } => {
+            if tenant.len() > MAX_TENANT || tenant.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "tenant name must be 1..=64 bytes",
+                ));
+            }
+            buf.push(0);
+            buf.push(tenant.len() as u8);
+            buf.extend_from_slice(tenant.as_bytes());
+            buf.extend_from_slice(&transfer_id.to_le_bytes());
+            buf.extend_from_slice(&total_len.to_le_bytes());
+        }
+        Request::Drain => buf.push(1),
+    }
+    write_framed(w, buf)
+}
+
+pub fn read_request(r: &mut impl Read) -> io::Result<Request> {
+    let mut seen = Vec::with_capacity(40);
+    read_into(r, &mut seen, 6)?;
+    if seen[..4] != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    if seen[4] != VERSION {
+        return Err(bad("unsupported protocol version"));
+    }
+    match seen[5] {
+        0 => {
+            read_into(r, &mut seen, 1)?;
+            let len = seen[6] as usize;
+            if len == 0 || len > MAX_TENANT {
+                return Err(bad("tenant name must be 1..=64 bytes"));
+            }
+            read_into(r, &mut seen, len + 16)?;
+            check_trailer(r, &seen)?;
+            let tenant = String::from_utf8(seen[7..7 + len].to_vec())
+                .map_err(|_| bad("tenant not utf-8"))?;
+            let nums = &seen[7 + len..];
+            Ok(Request::Put {
+                tenant,
+                transfer_id: u64::from_le_bytes(nums[..8].try_into().unwrap()),
+                total_len: u64::from_le_bytes(nums[8..].try_into().unwrap()),
+            })
+        }
+        1 => {
+            check_trailer(r, &seen)?;
+            Ok(Request::Drain)
+        }
+        _ => Err(bad("unknown request kind")),
+    }
+}
+
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    match *resp {
+        Response::Accept { start_offset, level_cap } => {
+            let mut buf = vec![0u8; 10];
+            buf[1..9].copy_from_slice(&start_offset.to_le_bytes());
+            buf[9] = level_cap;
+            write_framed(w, buf)
+        }
+        Response::Reject { reason } => write_framed(w, vec![reason as u8]),
+    }
+}
+
+pub fn read_response(r: &mut impl Read) -> io::Result<Response> {
+    let mut seen = Vec::with_capacity(16);
+    read_into(r, &mut seen, 1)?;
+    if seen[0] == 0 {
+        read_into(r, &mut seen, 9)?;
+        check_trailer(r, &seen)?;
+        Ok(Response::Accept {
+            start_offset: u64::from_le_bytes(seen[1..9].try_into().unwrap()),
+            level_cap: seen[9],
+        })
+    } else {
+        let code = seen[0];
+        check_trailer(r, &seen)?;
+        let reason = RejectReason::from_code(code).ok_or_else(|| bad("unknown status"))?;
+        Ok(Response::Reject { reason })
+    }
+}
+
+pub fn write_done(w: &mut impl Write, done: &Done) -> io::Result<()> {
+    let mut buf = vec![0u8; 13];
+    buf[0] = u8::from(!done.ok);
+    buf[1..9].copy_from_slice(&done.verified.to_le_bytes());
+    buf[9..].copy_from_slice(&done.crc.to_le_bytes());
+    write_framed(w, buf)
+}
+
+pub fn read_done(r: &mut impl Read) -> io::Result<Done> {
+    let mut seen = Vec::with_capacity(20);
+    read_into(r, &mut seen, 13)?;
+    check_trailer(r, &seen)?;
+    if seen[0] > 1 {
+        return Err(bad("malformed done frame"));
+    }
+    Ok(Done {
+        ok: seen[0] == 0,
+        verified: u64::from_le_bytes(seen[1..9].try_into().unwrap()),
+        crc: u32::from_le_bytes(seen[9..13].try_into().unwrap()),
+    })
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_request_roundtrips() {
+        let req = Request::Put {
+            tenant: "tenant-a".to_string(),
+            transfer_id: 0xDEAD_BEEF_1234,
+            total_len: 1 << 30,
+        };
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        assert_eq!(read_request(&mut &wire[..]).unwrap(), req);
+    }
+
+    #[test]
+    fn drain_request_roundtrips() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &Request::Drain).unwrap();
+        assert_eq!(read_request(&mut &wire[..]).unwrap(), Request::Drain);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Accept { start_offset: 0, level_cap: NO_LEVEL_CAP },
+            Response::Accept { start_offset: 123_456, level_cap: 0 },
+            Response::Reject { reason: RejectReason::Capacity },
+            Response::Reject { reason: RejectReason::Draining },
+            Response::Reject { reason: RejectReason::TooLarge },
+        ] {
+            let mut wire = Vec::new();
+            write_response(&mut wire, &resp).unwrap();
+            assert_eq!(read_response(&mut &wire[..]).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn done_roundtrips() {
+        for done in [
+            Done { ok: true, verified: 999, crc: 0xCAFE_F00D },
+            Done { ok: false, verified: 0, crc: 0 },
+        ] {
+            let mut wire = Vec::new();
+            write_done(&mut wire, &done).unwrap();
+            assert_eq!(read_done(&mut &wire[..]).unwrap(), done);
+        }
+    }
+
+    #[test]
+    fn junk_is_rejected_not_panicked() {
+        assert!(read_request(&mut &b"GET / HTTP/1.0\r\n"[..]).is_err());
+        assert!(read_request(&mut &b"ACSV"[..]).is_err()); // truncated
+        assert!(read_request(&mut &[b'A', b'C', b'S', b'V', 9, 0][..]).is_err()); // bad version
+        assert!(read_response(&mut &[200u8][..]).is_err()); // unknown status
+        let mut long = vec![b'A', b'C', b'S', b'V', VERSION, 0, 255];
+        long.extend_from_slice(&[b'x'; 255]);
+        assert!(read_request(&mut &long[..]).is_err(), "overlong tenant accepted");
+    }
+
+    #[test]
+    fn any_single_byte_flip_in_a_control_frame_is_detected() {
+        // The soak's original failure mode: one flipped wire byte in the
+        // handshake redirecting a stream to the wrong key. Every control
+        // frame must reject every single-byte corruption (CRC-32 catches
+        // all bursts shorter than 32 bits).
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            &Request::Put { tenant: "tenant-0".into(), transfer_id: 58, total_len: 4716 },
+        )
+        .unwrap();
+        frames.push(std::mem::take(&mut wire));
+        write_request(&mut wire, &Request::Drain).unwrap();
+        frames.push(std::mem::take(&mut wire));
+        write_response(&mut wire, &Response::Accept { start_offset: 77, level_cap: 3 }).unwrap();
+        frames.push(std::mem::take(&mut wire));
+        write_response(&mut wire, &Response::Reject { reason: RejectReason::Capacity }).unwrap();
+        frames.push(std::mem::take(&mut wire));
+        write_done(&mut wire, &Done { ok: true, verified: 4716, crc: 0x1234_5678 }).unwrap();
+        frames.push(std::mem::take(&mut wire));
+        for (f, frame) in frames.iter().enumerate() {
+            for i in 0..frame.len() {
+                for flip in [0x01u8, 0x80, 0xFF] {
+                    let mut hurt = frame.clone();
+                    hurt[i] ^= flip;
+                    let r = &mut &hurt[..];
+                    let err = match f {
+                        0 | 1 => read_request(r).is_err(),
+                        2 | 3 => read_response(r).is_err(),
+                        _ => read_done(r).is_err(),
+                    };
+                    assert!(err, "frame {f}: flip {flip:#x} at byte {i} went undetected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retryability_matches_taxonomy() {
+        assert!(RejectReason::Capacity.is_retryable());
+        assert!(RejectReason::TenantQuota.is_retryable());
+        assert!(RejectReason::Draining.is_retryable());
+        assert!(!RejectReason::TooLarge.is_retryable());
+        assert!(!RejectReason::BadRequest.is_retryable());
+    }
+}

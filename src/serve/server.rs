@@ -1,0 +1,678 @@
+//! The `adcomp serve` daemon: a thread-per-connection TCP server where
+//! every accepted stream is decoded through its own [`AdaptiveReader`],
+//! with robustness as the design center.
+//!
+//! The overload model, end to end:
+//!
+//! * **Admission control** — a global stream budget and a per-tenant
+//!   quota, checked before any payload byte is read; refusals are typed
+//!   [`RejectReason`] frames, not silent drops, so clients can tell
+//!   "back off" from "give up".
+//! * **Load shedding** — when the handler population itself is flooded
+//!   (accepted-but-unadmitted connections), the accept loop drops new
+//!   sockets outright rather than spawning unbounded threads.
+//! * **Deadlines** — every socket read/write carries `io_timeout` (which
+//!   doubles as the idle timeout: a silent client trips it), and each
+//!   stream has an overall `max_stream_secs` wall budget against
+//!   slow-drip senders.
+//! * **Circuit breaker** — under shared CPU pressure (a pluggable probe,
+//!   or a manual trip) admissions carry `level_cap = 0`, degrading
+//!   tenants to RAW so the codec workers stop competing for the starved
+//!   CPU. Hysteresis keeps it from flapping.
+//! * **Graceful drain** — a drain request stops admissions (new PUTs get
+//!   [`RejectReason::Draining`]) while in-flight streams run to
+//!   completion; nothing accepted is ever truncated by shutdown.
+//! * **Resume** — the server persists the CRC-verified prefix of every
+//!   transfer keyed `(tenant, transfer_id)`; a reconnecting client is
+//!   told where to continue, which is what makes completed transfers
+//!   byte-identical by construction even on a hostile wire.
+
+use super::proto::{
+    read_request, write_done, write_response, Done, RejectReason, Request, Response, NO_LEVEL_CAP,
+};
+use adcomp_codecs::crc32::{crc32, Hasher};
+use adcomp_codecs::frame::RecoveryPolicy;
+use adcomp_core::stream::AdaptiveReader;
+use adcomp_core::{SharedThrottle, ThrottledReader};
+use adcomp_metrics::registry::{self, CounterKind, GaugeKind, LabelFamily, MetricsRegistry};
+use adcomp_trace::events::{ServerEvent, NO_EPOCH};
+use adcomp_trace::{TraceEvent, TraceHandle, TraceSink};
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning for one daemon instance.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Listen address (`"127.0.0.1:0"` picks a free port).
+    pub addr: String,
+    /// Global cap on concurrently admitted streams.
+    pub max_streams: usize,
+    /// Per-tenant cap on concurrently admitted streams.
+    pub per_tenant_streams: usize,
+    /// Largest accepted transfer, application bytes.
+    pub max_transfer_bytes: u64,
+    /// Per-read/write socket deadline; also the idle timeout.
+    pub io_timeout: Duration,
+    /// Overall wall budget per stream (slow-drip guard).
+    pub max_stream_secs: f64,
+    /// Per-tenant ingest bandwidth cap, bytes/s (`None` = uncapped).
+    pub tenant_rate_bps: Option<f64>,
+    /// Retain received payloads in memory (tests / verification).
+    pub keep_payloads: bool,
+    /// Frame-stream recovery policy for the per-connection reader.
+    /// Fail-fast is the correct default here: the verified prefix must
+    /// stay gap-free for resume to be byte-accurate.
+    pub recovery: RecoveryPolicy,
+    /// CPU pressure (0..1) at which the breaker opens.
+    pub breaker_threshold: f64,
+    /// Pressure sampler; `None` disables the automatic breaker (the
+    /// manual [`Server::set_breaker`] still works).
+    pub pressure_probe: Option<Arc<dyn Fn() -> f64 + Send + Sync>>,
+    /// How often the breaker samples the probe.
+    pub probe_interval: Duration,
+    /// Trace sink for `server` events (disabled by default).
+    pub trace: TraceHandle,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_streams: 64,
+            per_tenant_streams: 8,
+            max_transfer_bytes: 1 << 30,
+            io_timeout: Duration::from_secs(5),
+            max_stream_secs: 600.0,
+            tenant_rate_bps: None,
+            keep_payloads: false,
+            recovery: RecoveryPolicy::fail_fast(),
+            breaker_threshold: 0.9,
+            pressure_probe: None,
+            probe_interval: Duration::from_millis(250),
+            trace: TraceHandle::disabled(),
+        }
+    }
+}
+
+/// Server-local robustness counters (mirrored into the global metrics
+/// registry when one is installed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    pub accepted: u64,
+    pub completed: u64,
+    pub resumed: u64,
+    pub shed: u64,
+    pub timeouts: u64,
+    pub aborts: u64,
+    pub drained_transfers: u64,
+    pub breaker_trips: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    resumed: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    aborts: AtomicU64,
+    drained_transfers: AtomicU64,
+    breaker_trips: AtomicU64,
+}
+
+/// State of one transfer `(tenant, transfer_id)`: the verified prefix.
+struct Transfer {
+    verified: u64,
+    total: u64,
+    crc: Hasher,
+    data: Option<Vec<u8>>,
+    completed: bool,
+    /// A connection is currently streaming this transfer; a duplicate
+    /// gets rejected instead of corrupting the prefix.
+    busy: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    stop: AtomicBool,
+    draining: AtomicBool,
+    active_streams: AtomicU64,
+    live_conns: AtomicU64,
+    tenant_active: Mutex<HashMap<String, u64>>,
+    tenant_throttles: Mutex<HashMap<String, SharedThrottle>>,
+    transfers: Mutex<HashMap<(String, u64), Transfer>>,
+    breaker_open: AtomicBool,
+    counters: Counters,
+    start: Instant,
+}
+
+impl Shared {
+    fn metric(&self, f: impl FnOnce(&MetricsRegistry)) {
+        if let Some(m) = registry::global() {
+            f(m);
+        }
+    }
+
+    fn event(&self, kind: &'static str, tenant: u64, bytes: u64, detail: u64) {
+        if self.cfg.trace.enabled() {
+            self.cfg.trace.emit(&TraceEvent::Server(ServerEvent {
+                epoch: NO_EPOCH,
+                t: self.start.elapsed().as_secs_f64(),
+                kind,
+                tenant,
+                bytes,
+                detail,
+            }));
+        }
+    }
+
+    fn shed(&self, reason: RejectReason, tenant: u64) {
+        self.counters.shed.fetch_add(1, Ordering::Relaxed);
+        self.metric(|m| m.label_count(LabelFamily::ShedReason, reason.as_str(), 1));
+        self.event("reject", tenant, 0, reason as u64);
+    }
+
+    fn open_breaker(&self, open: bool) {
+        let was = self.breaker_open.swap(open, Ordering::AcqRel);
+        if open && !was {
+            self.counters.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            self.metric(|m| {
+                m.counter_add(CounterKind::BreakerTrips, 1);
+                m.gauge_set(GaugeKind::BreakerOpen, 1);
+            });
+            self.event("breaker_open", 0, 0, 0);
+        } else if !open && was {
+            self.metric(|m| m.gauge_set(GaugeKind::BreakerOpen, 0));
+            self.event("breaker_close", 0, 0, 0);
+        }
+    }
+}
+
+/// A running daemon. [`Server::shutdown`] (or drop) stops the accept loop
+/// and joins every thread; [`Server::begin_drain`] +
+/// [`Server::drain_and_wait`] is the graceful path.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+    breaker: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            active_streams: AtomicU64::new(0),
+            live_conns: AtomicU64::new(0),
+            tenant_active: Mutex::default(),
+            tenant_throttles: Mutex::default(),
+            transfers: Mutex::default(),
+            breaker_open: AtomicBool::new(false),
+            counters: Counters::default(),
+            start: Instant::now(),
+        });
+        let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+
+        let breaker = match shared.cfg.pressure_probe.clone() {
+            None => None,
+            Some(probe) => {
+                let s = Arc::clone(&shared);
+                Some(std::thread::Builder::new().name("adcomp-serve-breaker".into()).spawn(
+                    move || {
+                        while !s.stop.load(Ordering::Acquire) {
+                            let pressure = probe();
+                            if pressure >= s.cfg.breaker_threshold {
+                                s.open_breaker(true);
+                            } else if pressure < s.cfg.breaker_threshold * 0.8 {
+                                // Hysteresis: close only well below the trip
+                                // point so a noisy probe cannot flap it.
+                                s.open_breaker(false);
+                            }
+                            std::thread::sleep(s.cfg.probe_interval);
+                        }
+                    },
+                )?)
+            }
+        };
+
+        let (s, hs) = (Arc::clone(&shared), Arc::clone(&handlers));
+        let accept = std::thread::Builder::new().name("adcomp-serve-accept".into()).spawn(
+            move || {
+                for conn in listener.incoming() {
+                    if s.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(sock) = conn else { continue };
+                    // Bounded accept queue: if the handler population is
+                    // already double the stream budget, every pre-admission
+                    // slot is taken by connections we have not even been
+                    // able to read a request from — shed at the door.
+                    let flood_cap = (s.cfg.max_streams as u64) * 2 + 16;
+                    if s.live_conns.load(Ordering::Acquire) >= flood_cap {
+                        s.shed(RejectReason::Capacity, 0);
+                        drop(sock);
+                        continue;
+                    }
+                    s.live_conns.fetch_add(1, Ordering::AcqRel);
+                    let sh = Arc::clone(&s);
+                    match std::thread::Builder::new()
+                        .name("adcomp-serve-conn".into())
+                        .spawn(move || {
+                            handle_conn(&sh, sock);
+                            sh.live_conns.fetch_sub(1, Ordering::AcqRel);
+                        }) {
+                        Ok(h) => {
+                            let mut v = hs.lock().expect("handlers poisoned");
+                            // Reap finished handlers so the vector stays
+                            // bounded over a long-lived daemon.
+                            v.retain(|h| !h.is_finished());
+                            v.push(h);
+                        }
+                        Err(_) => {
+                            s.live_conns.fetch_sub(1, Ordering::AcqRel);
+                        }
+                    }
+                }
+            },
+        )?;
+        Ok(Server { shared, local_addr, accept: Some(accept), breaker, handlers })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Admitted streams currently in flight.
+    pub fn active(&self) -> u64 {
+        self.shared.active_streams.load(Ordering::Acquire)
+    }
+
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    pub fn breaker_open(&self) -> bool {
+        self.shared.breaker_open.load(Ordering::Acquire)
+    }
+
+    /// Manually trips (or closes) the circuit breaker.
+    pub fn set_breaker(&self, open: bool) {
+        self.shared.open_breaker(open);
+    }
+
+    /// Server-local robustness counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
+        ServeStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            resumed: c.resumed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            aborts: c.aborts.load(Ordering::Relaxed),
+            drained_transfers: c.drained_transfers.load(Ordering::Relaxed),
+            breaker_trips: c.breaker_trips.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Verified prefix length of a transfer, if known.
+    pub fn verified_len(&self, tenant: &str, transfer_id: u64) -> Option<u64> {
+        let transfers = self.shared.transfers.lock().expect("transfers poisoned");
+        transfers.get(&(tenant.to_string(), transfer_id)).map(|t| t.verified)
+    }
+
+    /// The received payload of a transfer (only with
+    /// [`ServeConfig::keep_payloads`]).
+    pub fn payload(&self, tenant: &str, transfer_id: u64) -> Option<Vec<u8>> {
+        let transfers = self.shared.transfers.lock().expect("transfers poisoned");
+        transfers.get(&(tenant.to_string(), transfer_id)).and_then(|t| t.data.clone())
+    }
+
+    /// Whether a transfer has been received completely and CRC-verified.
+    pub fn is_completed(&self, tenant: &str, transfer_id: u64) -> bool {
+        let transfers = self.shared.transfers.lock().expect("transfers poisoned");
+        transfers.get(&(tenant.to_string(), transfer_id)).is_some_and(|t| t.completed)
+    }
+
+    /// Starts a graceful drain: new PUTs are rejected with
+    /// [`RejectReason::Draining`]; in-flight streams keep running.
+    pub fn begin_drain(&self) {
+        if !self.shared.draining.swap(true, Ordering::AcqRel) {
+            self.shared.metric(|m| m.counter_add(CounterKind::ServeDrains, 1));
+            self.shared.event("drain_begin", 0, 0, self.active());
+        }
+    }
+
+    /// Waits until every in-flight stream finished, or `deadline` passes.
+    /// Returns true when fully drained.
+    pub fn drain_and_wait(&self, deadline: Duration) -> bool {
+        self.begin_drain();
+        let until = Instant::now() + deadline;
+        while self.active() > 0 {
+            if Instant::now() >= until {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.shared.event("drain_done", 0, 0, 0);
+        true
+    }
+
+    /// Stops the accept loop, tears everything down and joins all threads.
+    /// Call [`Server::drain_and_wait`] first for a graceful exit; without
+    /// it, in-flight streams are aborted (their verified prefixes are
+    /// kept, so resume still works).
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.shared.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.breaker.take() {
+            let _ = t.join();
+        }
+        let handles = std::mem::take(&mut *self.handlers.lock().expect("handlers poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Undoes one stream admission on every exit path (including panics in
+/// the handler body).
+struct StreamGuard<'a> {
+    shared: &'a Shared,
+    tenant: String,
+    transfer_id: u64,
+}
+
+impl Drop for StreamGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.active_streams.fetch_sub(1, Ordering::AcqRel);
+        self.shared.metric(|m| m.gauge_add(GaugeKind::ServeActiveConns, -1));
+        let mut tenants = self.shared.tenant_active.lock().expect("tenants poisoned");
+        if let Some(n) = tenants.get_mut(&self.tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                tenants.remove(&self.tenant);
+            }
+        }
+        drop(tenants);
+        let mut transfers = self.shared.transfers.lock().expect("transfers poisoned");
+        if let Some(t) = transfers.get_mut(&(self.tenant.clone(), self.transfer_id)) {
+            t.busy = false;
+        }
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, mut sock: TcpStream) {
+    let _ = sock.set_nodelay(true);
+    let _ = sock.set_read_timeout(Some(shared.cfg.io_timeout));
+    let _ = sock.set_write_timeout(Some(shared.cfg.io_timeout));
+    let req = match read_request(&mut sock) {
+        Ok(r) => r,
+        Err(_) => {
+            // Malformed, stalled, or not our protocol: one typed reject,
+            // then the door.
+            shared.shed(RejectReason::BadRequest, 0);
+            let _ =
+                write_response(&mut sock, &Response::Reject { reason: RejectReason::BadRequest });
+            // Drain whatever else the client sent before closing: closing
+            // with unread bytes in the receive buffer turns the close into
+            // a RST, which can discard the reject frame in flight. Bounded
+            // by the socket read timeout.
+            let _ = sock.shutdown(Shutdown::Write);
+            let mut scratch = [0u8; 1024];
+            while matches!(sock.read(&mut scratch), Ok(n) if n > 0) {}
+            return;
+        }
+    };
+    match req {
+        Request::Drain => {
+            let active = shared.active_streams.load(Ordering::Acquire);
+            if !shared.draining.swap(true, Ordering::AcqRel) {
+                shared.metric(|m| m.counter_add(CounterKind::ServeDrains, 1));
+                shared.event("drain_begin", 0, 0, active);
+            }
+            let _ = write_response(
+                &mut sock,
+                &Response::Accept { start_offset: active, level_cap: 0 },
+            );
+        }
+        Request::Put { tenant, transfer_id, total_len } => {
+            handle_put(shared, sock, tenant, transfer_id, total_len);
+        }
+    }
+}
+
+fn handle_put(
+    shared: &Arc<Shared>,
+    mut sock: TcpStream,
+    tenant: String,
+    transfer_id: u64,
+    total_len: u64,
+) {
+    let tenant_id = ServerEvent::tenant_id(&tenant);
+    let reject = |reason: RejectReason, mut sock: TcpStream| {
+        shared.shed(reason, tenant_id);
+        let _ = write_response(&mut sock, &Response::Reject { reason });
+    };
+    if shared.draining.load(Ordering::Acquire) {
+        return reject(RejectReason::Draining, sock);
+    }
+    if total_len > shared.cfg.max_transfer_bytes {
+        return reject(RejectReason::TooLarge, sock);
+    }
+    // Global budget: reserve optimistically, roll back on refusal so the
+    // check-and-increment is race-free.
+    let prev = shared.active_streams.fetch_add(1, Ordering::AcqRel);
+    if prev >= shared.cfg.max_streams as u64 {
+        shared.active_streams.fetch_sub(1, Ordering::AcqRel);
+        return reject(RejectReason::Capacity, sock);
+    }
+    {
+        let mut tenants = shared.tenant_active.lock().expect("tenants poisoned");
+        let n = tenants.entry(tenant.clone()).or_insert(0);
+        if *n >= shared.cfg.per_tenant_streams as u64 {
+            drop(tenants);
+            shared.active_streams.fetch_sub(1, Ordering::AcqRel);
+            return reject(RejectReason::TenantQuota, sock);
+        }
+        *n += 1;
+    }
+    // Transfer table: find the verified prefix; refuse concurrent writers
+    // on the same transfer (the prefix must stay single-writer).
+    let start = {
+        let mut transfers = shared.transfers.lock().expect("transfers poisoned");
+        let t = transfers.entry((tenant.clone(), transfer_id)).or_insert_with(|| Transfer {
+            verified: 0,
+            total: total_len,
+            crc: Hasher::new(),
+            data: shared.cfg.keep_payloads.then(Vec::new),
+            completed: false,
+            busy: false,
+        });
+        if t.busy || t.total != total_len {
+            drop(transfers);
+            // Roll the tenant slot back too before refusing.
+            let mut tenants = shared.tenant_active.lock().expect("tenants poisoned");
+            if let Some(n) = tenants.get_mut(&tenant) {
+                *n = n.saturating_sub(1);
+            }
+            drop(tenants);
+            shared.active_streams.fetch_sub(1, Ordering::AcqRel);
+            return reject(RejectReason::TenantQuota, sock);
+        }
+        t.busy = true;
+        t.verified
+    };
+    // From here on the guard owns the rollback of all three reservations.
+    let guard = StreamGuard { shared, tenant: tenant.clone(), transfer_id };
+    shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+    shared.metric(|m| {
+        m.counter_add(CounterKind::ServeAccepted, 1);
+        m.gauge_add(GaugeKind::ServeActiveConns, 1);
+        m.gauge_max(GaugeKind::ServeActiveConnsMax, shared.active_streams.load(Ordering::Acquire) as i64);
+    });
+    if start > 0 && start < total_len {
+        shared.counters.resumed.fetch_add(1, Ordering::Relaxed);
+        shared.metric(|m| m.counter_add(CounterKind::ServeResumes, 1));
+        shared.event("resume", tenant_id, start, transfer_id);
+    }
+    shared.event("accept", tenant_id, total_len, transfer_id);
+    let level_cap =
+        if shared.breaker_open.load(Ordering::Acquire) { 0 } else { NO_LEVEL_CAP };
+    if write_response(&mut sock, &Response::Accept { start_offset: start, level_cap }).is_err() {
+        shared.counters.aborts.fetch_add(1, Ordering::Relaxed);
+        return; // guard rolls back
+    }
+
+    // Ingest loop: decode the adaptive stream, folding each verified chunk
+    // into the transfer record immediately so an abort anywhere still
+    // leaves a resumable, CRC-clean prefix.
+    let read_sock = match sock.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            shared.counters.aborts.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let throttled: Box<dyn Read + Send> = match shared.cfg.tenant_rate_bps {
+        Some(bps) => {
+            let throttle = {
+                let mut throttles =
+                    shared.tenant_throttles.lock().expect("throttles poisoned");
+                throttles.entry(tenant.clone()).or_insert_with(|| SharedThrottle::new(bps)).clone()
+            };
+            Box::new(ThrottledReader::new(read_sock, throttle))
+        }
+        None => Box::new(read_sock),
+    };
+    let mut reader = AdaptiveReader::with_policy(throttled, shared.cfg.recovery);
+    let deadline = Instant::now() + Duration::from_secs_f64(shared.cfg.max_stream_secs);
+    let mut buf = [0u8; 16 * 1024];
+    let key = (tenant.clone(), transfer_id);
+    enum StreamEnd {
+        Eof,
+        Stop,
+        Timeout,
+        Damage,
+    }
+    let end = loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break StreamEnd::Stop;
+        }
+        if Instant::now() >= deadline {
+            // Wall budget exhausted: slow-drip guard.
+            break StreamEnd::Timeout;
+        }
+        match reader.read(&mut buf) {
+            Ok(0) => break StreamEnd::Eof,
+            Ok(n) => {
+                let mut transfers = shared.transfers.lock().expect("transfers poisoned");
+                let t = transfers.get_mut(&key).expect("busy transfer vanished");
+                if t.verified + n as u64 > total_len {
+                    // More bytes than declared: protocol violation.
+                    break StreamEnd::Damage;
+                }
+                t.crc.update(&buf[..n]);
+                t.verified += n as u64;
+                if let Some(data) = t.data.as_mut() {
+                    data.extend_from_slice(&buf[..n]);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle timeout: the socket went silent for io_timeout.
+                break StreamEnd::Timeout;
+            }
+            // Stream damage (corrupt frame under fail-fast, reset, …).
+            Err(_) => break StreamEnd::Damage,
+        }
+    };
+    // Surface the frame layer's recovery counters however the stream
+    // ended — with a skip-and-count policy they record survived faults.
+    let rec = reader.recovery();
+    shared.metric(|m| {
+        m.counter_add(CounterKind::RecoveryCorruptFrames, rec.corrupt_frames);
+        m.counter_add(CounterKind::RecoveryResyncs, rec.resyncs);
+        m.counter_add(CounterKind::RecoveryRetries, rec.retries);
+        m.counter_add(CounterKind::RecoverySkippedBytes, rec.skipped_bytes);
+        m.counter_add(CounterKind::RecoveryTruncations, rec.truncations);
+    });
+    match end {
+        StreamEnd::Eof => {}
+        StreamEnd::Stop => {
+            shared.counters.aborts.fetch_add(1, Ordering::Relaxed);
+            shared.event("abort", tenant_id, 0, transfer_id);
+            return;
+        }
+        StreamEnd::Timeout => {
+            shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            shared.metric(|m| m.counter_add(CounterKind::ServeTimeouts, 1));
+            shared.event("timeout", tenant_id, 0, transfer_id);
+            return;
+        }
+        StreamEnd::Damage => {
+            shared.counters.aborts.fetch_add(1, Ordering::Relaxed);
+            shared.metric(|m| m.counter_add(CounterKind::ServeAborts, 1));
+            shared.event("abort", tenant_id, 0, transfer_id);
+            return;
+        }
+    }
+
+    // Clean EOF. Complete only when the whole declared length is verified;
+    // a short-but-clean close keeps the prefix for a later resume.
+    let (verified, crc, complete) = {
+        let mut transfers = shared.transfers.lock().expect("transfers poisoned");
+        let t = transfers.get_mut(&key).expect("busy transfer vanished");
+        let complete = t.verified == total_len;
+        if complete {
+            t.completed = true;
+        }
+        (t.verified, t.crc.finish(), complete)
+    };
+    let _ = write_done(&mut sock, &Done { ok: complete, verified, crc });
+    let _ = sock.shutdown(Shutdown::Write);
+    if complete {
+        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        shared.metric(|m| m.counter_add(CounterKind::ServeCompleted, 1));
+        shared.event("done", tenant_id, verified, transfer_id);
+        if shared.draining.load(Ordering::Acquire) {
+            shared.counters.drained_transfers.fetch_add(1, Ordering::Relaxed);
+            shared.metric(|m| m.counter_add(CounterKind::ServeDrainedTransfers, 1));
+        }
+    }
+    drop(guard);
+}
+
+/// Convenience for tests: CRC-32 of a payload, re-exported so callers
+/// don't need the codecs crate in scope.
+pub fn payload_crc(payload: &[u8]) -> u32 {
+    crc32(payload)
+}
