@@ -1,0 +1,254 @@
+//! SEEK — seekable-container random-access bench and scaling check.
+//!
+//! Builds seekable streams (MEDIUM level, MODERATE corpus, 64 KiB blocks,
+//! index trailer) at 1x, 2x, 4x and 8x a base size, then measures through
+//! an [`IndexedReader`] over an in-memory cursor:
+//!
+//! * `middle_fetch` — latency of a 64 KiB ranged read starting at the
+//!   middle of the stream. With the block index this touches only the
+//!   covering frames, so the latency must stay flat as the stream grows.
+//! * `full_decode` — front-to-back decode of the whole stream, the cost a
+//!   reader without an index pays for any byte. Grows linearly with size.
+//!
+//! The run fails (exit 1) when the scaling contract breaks: middle-fetch
+//! latency at 8x more than 3x the 1x latency, or full-decode time at 8x
+//! under 3x the 1x time — i.e. when random access stops being O(covering
+//! blocks) or the linear yardstick it is measured against disappears.
+//!
+//! Every timed run is also a correctness check: ranged reads are compared
+//! byte for byte against the source slice, serially and with pooled
+//! decode workers. `--smoke` runs only those checks on a pinned seed (the
+//! CI gate); `--quick` shrinks the corpus.
+//!
+//! Run: `cargo run --release -p adcomp-bench --bin seek_bench [--quick]`
+//! Appends one ledger row per (scenario, size) to `BENCH_seek.json`
+//! (override with `--out <path>` or `ADCOMP_BENCH_JSON`; set provenance
+//! with `--label <label>`, pin gate baselines with `--baseline`).
+//! `bench_gate --ledger BENCH_seek.json` compares newest rows against the
+//! pinned baselines.
+
+use adcomp_bench::ledger::{host_fields, today, Ledger, Row};
+use adcomp_core::model::StaticModel;
+use adcomp_core::stream::AdaptiveWriter;
+use adcomp_core::{IndexedReader, ManualClock};
+use adcomp_corpus::{generate, Class};
+use std::io::{Cursor, Write};
+use std::time::Instant;
+
+const MEDIUM_LEVEL: usize = 2;
+const SEED: u64 = 0x5EEC;
+const BLOCK: usize = 64 * 1024;
+const RANGE: u64 = 64 * 1024;
+
+/// Compresses `data` into a seekable wire stream (index trailer appended).
+fn seekable_wire(data: &[u8]) -> Vec<u8> {
+    let mut w = AdaptiveWriter::with_params(
+        Vec::new(),
+        adcomp_codecs::LevelSet::paper_default(),
+        Box::new(StaticModel::new(MEDIUM_LEVEL, 4)),
+        BLOCK,
+        60.0,
+        Box::new(ManualClock::new()),
+    );
+    w.set_seekable(true);
+    for chunk in data.chunks(BLOCK) {
+        w.write_all(chunk).unwrap();
+    }
+    let (wire, _) = w.finish().unwrap();
+    wire
+}
+
+/// Median latency of `reps` middle-range fetches through one steady-state
+/// reader (recycled buffers after the first call).
+fn middle_fetch_secs(reader: &mut IndexedReader<Cursor<&[u8]>>, total: u64, reps: usize) -> f64 {
+    let start_off = total / 2;
+    let mut out = Vec::new();
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        out.clear();
+        let t = Instant::now();
+        let n = reader.read_range(start_off, RANGE, &mut out).unwrap();
+        times.push(t.elapsed().as_secs_f64());
+        assert_eq!(n as u64, RANGE.min(total - start_off));
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[reps / 2]
+}
+
+/// Median time of a front-to-back decode of the whole stream.
+fn full_decode_secs(wire: &[u8], total: u64, reps: usize) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut reader = IndexedReader::open(Cursor::new(wire)).unwrap();
+        let mut out = Vec::new();
+        let t = Instant::now();
+        let n = reader.read_range(0, total, &mut out).unwrap();
+        times.push(t.elapsed().as_secs_f64());
+        assert_eq!(n as u64, total);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[reps / 2]
+}
+
+/// Ranged reads must match the source slice exactly, serially and with
+/// pooled decode workers. Returns false (after reporting) on any mismatch.
+fn equivalence_check(data: &[u8], wire: &[u8]) -> bool {
+    let total = data.len() as u64;
+    let ranges = [
+        (0u64, RANGE),
+        (total / 3, 3 * RANGE + 17),
+        (total / 2 - 1, 2),
+        (total.saturating_sub(RANGE / 2), RANGE),
+        (0, total),
+    ];
+    let mut ok = true;
+    for workers in [1usize, 4] {
+        let mut reader = IndexedReader::open(Cursor::new(wire)).unwrap();
+        if workers > 1 {
+            reader.set_pipeline_workers(workers);
+        }
+        if !reader.is_indexed() {
+            eprintln!("DIVERGED: stream lost its index");
+            return false;
+        }
+        for &(start, len) in &ranges {
+            let mut out = Vec::new();
+            let n = reader.read_range(start, len, &mut out).unwrap();
+            let lo = (start as usize).min(data.len());
+            let hi = (start + len).min(total) as usize;
+            if out != data[lo..hi] || n != hi - lo {
+                eprintln!(
+                    "DIVERGED: workers={workers} range [{start}, {})", start + len
+                );
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let quick = args.iter().any(|a| a == "--quick") || smoke;
+    let baseline = args.iter().any(|a| a == "--baseline");
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out")
+        .or_else(|| std::env::var("ADCOMP_BENCH_JSON").ok())
+        .unwrap_or_else(|| "BENCH_seek.json".to_string());
+    let label = flag("--label").unwrap_or_else(|| "local".to_string());
+
+    let base = if quick { 1 << 20 } else { 4 << 20 };
+    let scales = [1usize, 2, 4, 8];
+
+    if smoke {
+        let data = generate(Class::Moderate, base, SEED);
+        let wire = seekable_wire(&data);
+        if equivalence_check(&data, &wire) {
+            println!(
+                "seek smoke OK: ranged reads byte-identical to source for 1 and 4 workers \
+                 ({} app bytes, {} wire bytes)",
+                data.len(),
+                wire.len()
+            );
+            return;
+        }
+        std::process::exit(1);
+    }
+
+    let fetch_reps = if quick { 64 } else { 256 };
+    let decode_reps = if quick { 3 } else { 5 };
+    let date = today();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut fetch_secs = Vec::new();
+    let mut decode_secs = Vec::new();
+    for &scale in &scales {
+        let len = base * scale;
+        let data = generate(Class::Moderate, len, SEED ^ scale as u64);
+        let wire = seekable_wire(&data);
+        if !equivalence_check(&data, &wire) {
+            std::process::exit(1);
+        }
+        let total = len as u64;
+        let mut reader = IndexedReader::open(Cursor::new(wire.as_slice())).unwrap();
+        let t_fetch = middle_fetch_secs(&mut reader, total, fetch_reps);
+        let t_full = full_decode_secs(&wire, total, decode_reps);
+        fetch_secs.push(t_fetch);
+        decode_secs.push(t_full);
+        let note = format!("app_len={len} wire_bytes={} block={BLOCK}", wire.len());
+        rows.push(Row {
+            date: date.clone(),
+            label: label.clone(),
+            bench: format!("seek/middle_fetch/{scale}x"),
+            mbps: (RANGE as f64 / t_fetch) / 1e6,
+            ns_per_iter: Some(t_fetch * 1e9),
+            secs: None,
+            baseline,
+            note: Some(note.clone()),
+        });
+        rows.push(Row {
+            date: date.clone(),
+            label: label.clone(),
+            bench: format!("seek/full_decode/{scale}x"),
+            mbps: (len as f64 / t_full) / 1e6,
+            ns_per_iter: None,
+            secs: Some(t_full),
+            baseline,
+            note: Some(note),
+        });
+    }
+    for r in &rows {
+        println!("{:<24} {:>9.2} MB/s", r.bench, r.mbps);
+    }
+    let fetch_growth = fetch_secs[3] / fetch_secs[0];
+    let decode_growth = decode_secs[3] / decode_secs[0];
+    println!(
+        "1x -> 8x growth: middle_fetch {fetch_growth:.2}x (flat wanted), \
+         full_decode {decode_growth:.2}x (linear wanted)"
+    );
+
+    let path = std::path::Path::new(&out_path);
+    let mut ledger = if path.exists() {
+        Ledger::load(path).unwrap_or_else(|e| {
+            eprintln!("cannot load ledger: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        Ledger::new(
+            "Seekable-container random-access ledger (MEDIUM level, MODERATE corpus, 64 KiB \
+             blocks, index trailer). middle_fetch is the median latency of a 64 KiB ranged \
+             read at the middle of a 1x/2x/4x/8x stream through the block index — it must \
+             stay flat as the stream grows; full_decode is the front-to-back decode of the \
+             whole stream and grows linearly. Every run checks ranged reads byte-identical \
+             to the source for 1 and 4 decode workers. Rows with baseline=true pin the \
+             bench_gate reference. Append: cargo run --release -p adcomp-bench --bin \
+             seek_bench -- --label <label>.",
+            host_fields(),
+        )
+    };
+    ledger.rows.extend(rows);
+    ledger.lint().unwrap_or_else(|e| {
+        eprintln!("refusing to write a ledger that fails lint: {e}");
+        std::process::exit(1);
+    });
+    ledger.save(path).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    eprintln!("appended {} rows to {out_path}", 2 * scales.len());
+
+    // The scaling contract the ledger exists to witness.
+    if fetch_growth > 3.0 {
+        eprintln!("FAIL: middle-fetch latency grew {fetch_growth:.2}x from 1x to 8x (not flat)");
+        std::process::exit(1);
+    }
+    if decode_growth < 3.0 {
+        eprintln!(
+            "FAIL: full decode grew only {decode_growth:.2}x from 1x to 8x — the linear \
+             yardstick is broken (did the bench stop decoding everything?)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -12,7 +12,8 @@
 //! 0   u8  magic0 = 0xAD
 //! 1   u8  magic1 = 0xC2
 //! 2   u8  codec id           (CodecId on the wire; Raw if fallback hit)
-//! 3   u8  flags              (bit 0: raw fallback — compression expanded)
+//! 3   u8  flags              (bit 0: raw fallback — compression expanded;
+//!                             bit 1: record-aligned; bit 2: index trailer)
 //! 4   u32 uncompressed length
 //! 8   u32 payload length
 //! 12  u32 CRC-32 of payload
@@ -37,6 +38,11 @@ pub const FLAG_RAW_FALLBACK: u8 = 0b0000_0001;
 /// Set by record-aligned writers so a reader that dropped a corrupt block
 /// can resynchronize its record framing at the next aligned block.
 pub const FLAG_RECORD_ALIGNED: u8 = 0b0000_0010;
+/// Flag: metadata frame carrying the seekable-stream block index (see
+/// [`crate::seek`]). Index frames declare `uncompressed_len = 0` and
+/// contribute no application bytes; streaming readers CRC-validate and
+/// skip them.
+pub const FLAG_INDEX: u8 = 0b0000_0100;
 /// Default decompression-bomb guard: a frame header may not declare an
 /// `uncompressed_len` or `payload_len` above this, checked *before* any
 /// allocation. Generous (blocks in this workspace are ≤ 128 KiB) so that
@@ -64,6 +70,9 @@ pub struct FrameHeader {
     /// ([`FLAG_RECORD_ALIGNED`]). Always `false` unless a record-aligned
     /// writer produced the stream.
     pub record_aligned: bool,
+    /// Metadata frame carrying the stream's block index ([`FLAG_INDEX`]);
+    /// carries no application bytes.
+    pub index: bool,
     pub uncompressed_len: u32,
     pub payload_len: u32,
     pub crc: u32,
@@ -77,7 +86,8 @@ impl FrameHeader {
         b[1] = MAGIC[1];
         b[2] = self.codec as u8;
         b[3] = if self.raw_fallback { FLAG_RAW_FALLBACK } else { 0 }
-            | if self.record_aligned { FLAG_RECORD_ALIGNED } else { 0 };
+            | if self.record_aligned { FLAG_RECORD_ALIGNED } else { 0 }
+            | if self.index { FLAG_INDEX } else { 0 };
         b[4..8].copy_from_slice(&self.uncompressed_len.to_le_bytes());
         b[8..12].copy_from_slice(&self.payload_len.to_le_bytes());
         b[12..16].copy_from_slice(&self.crc.to_le_bytes());
@@ -93,6 +103,7 @@ impl FrameHeader {
             codec: CodecId::from_u8(b[2])?,
             raw_fallback: b[3] & FLAG_RAW_FALLBACK != 0,
             record_aligned: b[3] & FLAG_RECORD_ALIGNED != 0,
+            index: b[3] & FLAG_INDEX != 0,
             uncompressed_len: u32::from_le_bytes(b[4..8].try_into().unwrap()),
             payload_len: u32::from_le_bytes(b[8..12].try_into().unwrap()),
             crc: u32::from_le_bytes(b[12..16].try_into().unwrap()),
@@ -182,6 +193,7 @@ pub fn encode_block_flags(
         codec: effective,
         raw_fallback,
         record_aligned: extra_flags & FLAG_RECORD_ALIGNED != 0,
+        index: false,
         uncompressed_len: input.len() as u32,
         payload_len: payload_len as u32,
         crc: crc32(&out[payload_pos..]),
@@ -298,6 +310,8 @@ pub struct FrameWriter<W: Write, S: TraceSink = NullSink> {
     sink: S,
     trace_epoch: u64,
     trace_t: f64,
+    /// When collecting (seekable mode), one entry per block written.
+    index: Option<Vec<crate::seek::IndexEntry>>,
     /// Totals for reporting.
     pub app_bytes: u64,
     pub wire_bytes: u64,
@@ -320,6 +334,7 @@ impl<W: Write, S: TraceSink> FrameWriter<W, S> {
             sink,
             trace_epoch: NO_EPOCH,
             trace_t: 0.0,
+            index: None,
             app_bytes: 0,
             wire_bytes: 0,
             blocks: 0,
@@ -329,6 +344,54 @@ impl<W: Write, S: TraceSink> FrameWriter<W, S> {
     /// Replaces the trace sink (same sink type), keeping stream state.
     pub fn set_sink(&mut self, sink: S) {
         self.sink = sink;
+    }
+
+    /// Starts collecting one [`crate::seek::IndexEntry`] per block written,
+    /// for a seekable stream's index trailer. Block frames themselves are
+    /// byte-identical to the non-indexed writer's — the index only records
+    /// where they landed.
+    pub fn enable_index(&mut self) {
+        if self.index.is_none() {
+            self.index = Some(Vec::new());
+        }
+    }
+
+    /// Whether index collection is active.
+    pub fn index_enabled(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Takes the collected index (disabling collection), for callers that
+    /// emit the trailer themselves via [`crate::seek::encode_index_trailer`].
+    pub fn take_index(&mut self) -> Option<crate::seek::StreamIndex> {
+        self.index.take().map(|entries| crate::seek::StreamIndex { entries })
+    }
+
+    /// Writes the index trailer frame for every block recorded since
+    /// [`FrameWriter::enable_index`] and stops collecting. Returns the
+    /// trailer's wire length (0 when collection was never enabled). The
+    /// trailer counts toward `wire_bytes` but not `app_bytes`/`blocks`.
+    pub fn finish_index(&mut self) -> io::Result<usize> {
+        let Some(index) = self.take_index() else { return Ok(0) };
+        self.wire_buf.clear();
+        crate::seek::encode_index_trailer(&index, &mut self.wire_buf);
+        self.inner.write_all(&self.wire_buf)?;
+        self.wire_bytes += self.wire_buf.len() as u64;
+        Ok(self.wire_buf.len())
+    }
+
+    /// Records one written frame into the active index, if any. `frame` is
+    /// the complete wire frame (header + payload).
+    fn record_index_entry(&mut self, frame: &[u8], info: &BlockInfo) {
+        let Some(entries) = self.index.as_mut() else { return };
+        entries.push(crate::seek::IndexEntry {
+            frame_offset: self.wire_bytes,
+            uncompressed_offset: self.app_bytes,
+            frame_len: info.frame_len as u32,
+            uncompressed_len: info.uncompressed_len as u32,
+            crc: u32::from_le_bytes(frame[12..16].try_into().unwrap()),
+            codec: info.codec,
+        });
     }
 
     /// Sets the epoch tag and timestamp stamped onto subsequent
@@ -372,6 +435,11 @@ impl<W: Write, S: TraceSink> FrameWriter<W, S> {
             record_encode_counters(m, &info);
         }
         self.inner.write_all(&self.wire_buf)?;
+        if self.index.is_some() {
+            let frame = std::mem::take(&mut self.wire_buf);
+            self.record_index_entry(&frame, &info);
+            self.wire_buf = frame;
+        }
         self.app_bytes += info.uncompressed_len as u64;
         self.wire_bytes += info.frame_len as u64;
         self.blocks += 1;
@@ -406,6 +474,7 @@ impl<W: Write, S: TraceSink> FrameWriter<W, S> {
             record_encode_counters(m, &info);
         }
         self.inner.write_all(frame)?;
+        self.record_index_entry(frame, &info);
         self.app_bytes += info.uncompressed_len as u64;
         self.wire_bytes += info.frame_len as u64;
         self.blocks += 1;
@@ -845,6 +914,16 @@ impl<R: Read, S: TraceSink> FrameReader<R, S> {
             let Some((header, header_bytes)) = frame else {
                 return Ok(None);
             };
+            if header.index {
+                // Seekable-stream index trailer: CRC-validated above,
+                // carries no application bytes. Consume and move on.
+                let flen = (HEADER_LEN + header.payload_len as usize) as u64;
+                if let Some(m) = metrics {
+                    m.counter_add(CounterKind::WireInBytes, flen);
+                }
+                self.wire_bytes += flen;
+                continue;
+            }
             let out_start = out.len();
             let start = timed.then(std::time::Instant::now);
             if let Err(e) = codec_for(header.codec).decompress_with(
@@ -888,28 +967,32 @@ impl<R: Read, S: TraceSink> FrameReader<R, S> {
     /// `blocks` (`app_bytes` is the decoding caller's to account).
     pub fn read_frame(&mut self, payload: &mut Vec<u8>) -> io::Result<Option<FrameHeader>> {
         let metrics = registry::global();
-        let start = metrics
-            .is_some_and(MetricsRegistry::wall_spans)
-            .then(std::time::Instant::now);
-        let frame = self.read_valid_frame()?;
-        if let (Some(m), Some(s)) = (metrics, start) {
-            m.span_ns(SpanKind::FrameRead, s.elapsed().as_nanos() as u64);
-        }
-        match frame {
-            Some((header, _)) => {
-                payload.clear();
-                payload.extend_from_slice(&self.payload_buf);
-                if let Some(m) = metrics {
-                    m.counter_add(
-                        CounterKind::WireInBytes,
-                        (HEADER_LEN + header.payload_len as usize) as u64,
-                    );
-                }
-                self.wire_bytes += (HEADER_LEN + header.payload_len as usize) as u64;
-                self.blocks += 1;
-                Ok(Some(header))
+        loop {
+            let start = metrics
+                .is_some_and(MetricsRegistry::wall_spans)
+                .then(std::time::Instant::now);
+            let frame = self.read_valid_frame()?;
+            if let (Some(m), Some(s)) = (metrics, start) {
+                m.span_ns(SpanKind::FrameRead, s.elapsed().as_nanos() as u64);
             }
-            None => Ok(None),
+            match frame {
+                Some((header, _)) => {
+                    let flen = (HEADER_LEN + header.payload_len as usize) as u64;
+                    if let Some(m) = metrics {
+                        m.counter_add(CounterKind::WireInBytes, flen);
+                    }
+                    self.wire_bytes += flen;
+                    if header.index {
+                        // Index trailer: consumed, not handed to the caller.
+                        continue;
+                    }
+                    payload.clear();
+                    payload.extend_from_slice(&self.payload_buf);
+                    self.blocks += 1;
+                    return Ok(Some(header));
+                }
+                None => return Ok(None),
+            }
         }
     }
 
@@ -1015,6 +1098,7 @@ mod tests {
             codec: CodecId::QlzMedium,
             raw_fallback: false,
             record_aligned: true,
+            index: false,
             uncompressed_len: 131072,
             payload_len: 4242,
             crc: 0xDEADBEEF,
@@ -1028,6 +1112,7 @@ mod tests {
             codec: CodecId::Raw,
             raw_fallback: false,
             record_aligned: false,
+            index: false,
             uncompressed_len: 0,
             payload_len: 0,
             crc: 0,

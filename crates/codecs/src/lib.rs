@@ -24,6 +24,7 @@ pub mod heavy;
 pub mod qlz;
 pub mod rangecoder;
 pub mod scratch;
+pub mod seek;
 
 pub use scratch::{DecodeScratch, Scratch};
 

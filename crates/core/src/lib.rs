@@ -19,6 +19,10 @@
 //! * [`pipeline`] — the bounded worker pools ([`CompressPool`],
 //!   [`DecodePool`]) that parallelize the pure per-block codec work while
 //!   keeping the wire stream byte-identical to the serial path.
+//! * [`seek`] — [`IndexedReader`]: O(block) random access over seekable
+//!   streams (written with [`AdaptiveWriter::set_seekable`]), with ranged
+//!   reads fanned across the decode pool and a streaming fallback when the
+//!   index is missing or lies.
 //!
 //! ## Quick start
 //!
@@ -44,6 +48,7 @@ pub mod epoch;
 pub mod model;
 pub mod pipeline;
 pub mod retry;
+pub mod seek;
 pub mod stream;
 pub mod throttle;
 
@@ -57,6 +62,7 @@ pub use model::{
 };
 pub use duplex::{over_tcp, CompressedDuplex};
 pub use pipeline::{Completion, CompressPool, Decoded, DecodePool};
+pub use seek::IndexedReader;
 pub use stream::{AdaptiveReader, AdaptiveWriter, StreamStats};
 
 /// Common imports for downstream users.

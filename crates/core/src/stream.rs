@@ -138,6 +138,28 @@ impl<W: Write> AdaptiveWriter<W> {
         self.pool.as_ref().map_or(1, CompressPool::workers)
     }
 
+    /// Makes the stream seekable: every emitted frame is recorded in an
+    /// in-memory block index and [`AdaptiveWriter::finish`] appends it as a
+    /// self-describing trailer frame, which
+    /// [`crate::seek::IndexedReader`] uses for O(block) random access. The
+    /// block frames themselves are byte-identical to a non-seekable
+    /// stream's — old readers skip the trailer and decode unchanged.
+    /// Call before writing any data.
+    pub fn set_seekable(&mut self, seekable: bool) {
+        assert!(
+            self.frames.app_bytes == 0,
+            "set_seekable must be called before the first write"
+        );
+        if seekable {
+            self.frames.enable_index();
+        }
+    }
+
+    /// Whether [`AdaptiveWriter::finish`] will append an index trailer.
+    pub fn is_seekable(&self) -> bool {
+        self.frames.index_enabled()
+    }
+
     #[cfg(test)]
     fn take_bomb(&self) -> bool {
         self.bomb_next_block.replace(false)
@@ -334,6 +356,7 @@ impl<W: Write> AdaptiveWriter<W> {
     pub fn finish(mut self) -> io::Result<(W, StreamStats)> {
         self.emit_block()?;
         self.drain_pipeline()?;
+        self.frames.finish_index()?;
         self.frames.flush()?;
         let stats = self.stats();
         Ok((self.frames.into_inner(), stats))

@@ -26,10 +26,13 @@ use crate::plan::{FaultPlan, FaultSpec, InjectStats};
 use crate::transport::FaultingTransport;
 use adcomp_codecs::frame::{FrameReader, FrameWriter, RecoveryPolicy, RecoveryStats};
 use adcomp_codecs::LevelSet;
+use adcomp_core::model::StaticModel;
+use adcomp_core::stream::AdaptiveWriter;
+use adcomp_core::{IndexedReader, ManualClock};
 use adcomp_corpus::Prng;
 use adcomp_nephele::channel::{mem_pair, CompressionMode, RecordReader, RecordWriter};
 use adcomp_trace::json::ObjWriter;
-use std::io::Read;
+use std::io::{Cursor, Read, Write};
 
 /// Which layer of the stack a case attacks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +41,9 @@ pub enum SoakLayer {
     Frame,
     /// `RecordWriter` → faulting block transport → `RecordReader`.
     Record,
+    /// Seekable `AdaptiveWriter` (index trailer) → corrupting byte stream
+    /// → offset-addressed ranged reads through `IndexedReader`.
+    Indexed,
 }
 
 impl SoakLayer {
@@ -45,6 +51,7 @@ impl SoakLayer {
         match self {
             SoakLayer::Frame => "frame",
             SoakLayer::Record => "record",
+            SoakLayer::Indexed => "indexed",
         }
     }
 }
@@ -203,17 +210,29 @@ pub fn grid(base_seed: u64, runs: usize) -> Vec<SoakCase> {
     const RATES: [f64; 4] = [0.0, 0.02, 0.08, 0.2];
     (0..runs)
         .map(|i| {
-            let layer = if (i / 4) % 2 == 0 { SoakLayer::Frame } else { SoakLayer::Record };
+            let layer = match (i / 4) % 3 {
+                0 => SoakLayer::Frame,
+                1 => SoakLayer::Record,
+                _ => SoakLayer::Indexed,
+            };
             let rate = RATES[(i / 8) % 4];
             SoakCase {
                 seed: splitmix(base_seed ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)),
                 rate,
                 level: i % 4,
                 layer,
-                items: if layer == SoakLayer::Frame { 48 } else { 160 },
-                item_len: if layer == SoakLayer::Frame { 2048 } else { 280 },
+                items: match layer {
+                    SoakLayer::Frame => 48,
+                    SoakLayer::Record => 160,
+                    SoakLayer::Indexed => 40,
+                },
+                item_len: match layer {
+                    SoakLayer::Frame => 2048,
+                    SoakLayer::Record => 280,
+                    SoakLayer::Indexed => 1600,
+                },
                 transient: layer == SoakLayer::Frame && i % 3 == 0,
-                truncate_permille: if layer == SoakLayer::Frame && i % 5 == 0 && rate > 0.0 {
+                truncate_permille: if layer != SoakLayer::Record && i % 5 == 0 && rate > 0.0 {
                     700
                 } else {
                     1000
@@ -232,6 +251,7 @@ pub fn run_case(case: &SoakCase) -> CaseResult {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match c.layer {
         SoakLayer::Frame => run_frame_case(&c),
         SoakLayer::Record => run_record_case(&c),
+        SoakLayer::Indexed => run_indexed_case(&c),
     })) {
         Ok(r) => r,
         Err(p) => {
@@ -430,6 +450,96 @@ fn run_record_case(case: &SoakCase) -> CaseResult {
     }
 }
 
+/// Indexed layer: items are concatenated into a seekable stream (4 KiB
+/// blocks, index trailer) written through a corrupting byte stream, then
+/// read back item by item as offset-addressed ranged reads through an
+/// [`IndexedReader`] — the chaos gauntlet for the random-access path,
+/// attacking blocks, frame headers and the index trailer alike.
+///
+/// The fault plan keeps flips and cuts but disables whole-frame drops: a
+/// cleanly excised frame leaves a valid-but-shifted stream that no
+/// offset-addressed reader can distinguish from intended content (the
+/// index is advisory and its fallback is plain streaming decode); drop
+/// recovery belongs to the record layer, which frames every item.
+///
+/// Contract: every ranged read returns bytes identical to the regenerated
+/// item (per-block CRC on the indexed path, fail-fast streaming decode on
+/// fallback), stops at the truncated tail, or ends in a typed error —
+/// never a panic, never silent corruption. Streaming fallbacks taken are
+/// surfaced in `recovery.resyncs`.
+fn run_indexed_case(case: &SoakCase) -> CaseResult {
+    let spec = FaultSpec { drop_rate: 0.0, ..FaultSpec::from_rate(case.seed, case.rate) };
+    let cw = CorruptingWriter::new(Vec::new(), FaultPlan::new(spec));
+    let items: Vec<Vec<u8>> =
+        (0..case.items).map(|i| gen_item(case.seed, i as u64, case.item_len)).collect();
+    let mut w = AdaptiveWriter::with_params(
+        cw,
+        LevelSet::paper_default(),
+        Box::new(StaticModel::new(case.level, 4)),
+        4096,
+        3600.0,
+        Box::new(ManualClock::new()),
+    );
+    w.set_seekable(true);
+    for item in &items {
+        w.write_all(item).expect("Vec write cannot fail");
+    }
+    let (cw, _) = w.finish().expect("Vec write cannot fail");
+    let injected = cw.stats();
+    let mut wire = cw.into_inner();
+    if case.truncate_permille < 1000 {
+        let keep = wire.len() * case.truncate_permille as usize / 1000;
+        wire.truncate(keep);
+    }
+
+    let mut recovered = 0u64;
+    let mut verify_failures = 0u64;
+    let mut error: Option<String> = None;
+    let mut recovery = RecoveryStats::default();
+    match IndexedReader::with_policy(Cursor::new(&wire[..]), RecoveryPolicy::fail_fast()) {
+        Ok(mut reader) => {
+            let mut off = 0u64;
+            let mut out = Vec::new();
+            for (idx, item) in items.iter().enumerate() {
+                out.clear();
+                match reader.read_range(off, item.len() as u64, &mut out) {
+                    Ok(_) if out == item[..] => recovered += 1,
+                    Ok(n) if n < item.len() && out[..] == item[..n] => {
+                        // Clean end of a truncated stream mid-item.
+                        error = Some(format!(
+                            "short read at item {idx}: {n} of {} bytes",
+                            item.len()
+                        ));
+                        break;
+                    }
+                    Ok(_) => verify_failures += 1,
+                    Err(e) => {
+                        error = Some(e.to_string());
+                        break;
+                    }
+                }
+                off += item.len() as u64;
+            }
+            recovery.resyncs = reader.fallback_scans;
+        }
+        Err(e) => error = Some(e.to_string()),
+    }
+    CaseResult {
+        seed: case.seed,
+        layer: case.layer,
+        level: case.level,
+        rate: case.rate,
+        outcome: if error.is_some() { Outcome::TypedError } else { Outcome::Recovered },
+        error: error.unwrap_or_default(),
+        items_written: case.items as u64,
+        items_recovered: recovered,
+        verify_failures,
+        order_violations: 0,
+        injected,
+        recovery,
+    }
+}
+
 /// Commutative aggregate of a soak run — every field is a sum or an AND,
 /// so the summary is identical for any execution order / worker count.
 #[derive(Debug, Clone, Default)]
@@ -524,7 +634,7 @@ mod tests {
 
     #[test]
     fn clean_cases_recover_everything() {
-        for layer in [SoakLayer::Frame, SoakLayer::Record] {
+        for layer in [SoakLayer::Frame, SoakLayer::Record, SoakLayer::Indexed] {
             for level in 0..4 {
                 let case = SoakCase {
                     seed: 1000 + level as u64,
@@ -594,6 +704,59 @@ mod tests {
         // And re-running the same grid reproduces it bit-for-bit.
         let again: Vec<CaseResult> = cases.iter().map(run_case).collect();
         assert_eq!(a.to_json(), summarize(&again).to_json());
+    }
+
+    #[test]
+    fn indexed_layer_survives_trailer_and_block_damage() {
+        let mut fallbacks = 0u64;
+        let mut typed = 0u64;
+        let mut recovered_items = 0u64;
+        for i in 0..12u64 {
+            let case = SoakCase {
+                seed: 0x1D7 + i,
+                rate: 0.1,
+                level: (i % 4) as usize,
+                layer: SoakLayer::Indexed,
+                items: 32,
+                item_len: 1200,
+                transient: false,
+                truncate_permille: if i % 4 == 0 { 600 } else { 1000 },
+                fail_fast: true,
+            };
+            let r = run_case(&case);
+            assert!(r.ok(), "indexed case violated the contract: {}", r.to_json());
+            assert_ne!(r.outcome, Outcome::Panicked);
+            fallbacks += r.recovery.resyncs;
+            if r.outcome == Outcome::TypedError {
+                typed += 1;
+            }
+            recovered_items += r.items_recovered;
+        }
+        assert!(recovered_items > 0, "no item ever survived");
+        assert!(typed > 0, "damage at 10% never surfaced");
+        assert!(fallbacks > 0, "index fallback path never exercised");
+
+        // Pure truncation, no corruption: the index trailer is cut off,
+        // every read below the cut still decodes via the streaming
+        // fallback, and the cut itself surfaces as a typed error.
+        let case = SoakCase {
+            seed: 0xC07,
+            rate: 0.0,
+            level: 1,
+            layer: SoakLayer::Indexed,
+            items: 32,
+            item_len: 1200,
+            transient: false,
+            truncate_permille: 500,
+            fail_fast: true,
+        };
+        let r = run_case(&case);
+        assert!(r.ok(), "{}", r.to_json());
+        assert_eq!(r.outcome, Outcome::TypedError, "the cut must surface: {}", r.to_json());
+        assert!(r.items_recovered > 0, "prefix items must still read: {}", r.to_json());
+        // The trailer is gone, so the stream opens as non-indexed and
+        // streaming is its normal path — not counted as an index fallback.
+        assert_eq!(r.recovery.resyncs, 0, "{}", r.to_json());
     }
 
     #[test]

@@ -175,6 +175,11 @@ kinds! {
         RecoveryRetries => ("adcomp_recovery_retries_total", "Transient-I/O retries performed by frame readers."),
         RecoverySkippedBytes => ("adcomp_recovery_skipped_bytes_total", "Wire bytes discarded while resyncing."),
         RecoveryTruncations => ("adcomp_recovery_truncations_total", "Mid-frame end-of-stream incidents."),
+        RangedReads => ("adcomp_ranged_reads_total", "Ranged reads served via the seekable block index."),
+        IndexFallbacks => ("adcomp_index_fallbacks_total", "Ranged reads that fell back to front-to-back streaming decode."),
+        CacheHits => ("adcomp_cache_hits_total", "Block-cache lookups served without invoking a decoder."),
+        CacheMisses => ("adcomp_cache_misses_total", "Block-cache lookups that had to decode the block."),
+        CacheEvictions => ("adcomp_cache_evictions_total", "Blocks evicted from the block cache to stay under budget."),
     }
 }
 
@@ -191,6 +196,7 @@ kinds! {
         ServeActiveConns => ("adcomp_serve_active_conns", "Connections currently inside the serve daemon (add/sub)."),
         ServeActiveConnsMax => ("adcomp_serve_active_conns_max", "High-water mark of concurrent serve connections (max)."),
         BreakerOpen => ("adcomp_breaker_open", "1 while the CPU-pressure circuit breaker is open (set)."),
+        CacheResidentBytes => ("adcomp_cache_resident_bytes", "Decoded bytes resident in the block cache (add/sub)."),
     }
 }
 
@@ -206,6 +212,7 @@ kinds! {
         DecodeWait => ("decode_wait", "Decode-pool in-order waits."),
         ChannelStall => ("channel_stall", "Nephele record-channel reader stalls."),
         SimBlock => ("sim_block", "Virtual end-to-end block latency (sim only)."),
+        RangedRead => ("ranged_read", "Seek + ranged block decode time."),
     }
 }
 

@@ -235,6 +235,32 @@ pub fn render_top(exposition: &str) -> String {
         );
     }
 
+    // Seekable-read panel: ranged reads through the block index and the
+    // decoded-block cache behind them. Rendered only when the scrape
+    // carries cache metrics, so hand-rolled scrapes stay unchanged.
+    let hits = v.value("adcomp_cache_hits_total");
+    let misses = v.value("adcomp_cache_misses_total");
+    if hits.is_some() || misses.is_some() {
+        let hits = hits.unwrap_or(0.0);
+        let misses = misses.unwrap_or(0.0);
+        let lookups = hits + misses;
+        let ratio = if lookups > 0.0 { hits / lookups * 100.0 } else { 0.0 };
+        let resident = v.value("adcomp_cache_resident_bytes").unwrap_or(0.0);
+        let evictions = v.value("adcomp_cache_evictions_total").unwrap_or(0.0);
+        let ranged = v.value("adcomp_ranged_reads_total").unwrap_or(0.0);
+        let fallbacks = v.value("adcomp_index_fallbacks_total").unwrap_or(0.0);
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "cache     : hit {ratio:.1}% ({hits:.0}/{lookups:.0}) · resident {} · evictions {evictions:.0}",
+            fmt_bytes(resident)
+        );
+        let _ = writeln!(
+            out,
+            "ranged    : reads {ranged:.0} · streaming fallbacks {fallbacks:.0}"
+        );
+    }
+
     // Span latency table: every span label present in the scrape.
     let mut spans: Vec<String> = samples
         .iter()
@@ -342,6 +368,26 @@ adcomp_recovery_skipped_bytes_total 4096
         assert!(top.contains("skipped 4.1 kB"), "{top}");
         // No serve metrics in the scrape → no serve panel.
         assert!(!render_top(SCRAPE).contains("serve     :"), "sim scrape grew a serve panel");
+    }
+
+    #[test]
+    fn cache_scrape_gets_a_seekable_read_panel() {
+        let scrape = "\
+adcomp_registry_info{mode=\"wall\"} 1
+adcomp_ranged_reads_total 40
+adcomp_index_fallbacks_total 2
+adcomp_cache_hits_total 90
+adcomp_cache_misses_total 10
+adcomp_cache_evictions_total 4
+adcomp_cache_resident_bytes 524288
+";
+        let top = render_top(scrape);
+        assert!(top.contains("cache     : hit 90.0% (90/100)"), "{top}");
+        assert!(top.contains("resident 524.3 kB"), "{top}");
+        assert!(top.contains("evictions 4"), "{top}");
+        assert!(top.contains("ranged    : reads 40 · streaming fallbacks 2"), "{top}");
+        // No cache metrics in the scrape → no cache panel.
+        assert!(!render_top(SCRAPE).contains("cache     :"), "sim scrape grew a cache panel");
     }
 
     #[test]

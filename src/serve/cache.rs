@@ -1,0 +1,270 @@
+//! The hot-object block cache: decoded blocks of completed transfers,
+//! keyed by the block's frame CRC, bounded by a byte budget.
+//!
+//! A ranged GET decodes only the blocks covering the requested range
+//! (found through the transfer's [`StreamIndex`](adcomp_codecs::seek::StreamIndex));
+//! this cache makes the *second* request for a hot block free — a hit
+//! returns the decoded bytes without touching the decoder at all.
+//!
+//! Design:
+//!
+//! * **CRC-keyed** — the key is `(payload_crc, uncompressed_len)`, the
+//!   same pair every frame header and index entry carries. Identical
+//!   blocks uploaded by different tenants deduplicate naturally, and a
+//!   key never names stale bytes: change the block, change the CRC.
+//! * **Sharded** — the key space is split across independently locked
+//!   shards so concurrent GET handlers don't serialize on one mutex.
+//! * **LRU with byte cost** — each shard evicts its least-recently-used
+//!   entries until the *byte* budget holds; a 128 KiB block pays 32× the
+//!   rent of a 4 KiB one.
+//! * **Observable** — hits, misses, evictions and resident bytes are
+//!   kept in local atomics (always) and mirrored into the global metrics
+//!   registry (when one is installed) as `adcomp_cache_*`.
+
+use adcomp_metrics::registry::{self, CounterKind, GaugeKind};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: the block's frame-payload CRC-32 plus its decoded length.
+/// The pair is what [`IndexEntry`](adcomp_codecs::seek::IndexEntry) and
+/// the frame header both carry, so lookups need no extra bookkeeping.
+pub type BlockKey = (u32, u32);
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache (no decoder involved).
+    pub hits: u64,
+    /// Lookups that missed (caller had to decode).
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Decoded bytes currently resident.
+    pub resident_bytes: u64,
+}
+
+impl CacheStats {
+    /// hits / (hits + misses); 0.0 with no traffic.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard {
+    /// key → (decoded bytes, last-use stamp).
+    map: HashMap<BlockKey, (Arc<Vec<u8>>, u64)>,
+    /// Monotonic per-shard use counter; smallest stamp = LRU victim.
+    tick: u64,
+    /// Resident bytes in this shard.
+    bytes: u64,
+}
+
+/// Sharded, byte-budgeted, LRU block cache. Cheap to share: wrap in an
+/// `Arc` (all methods take `&self`).
+pub struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Byte budget per shard (total budget / shard count).
+    shard_budget: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    resident: AtomicU64,
+}
+
+const SHARDS: usize = 8;
+
+impl BlockCache {
+    /// A cache holding at most `budget_bytes` of decoded blocks.
+    /// `budget_bytes == 0` disables it: every lookup misses, inserts are
+    /// dropped.
+    pub fn new(budget_bytes: u64) -> BlockCache {
+        BlockCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), tick: 0, bytes: 0 }))
+                .collect(),
+            shard_budget: budget_bytes / SHARDS as u64,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.shard_budget > 0
+    }
+
+    fn shard(&self, key: BlockKey) -> &Mutex<Shard> {
+        &self.shards[key.0 as usize % SHARDS]
+    }
+
+    /// Looks up a block, refreshing its recency on a hit. Counts the
+    /// lookup either way.
+    pub fn get(&self, key: BlockKey) -> Option<Arc<Vec<u8>>> {
+        let found = if self.enabled() {
+            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            shard.tick += 1;
+            let tick = shard.tick;
+            shard.map.get_mut(&key).map(|(bytes, stamp)| {
+                *stamp = tick;
+                Arc::clone(bytes)
+            })
+        } else {
+            None
+        };
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = registry::global() {
+                m.counter_add(CounterKind::CacheHits, 1);
+            }
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = registry::global() {
+                m.counter_add(CounterKind::CacheMisses, 1);
+            }
+        }
+        found
+    }
+
+    /// Inserts a decoded block, evicting LRU entries from its shard until
+    /// the shard's byte budget holds. Blocks larger than a whole shard's
+    /// budget are not cached at all (they would evict everything and then
+    /// still not fit a second one).
+    pub fn insert(&self, key: BlockKey, bytes: Arc<Vec<u8>>) {
+        let cost = bytes.len() as u64;
+        if !self.enabled() || cost > self.shard_budget {
+            return;
+        }
+        let mut freed = 0u64;
+        let mut evicted = 0u64;
+        {
+            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            if let Some((old, _)) = shard.map.remove(&key) {
+                // Same CRC + length ⇒ same bytes; replace silently.
+                shard.bytes -= old.len() as u64;
+                freed += old.len() as u64;
+            }
+            while shard.bytes + cost > self.shard_budget {
+                let Some((&victim, _)) =
+                    shard.map.iter().min_by_key(|(_, (_, stamp))| *stamp)
+                else {
+                    break;
+                };
+                let (gone, _) = shard.map.remove(&victim).expect("victim vanished");
+                shard.bytes -= gone.len() as u64;
+                freed += gone.len() as u64;
+                evicted += 1;
+            }
+            shard.tick += 1;
+            let tick = shard.tick;
+            shard.bytes += cost;
+            shard.map.insert(key, (bytes, tick));
+        }
+        self.resident.fetch_add(cost, Ordering::Relaxed);
+        self.resident.fetch_sub(freed, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        if let Some(m) = registry::global() {
+            m.gauge_add(GaugeKind::CacheResidentBytes, cost as i64 - freed as i64);
+            if evicted > 0 {
+                m.counter_add(CounterKind::CacheEvictions, evicted);
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.resident.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(fill: u8, len: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![fill; len])
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = BlockCache::new(1 << 20);
+        let key = (0xABCD_EF01, 4096);
+        assert!(c.get(key).is_none());
+        c.insert(key, block(7, 4096));
+        assert_eq!(c.get(key).unwrap().len(), 4096);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.resident_bytes, 4096);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_first() {
+        // One shard's budget is total/8; use keys that land in the same
+        // shard (same crc % 8) so the LRU order is deterministic.
+        let c = BlockCache::new(8 * 10_000);
+        let keys: Vec<BlockKey> = (0..4).map(|i| (8 * i + 16, 4096)).collect();
+        for &k in &keys {
+            c.insert(k, block(1, 4096));
+        }
+        // Budget per shard = 10_000 → two 4096-byte blocks fit, four don't.
+        let s = c.stats();
+        assert!(s.evictions >= 2, "evictions {}", s.evictions);
+        assert!(s.resident_bytes <= 10_000);
+        // The most recently inserted key must have survived.
+        assert!(c.get(keys[3]).is_some());
+        // The oldest must be gone.
+        assert!(c.get(keys[0]).is_none());
+    }
+
+    #[test]
+    fn recency_refresh_protects_hot_entries() {
+        let c = BlockCache::new(8 * 10_000);
+        let hot = (8, 4096);
+        let cold = (16, 4096);
+        c.insert(hot, block(1, 4096));
+        c.insert(cold, block(2, 4096));
+        // Touch `hot` so `cold` becomes the LRU victim.
+        assert!(c.get(hot).is_some());
+        c.insert((24, 4096), block(3, 4096));
+        assert!(c.get(hot).is_some(), "hot entry was evicted over the cold one");
+        assert!(c.get(cold).is_none());
+    }
+
+    #[test]
+    fn zero_budget_disables_cache() {
+        let c = BlockCache::new(0);
+        assert!(!c.enabled());
+        c.insert((1, 10), block(0, 10));
+        assert!(c.get((1, 10)).is_none());
+        assert_eq!(c.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn oversized_block_is_not_cached() {
+        let c = BlockCache::new(8 * 1000);
+        c.insert((8, 5000), block(0, 5000));
+        assert!(c.get((8, 5000)).is_none());
+        assert_eq!(c.stats().resident_bytes, 0);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn replacing_same_key_keeps_resident_exact() {
+        let c = BlockCache::new(1 << 20);
+        c.insert((8, 100), block(1, 100));
+        c.insert((8, 100), block(1, 100));
+        assert_eq!(c.stats().resident_bytes, 100);
+    }
+}

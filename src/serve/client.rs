@@ -12,7 +12,8 @@
 //! property the socket soak asserts over hundreds of hostile runs.
 
 use super::proto::{
-    read_done, read_response, write_request, RejectReason, Request, Response, NO_LEVEL_CAP,
+    read_done, read_get_payload, read_response, write_request, RejectReason, Request, Response,
+    NO_LEVEL_CAP,
 };
 use adcomp_codecs::crc32::crc32;
 use adcomp_codecs::LevelSet;
@@ -265,6 +266,43 @@ fn attempt(
         )));
     }
     Ok(done)
+}
+
+/// Fetches `[offset, offset + len)` of a completed transfer's
+/// application bytes from an `adcomp serve` daemon. The returned slice is
+/// clamped to the transfer end (so it can be shorter than `len`, empty
+/// when `offset` is at or past the end) and CRC-verified end to end.
+pub fn get(
+    addr: SocketAddr,
+    tenant: &str,
+    transfer_id: u64,
+    offset: u64,
+    len: u64,
+    io_timeout: Duration,
+) -> io::Result<Vec<u8>> {
+    let mut sock = TcpStream::connect_timeout(&addr, io_timeout)?;
+    let _ = sock.set_nodelay(true);
+    sock.set_read_timeout(Some(io_timeout))?;
+    sock.set_write_timeout(Some(io_timeout))?;
+    write_request(
+        &mut sock,
+        &Request::Get { tenant: tenant.to_string(), transfer_id, offset, len },
+    )?;
+    match read_response(&mut sock)? {
+        Response::Accept { start_offset: n, .. } => {
+            if n > len {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "server announced more bytes than requested",
+                ));
+            }
+            read_get_payload(&mut sock, n)
+        }
+        Response::Reject { reason } => Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!("get rejected: {}", reason.as_str()),
+        )),
+    }
 }
 
 /// Asks a daemon to drain gracefully. Returns the number of transfers

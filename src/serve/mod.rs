@@ -14,16 +14,22 @@
 //!   daemon with per-tenant quotas, typed [`RejectReason`] shedding,
 //!   idle + wall deadlines, verified-prefix transfer table, and drain;
 //! * [`client`] — [`put`] / [`PutOptions`]: bounded-retry exponential
-//!   backoff uploads that resume from the server's last verified byte;
+//!   backoff uploads that resume from the server's last verified byte,
+//!   and [`get`]: CRC-verified ranged reads of completed transfers;
+//! * [`cache`] — [`BlockCache`]: the sharded, CRC-keyed, byte-budgeted
+//!   LRU of decoded blocks behind ranged GETs — a hot block is decoded
+//!   once, then served from memory;
 //! * [`netsoak`] — the loopback client ↔ [`ChaosProxy`](adcomp_faults::net::ChaosProxy)
 //!   ↔ server gauntlet behind `adcomp chaos --net`.
 
+pub mod cache;
 pub mod client;
 pub mod netsoak;
 pub mod proto;
 pub mod server;
 
-pub use client::{drain, put, CappedModel, PutOptions, PutReport};
+pub use cache::{BlockCache, CacheStats};
+pub use client::{drain, get, put, CappedModel, PutOptions, PutReport};
 pub use netsoak::{run_net_soak, NetSoakConfig, NetSoakSummary};
 pub use proto::{Done, RejectReason, Request, Response, NO_LEVEL_CAP};
 pub use server::{payload_crc, ServeConfig, ServeStats, Server};
@@ -345,6 +351,226 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.drained_transfers, 1);
+    }
+
+    #[test]
+    fn ranged_get_serves_sealed_wire_without_decoded_payloads() {
+        // keep_payloads OFF: the server holds only compressed wire + the
+        // block index, and every GET decodes (or cache-serves) blocks.
+        let mut cfg = test_config();
+        cfg.keep_payloads = false;
+        let server = Server::start(cfg).unwrap();
+        let data = payload(10, 300_000);
+        let opts = PutOptions {
+            tenant: "t".into(),
+            transfer_id: 1,
+            block_len: 8 * 1024,
+            ..Default::default()
+        };
+        put(server.local_addr(), &data, &opts).unwrap();
+        assert!(server.is_sealed("t", 1), "completed transfer was not sealed");
+        assert!(server.payload("t", 1).is_none(), "payload retained despite keep_payloads=false");
+        let addr = server.local_addr();
+        let io = Duration::from_secs(2);
+        for (offset, len) in [
+            (0u64, 100u64),
+            (5000, 8 * 1024),
+            (150_000 - 57, 20_000),
+            (data.len() as u64 - 100, 1000),
+            (data.len() as u64 + 5, 10),
+        ] {
+            let got = get(addr, "t", 1, offset, len, io).unwrap();
+            let lo = (offset as usize).min(data.len());
+            let hi = (offset + len).min(data.len() as u64) as usize;
+            assert_eq!(got, &data[lo..hi], "offset={offset} len={len}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn hot_object_gets_hit_cache_without_invoking_decoder() {
+        let mut cfg = test_config();
+        cfg.keep_payloads = false;
+        let server = Server::start(cfg).unwrap();
+        let data = payload(11, 200_000);
+        let opts = PutOptions {
+            tenant: "hot".into(),
+            transfer_id: 3,
+            block_len: 8 * 1024,
+            ..Default::default()
+        };
+        put(server.local_addr(), &data, &opts).unwrap();
+        let addr = server.local_addr();
+        let io = Duration::from_secs(2);
+        // Warm the covering blocks once (these are the only misses).
+        let (offset, len) = (40_000u64, 30_000u64);
+        let want = &data[40_000..70_000];
+        assert_eq!(get(addr, "hot", 3, offset, len, io).unwrap(), want);
+        let warm = server.cache_stats();
+        assert!(warm.misses > 0, "warm-up decoded no blocks?");
+        // Hot loop: every covering block is cached, so the decoder —
+        // reachable only through the miss path — must not run again.
+        for _ in 0..19 {
+            assert_eq!(get(addr, "hot", 3, offset, len, io).unwrap(), want);
+        }
+        let hot = server.cache_stats();
+        assert_eq!(
+            hot.misses, warm.misses,
+            "hot-loop GETs invoked the decoder (cache misses grew)"
+        );
+        assert!(hot.hits > warm.hits, "hot loop produced no cache hits");
+        assert!(
+            hot.hit_ratio() >= 0.90,
+            "hit ratio {:.3} below 0.90 ({} hits / {} misses)",
+            hot.hit_ratio(),
+            hot.hits,
+            hot.misses
+        );
+        assert!(hot.resident_bytes > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cache_eviction_keeps_resident_bytes_under_budget() {
+        let mut cfg = test_config();
+        cfg.keep_payloads = false;
+        cfg.cache_bytes = 64 * 1024; // tiny: a handful of 8 KiB blocks
+        let server = Server::start(cfg).unwrap();
+        let data = payload(12, 400_000);
+        let opts = PutOptions {
+            tenant: "t".into(),
+            transfer_id: 1,
+            block_len: 8 * 1024,
+            ..Default::default()
+        };
+        put(server.local_addr(), &data, &opts).unwrap();
+        let addr = server.local_addr();
+        let io = Duration::from_secs(2);
+        // Sweep the whole object so far more blocks are decoded than fit.
+        for start in (0..data.len() as u64).step_by(32 * 1024) {
+            let got = get(addr, "t", 1, start, 32 * 1024, io).unwrap();
+            let hi = (start + 32 * 1024).min(data.len() as u64) as usize;
+            assert_eq!(got, &data[start as usize..hi]);
+        }
+        let s = server.cache_stats();
+        assert!(s.evictions > 0, "sweep never evicted: {s:?}");
+        assert!(
+            s.resident_bytes <= 64 * 1024,
+            "resident {} exceeds budget",
+            s.resident_bytes
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn resumed_transfer_still_seals_and_serves_ranged_gets() {
+        let mut cfg = test_config();
+        cfg.keep_payloads = false;
+        let server = Server::start(cfg).unwrap();
+        let data = payload(13, 300_000);
+        // Attempt 1: stream half, then cut (same shape as the resume test
+        // above) — the captured wire must stay frame-aligned.
+        {
+            let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+            proto::write_request(
+                &mut sock,
+                &Request::Put {
+                    tenant: "t".into(),
+                    transfer_id: 9,
+                    total_len: data.len() as u64,
+                },
+            )
+            .unwrap();
+            match proto::read_response(&mut sock).unwrap() {
+                Response::Accept { start_offset: 0, .. } => {}
+                other => panic!("expected fresh accept, got {other:?}"),
+            }
+            use adcomp_codecs::LevelSet;
+            use adcomp_core::model::StaticModel;
+            use adcomp_core::stream::AdaptiveWriter;
+            use std::io::Write;
+            let levels = LevelSet::paper_default();
+            let n = levels.len();
+            let mut w = AdaptiveWriter::with_params(
+                sock.try_clone().unwrap(),
+                levels,
+                Box::new(StaticModel::new(1, n)),
+                8 * 1024,
+                2.0,
+                Box::new(adcomp_core::WallClock::new()),
+            );
+            w.write_all(&data[..150_000]).unwrap();
+            let (inner, _) = w.finish().unwrap();
+            drop(inner);
+            drop(sock);
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while server.active() > 0 {
+            assert!(std::time::Instant::now() < deadline, "cut stream never reaped");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Attempt 2: resume to completion; blocks from BOTH connections
+        // must be index-addressable.
+        let opts = PutOptions {
+            tenant: "t".into(),
+            transfer_id: 9,
+            block_len: 8 * 1024,
+            ..Default::default()
+        };
+        let report = put(server.local_addr(), &data, &opts).unwrap();
+        assert!(report.resumed);
+        assert!(server.is_sealed("t", 9), "resumed transfer was not sealed");
+        let io = Duration::from_secs(2);
+        // Ranges straddling the resume seam, both halves, and the whole.
+        for (offset, len) in
+            [(0u64, data.len() as u64), (140_000, 20_000), (10_000, 5000), (200_000, 50_000)]
+        {
+            let got = get(server.local_addr(), "t", 9, offset, len, io).unwrap();
+            let hi = (offset + len).min(data.len() as u64) as usize;
+            assert_eq!(got, &data[offset as usize..hi], "offset={offset} len={len}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn get_of_unknown_or_incomplete_transfer_is_rejected() {
+        let server = Server::start(test_config()).unwrap();
+        let io = Duration::from_secs(2);
+        let err = get(server.local_addr(), "nobody", 1, 0, 10, io).unwrap_err();
+        assert!(err.to_string().contains("bad_request"), "unexpected error: {err}");
+        // Incomplete transfer: handshake and park, then GET it.
+        let mut held = TcpStream::connect(server.local_addr()).unwrap();
+        proto::write_request(
+            &mut held,
+            &Request::Put { tenant: "t".into(), transfer_id: 1, total_len: 1000 },
+        )
+        .unwrap();
+        match proto::read_response(&mut held).unwrap() {
+            Response::Accept { .. } => {}
+            other => panic!("expected accept, got {other:?}"),
+        }
+        let err = get(server.local_addr(), "t", 1, 0, 10, io).unwrap_err();
+        assert!(err.to_string().contains("bad_request"), "unexpected error: {err}");
+        drop(held);
+        server.shutdown();
+    }
+
+    #[test]
+    fn get_falls_back_to_retained_payload_when_wire_storage_is_off() {
+        let mut cfg = test_config(); // keep_payloads: true
+        cfg.store_wire = false;
+        let server = Server::start(cfg).unwrap();
+        let data = payload(14, 120_000);
+        let opts = PutOptions { tenant: "t".into(), transfer_id: 1, ..Default::default() };
+        put(server.local_addr(), &data, &opts).unwrap();
+        assert!(!server.is_sealed("t", 1));
+        let got = get(server.local_addr(), "t", 1, 50_000, 10_000, Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(got, &data[50_000..60_000]);
+        // The fallback path never touches the block cache.
+        let s = server.cache_stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+        server.shutdown();
     }
 
     #[test]

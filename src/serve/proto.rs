@@ -45,6 +45,12 @@ pub enum Request {
     Put { tenant: String, transfer_id: u64, total_len: u64 },
     /// Begin a graceful drain: stop admitting, finish in-flight streams.
     Drain,
+    /// Fetch `[offset, offset + len)` of a completed transfer's
+    /// application bytes. The server replies with an
+    /// [`Response::Accept`] whose `start_offset` is the byte count that
+    /// follows (clamped to the transfer end), then the bytes themselves
+    /// with a CRC-32 trailer ([`write_get_payload`]).
+    Get { tenant: String, transfer_id: u64, offset: u64, len: u64 },
 }
 
 /// Why an admission was refused. `as_str` doubles as the
@@ -163,6 +169,20 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
             buf.extend_from_slice(&total_len.to_le_bytes());
         }
         Request::Drain => buf.push(1),
+        Request::Get { tenant, transfer_id, offset, len } => {
+            if tenant.len() > MAX_TENANT || tenant.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "tenant name must be 1..=64 bytes",
+                ));
+            }
+            buf.push(2);
+            buf.push(tenant.len() as u8);
+            buf.extend_from_slice(tenant.as_bytes());
+            buf.extend_from_slice(&transfer_id.to_le_bytes());
+            buf.extend_from_slice(&offset.to_le_bytes());
+            buf.extend_from_slice(&len.to_le_bytes());
+        }
     }
     write_framed(w, buf)
 }
@@ -198,8 +218,43 @@ pub fn read_request(r: &mut impl Read) -> io::Result<Request> {
             check_trailer(r, &seen)?;
             Ok(Request::Drain)
         }
+        2 => {
+            read_into(r, &mut seen, 1)?;
+            let len = seen[6] as usize;
+            if len == 0 || len > MAX_TENANT {
+                return Err(bad("tenant name must be 1..=64 bytes"));
+            }
+            read_into(r, &mut seen, len + 24)?;
+            check_trailer(r, &seen)?;
+            let tenant = String::from_utf8(seen[7..7 + len].to_vec())
+                .map_err(|_| bad("tenant not utf-8"))?;
+            let nums = &seen[7 + len..];
+            Ok(Request::Get {
+                tenant,
+                transfer_id: u64::from_le_bytes(nums[..8].try_into().unwrap()),
+                offset: u64::from_le_bytes(nums[8..16].try_into().unwrap()),
+                len: u64::from_le_bytes(nums[16..].try_into().unwrap()),
+            })
+        }
         _ => Err(bad("unknown request kind")),
     }
+}
+
+/// Writes a GET data stream: the raw bytes followed by a CRC-32 trailer.
+/// The byte count was already announced in the accept frame's
+/// `start_offset`, so the stream needs no length prefix of its own.
+pub fn write_get_payload(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
+    w.write_all(bytes)?;
+    w.write_all(&crc32(bytes).to_le_bytes())
+}
+
+/// Reads a GET data stream of exactly `n` announced bytes and verifies
+/// its CRC-32 trailer.
+pub fn read_get_payload(r: &mut impl Read, n: u64) -> io::Result<Vec<u8>> {
+    let mut bytes = vec![0u8; n as usize];
+    r.read_exact(&mut bytes)?;
+    check_trailer(r, &bytes)?;
+    Ok(bytes)
 }
 
 pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
@@ -282,6 +337,35 @@ mod tests {
     }
 
     #[test]
+    fn get_request_roundtrips() {
+        let req = Request::Get {
+            tenant: "reader-9".to_string(),
+            transfer_id: 0x0102_0304_0506,
+            offset: 7 << 20,
+            len: 128 * 1024,
+        };
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        assert_eq!(read_request(&mut &wire[..]).unwrap(), req);
+    }
+
+    #[test]
+    fn get_payload_roundtrips_and_rejects_flips() {
+        let data = b"ranged get payload bytes".to_vec();
+        let mut wire = Vec::new();
+        write_get_payload(&mut wire, &data).unwrap();
+        assert_eq!(read_get_payload(&mut &wire[..], data.len() as u64).unwrap(), data);
+        for i in 0..wire.len() {
+            let mut hurt = wire.clone();
+            hurt[i] ^= 0x10;
+            assert!(
+                read_get_payload(&mut &hurt[..], data.len() as u64).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
     fn responses_roundtrip() {
         for resp in [
             Response::Accept { start_offset: 0, level_cap: NO_LEVEL_CAP },
@@ -335,6 +419,12 @@ mod tests {
         frames.push(std::mem::take(&mut wire));
         write_request(&mut wire, &Request::Drain).unwrap();
         frames.push(std::mem::take(&mut wire));
+        write_request(
+            &mut wire,
+            &Request::Get { tenant: "tenant-0".into(), transfer_id: 58, offset: 512, len: 4096 },
+        )
+        .unwrap();
+        frames.push(std::mem::take(&mut wire));
         write_response(&mut wire, &Response::Accept { start_offset: 77, level_cap: 3 }).unwrap();
         frames.push(std::mem::take(&mut wire));
         write_response(&mut wire, &Response::Reject { reason: RejectReason::Capacity }).unwrap();
@@ -348,8 +438,8 @@ mod tests {
                     hurt[i] ^= flip;
                     let r = &mut &hurt[..];
                     let err = match f {
-                        0 | 1 => read_request(r).is_err(),
-                        2 | 3 => read_response(r).is_err(),
+                        0..=2 => read_request(r).is_err(),
+                        3 | 4 => read_response(r).is_err(),
                         _ => read_done(r).is_err(),
                     };
                     assert!(err, "frame {f}: flip {flip:#x} at byte {i} went undetected");

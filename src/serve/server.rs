@@ -27,14 +27,22 @@
 //!   told where to continue, which is what makes completed transfers
 //!   byte-identical by construction even on a hostile wire.
 
+use super::cache::{BlockCache, CacheStats};
 use super::proto::{
-    read_request, write_done, write_response, Done, RejectReason, Request, Response, NO_LEVEL_CAP,
+    read_request, write_done, write_get_payload, write_response, Done, RejectReason, Request,
+    Response, NO_LEVEL_CAP,
 };
 use adcomp_codecs::crc32::{crc32, Hasher};
-use adcomp_codecs::frame::RecoveryPolicy;
+use adcomp_codecs::frame::{
+    decode_block_with, RecoveryMode, RecoveryPolicy, DEFAULT_MAX_FRAME,
+};
+use adcomp_codecs::seek::StreamIndex;
+use adcomp_codecs::DecodeScratch;
 use adcomp_core::stream::AdaptiveReader;
 use adcomp_core::{SharedThrottle, ThrottledReader};
-use adcomp_metrics::registry::{self, CounterKind, GaugeKind, LabelFamily, MetricsRegistry};
+use adcomp_metrics::registry::{
+    self, CounterKind, GaugeKind, LabelFamily, MetricsRegistry, SpanKind,
+};
 use adcomp_trace::events::{ServerEvent, NO_EPOCH};
 use adcomp_trace::{TraceEvent, TraceHandle, TraceSink};
 use std::collections::HashMap;
@@ -63,6 +71,15 @@ pub struct ServeConfig {
     pub tenant_rate_bps: Option<f64>,
     /// Retain received payloads in memory (tests / verification).
     pub keep_payloads: bool,
+    /// Retain the *compressed* wire bytes of each transfer, frame-aligned
+    /// and CRC-verified, so completed transfers can serve ranged GETs
+    /// through the block index without holding decoded payloads. Only
+    /// effective under a fail-fast [`RecoveryPolicy`] (a skipping reader
+    /// would leave holes the wire copy cannot represent).
+    pub store_wire: bool,
+    /// Byte budget for the hot-object block cache serving ranged GETs
+    /// (0 disables caching; GETs then decode every covering block).
+    pub cache_bytes: u64,
     /// Frame-stream recovery policy for the per-connection reader.
     /// Fail-fast is the correct default here: the verified prefix must
     /// stay gap-free for resume to be byte-accurate.
@@ -89,6 +106,8 @@ impl Default for ServeConfig {
             max_stream_secs: 600.0,
             tenant_rate_bps: None,
             keep_payloads: false,
+            store_wire: true,
+            cache_bytes: 64 << 20,
             recovery: RecoveryPolicy::fail_fast(),
             breaker_threshold: 0.9,
             pressure_probe: None,
@@ -134,6 +153,21 @@ struct Transfer {
     /// A connection is currently streaming this transfer; a duplicate
     /// gets rejected instead of corrupting the prefix.
     busy: bool,
+    /// Frame-aligned compressed wire bytes covering exactly `verified`
+    /// application bytes, accumulated across resumed connections. `None`
+    /// when wire storage is off or was invalidated by a protocol
+    /// violation.
+    wire: Option<Vec<u8>>,
+    /// Set at completion: the wire plus its scanned block index, shared
+    /// with GET handlers outside the transfer lock.
+    sealed: Option<Arc<SealedObject>>,
+}
+
+/// A completed transfer's compressed bytes plus the block index that
+/// makes them randomly accessible.
+struct SealedObject {
+    wire: Vec<u8>,
+    index: StreamIndex,
 }
 
 struct Shared {
@@ -147,6 +181,7 @@ struct Shared {
     transfers: Mutex<HashMap<(String, u64), Transfer>>,
     breaker_open: AtomicBool,
     counters: Counters,
+    cache: BlockCache,
     start: Instant,
 }
 
@@ -207,6 +242,7 @@ impl Server {
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        let cache = BlockCache::new(cfg.cache_bytes);
         let shared = Arc::new(Shared {
             cfg,
             stop: AtomicBool::new(false),
@@ -218,6 +254,7 @@ impl Server {
             transfers: Mutex::default(),
             breaker_open: AtomicBool::new(false),
             counters: Counters::default(),
+            cache,
             start: Instant::now(),
         });
         let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
@@ -335,6 +372,20 @@ impl Server {
     pub fn payload(&self, tenant: &str, transfer_id: u64) -> Option<Vec<u8>> {
         let transfers = self.shared.transfers.lock().expect("transfers poisoned");
         transfers.get(&(tenant.to_string(), transfer_id)).and_then(|t| t.data.clone())
+    }
+
+    /// Hot-object block-cache counters (hits, misses, evictions,
+    /// resident bytes).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Whether a completed transfer holds its compressed wire and block
+    /// index (i.e. ranged GETs will be index-served rather than sliced
+    /// from a retained decoded payload).
+    pub fn is_sealed(&self, tenant: &str, transfer_id: u64) -> bool {
+        let transfers = self.shared.transfers.lock().expect("transfers poisoned");
+        transfers.get(&(tenant.to_string(), transfer_id)).is_some_and(|t| t.sealed.is_some())
     }
 
     /// Whether a transfer has been received completely and CRC-verified.
@@ -465,6 +516,9 @@ fn handle_conn(shared: &Arc<Shared>, mut sock: TcpStream) {
         Request::Put { tenant, transfer_id, total_len } => {
             handle_put(shared, sock, tenant, transfer_id, total_len);
         }
+        Request::Get { tenant, transfer_id, offset, len } => {
+            handle_get(shared, sock, &tenant, transfer_id, offset, len);
+        }
     }
 }
 
@@ -505,7 +559,11 @@ fn handle_put(
     }
     // Transfer table: find the verified prefix; refuse concurrent writers
     // on the same transfer (the prefix must stay single-writer).
-    let start = {
+    // Wire storage needs a fail-fast reader: a skipping policy would
+    // deliver app bytes the stored wire cannot reproduce.
+    let store_wire =
+        shared.cfg.store_wire && shared.cfg.recovery.mode == RecoveryMode::FailFast;
+    let (start, capture) = {
         let mut transfers = shared.transfers.lock().expect("transfers poisoned");
         let t = transfers.entry((tenant.clone(), transfer_id)).or_insert_with(|| Transfer {
             verified: 0,
@@ -514,6 +572,8 @@ fn handle_put(
             data: shared.cfg.keep_payloads.then(Vec::new),
             completed: false,
             busy: false,
+            wire: store_wire.then(Vec::new),
+            sealed: None,
         });
         if t.busy || t.total != total_len {
             drop(transfers);
@@ -527,7 +587,7 @@ fn handle_put(
             return reject(RejectReason::TenantQuota, sock);
         }
         t.busy = true;
-        t.verified
+        (t.verified, t.wire.is_some())
     };
     // From here on the guard owns the rollback of all three reservations.
     let guard = StreamGuard { shared, tenant: tenant.clone(), transfer_id };
@@ -571,10 +631,15 @@ fn handle_put(
         }
         None => Box::new(read_sock),
     };
-    let mut reader = AdaptiveReader::with_policy(throttled, shared.cfg.recovery);
+    let mut reader = AdaptiveReader::with_policy(
+        CaptureReader { inner: throttled, captured: Vec::new(), enabled: capture },
+        shared.cfg.recovery,
+    );
     let deadline = Instant::now() + Duration::from_secs_f64(shared.cfg.max_stream_secs);
     let mut buf = [0u8; 16 * 1024];
     let key = (tenant.clone(), transfer_id);
+    let mut overflowed = false;
+    let mut delivered = 0u64;
     enum StreamEnd {
         Eof,
         Stop,
@@ -592,10 +657,14 @@ fn handle_put(
         match reader.read(&mut buf) {
             Ok(0) => break StreamEnd::Eof,
             Ok(n) => {
+                delivered += n as u64;
                 let mut transfers = shared.transfers.lock().expect("transfers poisoned");
                 let t = transfers.get_mut(&key).expect("busy transfer vanished");
                 if t.verified + n as u64 > total_len {
-                    // More bytes than declared: protocol violation.
+                    // More bytes than declared: protocol violation. The
+                    // captured wire no longer matches `verified`, so the
+                    // wire store for this transfer must be dropped too.
+                    overflowed = true;
                     break StreamEnd::Damage;
                 }
                 t.crc.update(&buf[..n]);
@@ -625,6 +694,26 @@ fn handle_put(
         m.counter_add(CounterKind::RecoverySkippedBytes, rec.skipped_bytes);
         m.counter_add(CounterKind::RecoveryTruncations, rec.truncations);
     });
+    // Fold the captured wire into the transfer before branching on how the
+    // stream ended: on every exit path `wire` must cover exactly
+    // `verified` app bytes for resume + GET to stay coherent. When the
+    // stream ended mid-block (wall-budget timeout between partial reads),
+    // decoded frames outran delivery and no frame-aligned prefix matches
+    // `verified` — the wire store for this transfer is dropped rather
+    // than left lying.
+    if capture {
+        let decoded = reader.app_bytes();
+        let wire_used = reader.wire_bytes() as usize;
+        let captured = reader.into_inner().captured;
+        let mut transfers = shared.transfers.lock().expect("transfers poisoned");
+        if let Some(t) = transfers.get_mut(&key) {
+            if overflowed || decoded != delivered {
+                t.wire = None;
+            } else if let Some(w) = t.wire.as_mut() {
+                w.extend_from_slice(&captured[..wire_used.min(captured.len())]);
+            }
+        }
+    }
     match end {
         StreamEnd::Eof => {}
         StreamEnd::Stop => {
@@ -654,6 +743,20 @@ fn handle_put(
         let complete = t.verified == total_len;
         if complete {
             t.completed = true;
+            // Seal: scan the stored wire into a block index (headers
+            // only, no decompression) so ranged GETs can seek. A scan
+            // disagreeing with the verified length means the wire copy
+            // cannot be trusted — drop it instead of serving from it.
+            if t.sealed.is_none() {
+                if let Some(w) = t.wire.take() {
+                    match StreamIndex::scan(&w) {
+                        Ok(index) if index.total_uncompressed() == total_len => {
+                            t.sealed = Some(Arc::new(SealedObject { wire: w, index }));
+                        }
+                        _ => {}
+                    }
+                }
+            }
         }
         (t.verified, t.crc.finish(), complete)
     };
@@ -669,6 +772,140 @@ fn handle_put(
         }
     }
     drop(guard);
+}
+
+/// Tees every byte read from the socket into `captured`, so a completed
+/// PUT can retain its frame-aligned compressed wire for ranged GETs.
+/// `AdaptiveReader`'s frame layer consumes the socket in exact frame
+/// units (header `read_exact`, then payload `read_exact`), so truncating
+/// the capture to the reader's `wire_bytes()` yields only whole, valid
+/// frames.
+struct CaptureReader {
+    inner: Box<dyn Read + Send>,
+    captured: Vec<u8>,
+    enabled: bool,
+}
+
+impl Read for CaptureReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if self.enabled {
+            self.captured.extend_from_slice(&buf[..n]);
+        }
+        Ok(n)
+    }
+}
+
+/// Serves a ranged GET of a completed transfer. Sealed transfers decode
+/// only the covering blocks out of the stored wire — through the block
+/// cache, so a hot block is decoded once and then served from memory;
+/// unsealed-but-retained ones fall back to slicing the decoded payload.
+fn handle_get(
+    shared: &Arc<Shared>,
+    mut sock: TcpStream,
+    tenant: &str,
+    transfer_id: u64,
+    offset: u64,
+    len: u64,
+) {
+    let tenant_id = ServerEvent::tenant_id(tenant);
+    let reject = |mut sock: TcpStream| {
+        shared.shed(RejectReason::BadRequest, tenant_id);
+        let _ = write_response(&mut sock, &Response::Reject { reason: RejectReason::BadRequest });
+    };
+    enum Source {
+        Sealed(Arc<SealedObject>),
+        Plain(Vec<u8>),
+    }
+    let source = {
+        let transfers = shared.transfers.lock().expect("transfers poisoned");
+        match transfers.get(&(tenant.to_string(), transfer_id)) {
+            Some(t) if t.completed => match &t.sealed {
+                Some(s) => Some(Source::Sealed(Arc::clone(s))),
+                None => t.data.clone().map(Source::Plain),
+            },
+            _ => None,
+        }
+    };
+    let Some(source) = source else {
+        return reject(sock);
+    };
+    let span = registry::span(SpanKind::RangedRead);
+    shared.metric(|m| m.counter_add(CounterKind::RangedReads, 1));
+    let out = match &source {
+        Source::Plain(data) => {
+            // No stored wire (storage off, or invalidated mid-transfer):
+            // slice the retained decoded payload. Counted as a fallback —
+            // the index never served this read.
+            shared.metric(|m| m.counter_add(CounterKind::IndexFallbacks, 1));
+            let lo = (offset as usize).min(data.len());
+            let hi = offset.saturating_add(len).min(data.len() as u64) as usize;
+            data[lo..hi].to_vec()
+        }
+        Source::Sealed(sealed) => match read_range_sealed(shared, sealed, offset, len) {
+            Ok(bytes) => bytes,
+            // The server's own wire failed to decode — nothing sane to
+            // serve; shed rather than ship wrong bytes.
+            Err(_) => return reject(sock),
+        },
+    };
+    drop(span);
+    shared.event("get", tenant_id, out.len() as u64, transfer_id);
+    let accept = Response::Accept { start_offset: out.len() as u64, level_cap: NO_LEVEL_CAP };
+    if write_response(&mut sock, &accept).is_err() {
+        return;
+    }
+    let _ = write_get_payload(&mut sock, &out);
+    let _ = sock.shutdown(Shutdown::Write);
+}
+
+/// Decodes `[offset, offset + len)` (clamped) out of a sealed object,
+/// serving every covering block from the cache when it can. A cache hit
+/// never touches the decoder.
+fn read_range_sealed(
+    shared: &Shared,
+    sealed: &SealedObject,
+    offset: u64,
+    len: u64,
+) -> std::io::Result<Vec<u8>> {
+    let index = &sealed.index;
+    let total = index.total_uncompressed();
+    if offset >= total || len == 0 {
+        return Ok(Vec::new());
+    }
+    let take = len.min(total - offset) as usize;
+    let blocks = index.blocks_covering(offset, len);
+    let first_off = index.entries[blocks.start].uncompressed_offset;
+    let mut out = Vec::with_capacity(take + (offset - first_off) as usize);
+    let mut scratch = DecodeScratch::new();
+    for i in blocks {
+        let e = index.entries[i];
+        if e.uncompressed_len == 0 {
+            continue; // flush artifact: a frame with no application bytes
+        }
+        let key = (e.crc, e.uncompressed_len);
+        if let Some(bytes) = shared.cache.get(key) {
+            out.extend_from_slice(&bytes);
+            continue;
+        }
+        let frame = &sealed.wire[e.frame_offset as usize..(e.frame_offset + u64::from(e.frame_len)) as usize];
+        let mut block = Vec::with_capacity(e.uncompressed_len as usize);
+        decode_block_with(&mut scratch, frame, &mut block, DEFAULT_MAX_FRAME)
+            .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err))?;
+        let bytes = Arc::new(block);
+        shared.cache.insert(key, Arc::clone(&bytes));
+        out.extend_from_slice(&bytes);
+    }
+    let skip = (offset - first_off) as usize;
+    if skip + take > out.len() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "covering blocks shorter than the index promised",
+        ));
+    }
+    out.drain(..skip);
+    out.truncate(take);
+    Ok(out)
 }
 
 /// Convenience for tests: CRC-32 of a payload, re-exported so callers

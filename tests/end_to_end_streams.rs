@@ -101,3 +101,48 @@ fn reader_rejects_corrupted_wire_data() {
     let res = AdaptiveReader::new(&wire[..]).read_to_end(&mut out);
     assert!(res.is_err(), "corruption must not pass silently");
 }
+
+/// The non-indexed wire format is frozen: a pinned-seed stream must be
+/// byte-identical to the committed golden fixture, and the seekable
+/// variant of the same stream must be exactly those bytes plus the
+/// appended index trailer — which an old-style streaming reader skips
+/// cleanly. Regenerate the golden with `ADCOMP_REGEN_GOLDEN=1 cargo test
+/// non_indexed_wire_bytes_match_pinned_golden`.
+#[test]
+fn non_indexed_wire_bytes_match_pinned_golden() {
+    let data = adcomp::corpus::generate(Class::Moderate, 48 * 1024, 0x601D);
+    let make = |seekable: bool| {
+        let mut w = AdaptiveWriter::with_params(
+            Vec::new(),
+            LevelSet::paper_default(),
+            Box::new(StaticModel::new(2, 4)),
+            4096,
+            3600.0,
+            Box::new(adcomp::core::ManualClock::new()),
+        );
+        if seekable {
+            w.set_seekable(true);
+        }
+        w.write_all(&data).unwrap();
+        w.finish().unwrap().0
+    };
+    let plain = make(false);
+
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/plain_stream.adc");
+    if std::env::var_os("ADCOMP_REGEN_GOLDEN").is_some() {
+        std::fs::write(golden_path, &plain).unwrap();
+    }
+    let golden = std::fs::read(golden_path)
+        .expect("golden missing — run once with ADCOMP_REGEN_GOLDEN=1");
+    assert_eq!(plain, golden, "non-indexed wire bytes drifted from the pinned golden");
+
+    let indexed = make(true);
+    assert!(indexed.len() > plain.len(), "seekable stream must append a trailer");
+    assert_eq!(indexed[..plain.len()], plain[..], "index must be an appended trailer only");
+
+    for wire in [&plain, &indexed] {
+        let mut out = Vec::new();
+        AdaptiveReader::new(&wire[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, data, "streaming reader must decode (and skip any trailer) losslessly");
+    }
+}
