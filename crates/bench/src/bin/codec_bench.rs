@@ -4,9 +4,17 @@
 //! [`Scratch`] — the adaptive writer's real per-block path), `decompress`
 //! (fresh decode state) and `decompress_scratch` (reused
 //! [`DecodeScratch`] — the frame reader's real per-block path) for every
-//! codec level × corpus class, using the same 512 KiB seed-42 samples and
-//! median-of-samples methodology as the criterion benches, so rows are
-//! comparable with the historical `BENCH_codecs.json` entries.
+//! codec in the registry (paper ladder + portfolio HUFF/COLUMNAR) × corpus
+//! class, using the same 512 KiB seed-42 samples and median-of-samples
+//! methodology as the criterion benches, so rows are comparable with the
+//! historical `BENCH_codecs.json` entries.
+//!
+//! It also emits one **gated pair** under the bench key
+//! `portfolio/compress/heterogeneous`: the fastest single ladder codec on
+//! an interleaved runs/text/noise corpus is pinned as the baseline and the
+//! per-block portfolio selection path is appended after it, so
+//! `bench_gate` enforces *portfolio ≥ best-single-ladder* compressed
+//! throughput on every append.
 //!
 //! Usage:
 //!
@@ -23,6 +31,7 @@
 
 use adcomp_bench::ledger::{host_fields, today, Ledger, Row};
 use adcomp_codecs::{codec_for, CodecId, DecodeScratch, Scratch};
+use adcomp_core::portfolio;
 use adcomp_corpus::{generate, Class};
 use std::path::Path;
 use std::time::Instant;
@@ -91,7 +100,7 @@ fn main() {
 
     for class in Class::ALL {
         let data = generate(class, len, SEED);
-        for id in CodecId::ALL {
+        for id in CodecId::REGISTRY {
             if id == CodecId::Raw {
                 continue;
             }
@@ -148,6 +157,92 @@ fn main() {
         }
     }
 
+    // Portfolio vs best-single-ladder on a heterogeneous corpus. Blocks
+    // rotate runs / text / noise; the per-block portfolio path probes each
+    // block and compresses with the nominated level-2 codec, while each
+    // single ladder codec has to pay its own cost on every block. The
+    // comparison is **iso-quality**: the baseline is the fastest single
+    // ladder codec whose total wire bytes are no larger than the
+    // portfolio's (a codec that trades ratio away for speed is not a
+    // substitute). That codec is pinned `baseline: true` under the same
+    // bench key, with the portfolio row appended *after* it, so
+    // `bench_gate` fails the build if portfolio selection ever drops below
+    // the best single codec of equal-or-better ratio.
+    const PF_BLOCK: usize = 4096;
+    let thirds: Vec<Vec<u8>> =
+        Class::ALL.into_iter().map(|c| generate(c, len / 3 + 2 * PF_BLOCK, SEED)).collect();
+    let mut hetero = Vec::with_capacity(len + 3 * PF_BLOCK);
+    let mut off = 0;
+    while hetero.len() < len {
+        for t in &thirds {
+            hetero.extend_from_slice(&t[off..off + PF_BLOCK]);
+        }
+        off += PF_BLOCK;
+    }
+    hetero.truncate(len);
+
+    let mut scratch = Scratch::new();
+    let mut out = Vec::with_capacity(2 * PF_BLOCK);
+    let wire_bytes = |pick: &dyn Fn(&[u8]) -> CodecId, scratch: &mut Scratch| -> usize {
+        let mut total = 0;
+        let mut out = Vec::new();
+        for block in hetero.chunks(PF_BLOCK) {
+            out.clear();
+            codec_for(pick(block)).compress_with(scratch, block, &mut out);
+            total += out.len();
+        }
+        total
+    };
+    let pf_wire = wire_bytes(&|block| portfolio::select(block, 2), &mut scratch);
+    let mut best: Option<(CodecId, f64)> = None;
+    for id in [CodecId::QlzLight, CodecId::QlzMedium, CodecId::Heavy] {
+        if wire_bytes(&|_| id, &mut scratch) > pf_wire {
+            continue; // worse ratio than the portfolio: not a substitute
+        }
+        let codec = codec_for(id);
+        let ns = measure(
+            || {
+                for block in hetero.chunks(PF_BLOCK) {
+                    out.clear();
+                    codec.compress_with(&mut scratch, block, &mut out);
+                }
+            },
+            samples,
+            min_batch,
+        );
+        if best.is_none_or(|(_, b)| ns < b) {
+            best = Some((id, ns));
+        }
+    }
+    let (best_id, best_ns) = best.expect("HEAVY always compresses at least as well as level 2");
+    let ns_pf = measure(
+        || {
+            for block in hetero.chunks(PF_BLOCK) {
+                out.clear();
+                codec_for(portfolio::select(block, 2)).compress_with(&mut scratch, block, &mut out);
+            }
+        },
+        samples,
+        min_batch,
+    );
+    let pf_key = "portfolio/compress/heterogeneous";
+    let pf_row = |label: String, ns: f64, baseline: bool| {
+        let mbps = (len as f64 / (ns / 1e9)) / 1e6;
+        println!("{pf_key:<32} {ns:>14.1} ns/iter {mbps:>10.1} MB/s ({label})");
+        Row {
+            date: date.clone(),
+            label,
+            bench: pf_key.to_string(),
+            mbps,
+            ns_per_iter: Some(ns),
+            secs: None,
+            baseline,
+            note: Some(note.clone()),
+        }
+    };
+    rows.push(pf_row(format!("{label}-best-single[{}]", best_id.level_name()), best_ns, true));
+    rows.push(pf_row(label.clone(), ns_pf, false));
+
     if let Some(path) = append {
         let path = Path::new(&path);
         let mut ledger = if path.exists() {
@@ -165,6 +260,7 @@ fn main() {
                 host_fields(),
             )
         };
+        let appended = rows.len();
         ledger.rows.extend(rows);
         ledger.lint().unwrap_or_else(|e| {
             eprintln!("refusing to write a ledger that fails lint: {e}");
@@ -174,6 +270,6 @@ fn main() {
             eprintln!("cannot write {}: {e}", path.display());
             std::process::exit(1);
         });
-        eprintln!("appended {} rows to {}", Class::ALL.len() * 3 * 4, path.display());
+        eprintln!("appended {appended} rows to {}", path.display());
     }
 }

@@ -1,0 +1,602 @@
+//! HUFF — a deflate-style fixed-Huffman bitstream codec.
+//!
+//! Greedy LZ77 parse (single-probe hash table, 32 KiB window, matches of
+//! 4..=258 bytes) entropy-coded with the *fixed* Huffman trees from
+//! RFC 1951 §3.2.6: literal/length symbols in 7–9 bits, distance symbols
+//! in 5 bits, both with the standard extra-bit ranges. There is no
+//! dynamic-tree mode and no block structure beyond a single end-of-block
+//! symbol — every frame is one fixed-tree block, which keeps the encoder a
+//! pure streaming `BitWriter` over the caller's output span (zero heap
+//! allocations in the scratch path) and the decoder a flat-table loop.
+//!
+//! Wire format: the LSB-first bitstream of `(litlen, extra, dist, extra)*`
+//! tokens terminated by symbol 256, padded with zero bits to a byte
+//! boundary. The frame layer supplies lengths and CRC; like every codec in
+//! this crate the decoder is bounds-hardened and returns typed
+//! [`CodecError`]s on damage, never panics.
+//!
+//! [`huff_reference`] is an independent bit-at-a-time canonical decoder
+//! used by the differential oracle suite: identical output bytes *and*
+//! identical errors on every input, valid or corrupt.
+
+use crate::qlz::match_len;
+use crate::scratch::reset_table;
+use crate::{CodecError, Result, Scratch};
+
+/// Window the matcher may reference (deflate's 32 KiB).
+const WINDOW: usize = 32 * 1024;
+/// Longest match a single token can encode.
+const MAX_MATCH: usize = 258;
+/// Shortest match worth a token under the fixed trees.
+const MIN_MATCH: usize = 4;
+/// Match-finder hash table: 2^15 single-probe slots.
+const HASH_BITS: u32 = 15;
+const TABLE_LEN: usize = 1 << HASH_BITS;
+
+// --- fixed trees (RFC 1951 §3.2.6) -------------------------------------
+
+/// Code length of literal/length symbol `sym` in the fixed tree.
+const fn litlen_len(sym: usize) -> u8 {
+    if sym <= 143 {
+        8
+    } else if sym <= 255 {
+        9
+    } else if sym <= 279 {
+        7
+    } else {
+        8
+    }
+}
+
+/// Reverses the low `len` bits of `code` (deflate packs Huffman codes
+/// MSB-first into an LSB-first bitstream).
+const fn rev(code: u16, len: u8) -> u16 {
+    let mut r = 0u16;
+    let mut i = 0;
+    while i < len {
+        r = (r << 1) | ((code >> i) & 1);
+        i += 1;
+    }
+    r
+}
+
+/// Canonical codes for all 288 literal/length symbols, already
+/// bit-reversed for the LSB-first writer, paired with their lengths.
+const fn build_litlen() -> ([u16; 288], [u8; 288]) {
+    let mut lens = [0u8; 288];
+    let mut bl_count = [0u16; 10];
+    let mut s = 0;
+    while s < 288 {
+        let l = litlen_len(s);
+        lens[s] = l;
+        bl_count[l as usize] += 1;
+        s += 1;
+    }
+    let mut next_code = [0u16; 10];
+    let mut code = 0u16;
+    let mut bits = 1;
+    while bits <= 9 {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+        bits += 1;
+    }
+    let mut codes = [0u16; 288];
+    let mut s = 0;
+    while s < 288 {
+        let l = lens[s] as usize;
+        codes[s] = rev(next_code[l], lens[s]);
+        next_code[l] += 1;
+        s += 1;
+    }
+    (codes, lens)
+}
+
+const LITLEN: ([u16; 288], [u8; 288]) = build_litlen();
+const LITLEN_CODE: [u16; 288] = LITLEN.0;
+const LITLEN_LEN: [u8; 288] = LITLEN.1;
+
+/// Flat decode table: 9 peeked LSB-first bits → (symbol, code length).
+/// The fixed litlen tree is complete, so every 9-bit pattern maps to
+/// exactly one symbol.
+const fn build_litlen_lut() -> ([u16; 512], [u8; 512]) {
+    let mut sym_lut = [0u16; 512];
+    let mut len_lut = [0u8; 512];
+    let mut s = 0;
+    while s < 288 {
+        let l = LITLEN_LEN[s];
+        let start = LITLEN_CODE[s] as usize; // already reversed
+        let step = 1usize << l;
+        let mut idx = start;
+        while idx < 512 {
+            sym_lut[idx] = s as u16;
+            len_lut[idx] = l;
+            idx += step;
+        }
+        s += 1;
+    }
+    (sym_lut, len_lut)
+}
+
+const LITLEN_LUT: ([u16; 512], [u8; 512]) = build_litlen_lut();
+
+/// 5 peeked LSB-first bits → distance symbol (0..=31; 30/31 are invalid).
+const fn build_dist_lut() -> [u8; 32] {
+    let mut lut = [0u8; 32];
+    let mut s = 0u16;
+    while s < 32 {
+        lut[rev(s, 5) as usize] = s as u8;
+        s += 1;
+    }
+    lut
+}
+
+const DIST_LUT: [u8; 32] = build_dist_lut();
+
+/// Length-code bases and extra-bit counts for symbols 257 + i.
+const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+const LEN_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+
+/// Match length 3..=258 → length-code index (0..=28).
+const fn build_len_to_code() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut idx = 0;
+    while idx < 28 {
+        let lo = LEN_BASE[idx];
+        let hi = LEN_BASE[idx] + (1 << LEN_EXTRA[idx]) - 1;
+        let mut l = lo;
+        while l <= hi && l <= 258 {
+            t[(l - 3) as usize] = idx as u8;
+            l += 1;
+        }
+        idx += 1;
+    }
+    t[258 - 3] = 28; // 258 has its own zero-extra code (285)
+    t
+}
+
+const LEN_TO_CODE: [u8; 256] = build_len_to_code();
+
+/// Distance-code bases and extra-bit counts for symbols 0..=29.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+
+/// zlib-style distance→code table: `dist_to_code` consults index `d-1`
+/// directly below 256 and `256 + ((d-1) >> 7)` above.
+const fn build_dist_to_code() -> [u8; 512] {
+    let mut t = [0u8; 512];
+    let mut code = 0;
+    while code < 30 {
+        let lo = (DIST_BASE[code] - 1) as usize;
+        let hi = lo + (1usize << DIST_EXTRA[code]) - 1;
+        let mut d0 = lo;
+        while d0 <= hi && d0 < 32768 {
+            if d0 < 256 {
+                t[d0] = code as u8;
+            } else {
+                t[256 + (d0 >> 7)] = code as u8;
+            }
+            d0 += 1;
+        }
+        code += 1;
+    }
+    t
+}
+
+const DIST_TO_CODE: [u8; 512] = build_dist_to_code();
+
+#[inline]
+fn dist_to_code(dist: usize) -> usize {
+    let d0 = dist - 1;
+    if d0 < 256 {
+        DIST_TO_CODE[d0] as usize
+    } else {
+        DIST_TO_CODE[256 + (d0 >> 7)] as usize
+    }
+}
+
+// --- encoder ------------------------------------------------------------
+
+/// LSB-first bit accumulator writing straight into the caller's output
+/// span — no internal buffer, so a warmed output `Vec` makes the whole
+/// encode path allocation-free.
+struct BitWriter<'a> {
+    out: &'a mut Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitWriter<'a> {
+    fn new(out: &'a mut Vec<u8>) -> Self {
+        BitWriter { out, acc: 0, nbits: 0 }
+    }
+
+    /// Appends the low `n` bits of `bits` (n <= 32, high bits clear).
+    #[inline]
+    fn push(&mut self, bits: u32, n: u32) {
+        self.acc |= (bits as u64) << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push(self.acc as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Flushes the final partial byte (zero-padded).
+    fn finish(self) {
+        if self.nbits > 0 {
+            self.out.push(self.acc as u8);
+        }
+    }
+}
+
+#[inline]
+fn hash4(bytes: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes(bytes[i..i + 4].try_into().unwrap());
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn compress_impl(table: &mut [u32], input: &[u8], out: &mut Vec<u8>) {
+    debug_assert_eq!(table.len(), TABLE_LEN);
+    let mut bw = BitWriter::new(out);
+    let n = input.len();
+    let mut i = 0usize;
+    while i < n {
+        let mut matched = 0usize;
+        let mut dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash4(input, i);
+            let cand = table[h];
+            table[h] = i as u32;
+            if cand != u32::MAX {
+                let cand = cand as usize;
+                let d = i - cand;
+                if d <= WINDOW {
+                    let len = match_len(input, cand, i, MAX_MATCH.min(n - i));
+                    if len >= MIN_MATCH {
+                        matched = len;
+                        dist = d;
+                    }
+                }
+            }
+        }
+        if matched == 0 {
+            let sym = input[i] as usize;
+            bw.push(LITLEN_CODE[sym] as u32, LITLEN_LEN[sym] as u32);
+            i += 1;
+            continue;
+        }
+        let lc = LEN_TO_CODE[matched - 3] as usize;
+        let sym = 257 + lc;
+        bw.push(LITLEN_CODE[sym] as u32, LITLEN_LEN[sym] as u32);
+        bw.push((matched as u32) - LEN_BASE[lc] as u32, LEN_EXTRA[lc] as u32);
+        let dc = dist_to_code(dist);
+        bw.push(rev(dc as u16, 5) as u32, 5);
+        bw.push((dist as u32) - DIST_BASE[dc] as u32, DIST_EXTRA[dc] as u32);
+        // Seed the table part-way into the match so the next block of
+        // similar content still finds it; skipping every interior position
+        // keeps the encoder O(n).
+        if matched > 2 && i + matched + MIN_MATCH <= n {
+            let mid = i + matched / 2;
+            table[hash4(input, mid)] = mid as u32;
+        }
+        i += matched;
+    }
+    let eob = 256usize;
+    bw.push(LITLEN_CODE[eob] as u32, LITLEN_LEN[eob] as u32);
+    bw.finish();
+}
+
+/// Compresses `input`, appending the HUFF bitstream to `out`.
+pub fn compress(input: &[u8], out: &mut Vec<u8>) {
+    let mut table = vec![u32::MAX; TABLE_LEN];
+    compress_impl(&mut table, input, out);
+}
+
+/// Scratch-reusing twin of [`compress`]; bit-identical output (the hash
+/// table is reset to the fresh state before the parse).
+pub fn compress_with(scratch: &mut Scratch, input: &[u8], out: &mut Vec<u8>) {
+    reset_table(&mut scratch.huff_table, TABLE_LEN);
+    compress_impl(&mut scratch.huff_table, input, out);
+}
+
+// --- optimized decoder --------------------------------------------------
+
+/// LSB-first bit reader over the input slice with a 64-bit accumulator.
+struct BitReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(input: &'a [u8]) -> Self {
+        BitReader { input, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.pos < self.input.len() {
+            self.acc |= (self.input[self.pos] as u64) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Takes exactly `n` bits; [`CodecError::Truncated`] when fewer remain.
+    #[inline]
+    fn take(&mut self, n: u32) -> Result<u32> {
+        self.refill();
+        if self.nbits < n {
+            return Err(CodecError::Truncated);
+        }
+        let v = (self.acc & ((1u64 << n) - 1)) as u32;
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    /// Decodes one literal/length symbol via the flat 9-bit table.
+    #[inline]
+    fn litlen(&mut self) -> Result<usize> {
+        self.refill();
+        let idx = (self.acc & 0x1FF) as usize;
+        let l = LITLEN_LUT.1[idx] as u32;
+        if self.nbits < l {
+            return Err(CodecError::Truncated);
+        }
+        self.acc >>= l;
+        self.nbits -= l;
+        Ok(LITLEN_LUT.0[idx] as usize)
+    }
+}
+
+/// Decompresses a HUFF bitstream (exactly `expected_len` output bytes),
+/// appending to `out`. Bounds-hardened: damage yields a typed error with
+/// whatever prefix was decoded left in `out`, matching
+/// [`huff_reference`]'s behaviour byte for byte.
+pub fn decompress(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
+    let start = out.len();
+    let mut br = BitReader::new(input);
+    loop {
+        let sym = br.litlen()?;
+        if sym < 256 {
+            if out.len() - start >= expected_len {
+                return Err(CodecError::Corrupt("output overruns expected length"));
+            }
+            out.push(sym as u8);
+            continue;
+        }
+        if sym == 256 {
+            if out.len() - start != expected_len {
+                return Err(CodecError::Corrupt("block ended before expected length"));
+            }
+            return Ok(());
+        }
+        if sym > 285 {
+            return Err(CodecError::Corrupt("invalid length symbol"));
+        }
+        let lc = sym - 257;
+        let len = LEN_BASE[lc] as usize + br.take(LEN_EXTRA[lc] as u32)? as usize;
+        let dsym = DIST_LUT[br.take(5)? as usize] as usize;
+        if dsym > 29 {
+            return Err(CodecError::Corrupt("invalid distance symbol"));
+        }
+        let dist = DIST_BASE[dsym] as usize + br.take(DIST_EXTRA[dsym] as u32)? as usize;
+        let produced = out.len() - start;
+        if dist > produced {
+            return Err(CodecError::Corrupt("match offset out of range"));
+        }
+        if produced + len > expected_len {
+            return Err(CodecError::Corrupt("match overruns expected length"));
+        }
+        copy_match(out, dist, len);
+    }
+}
+
+/// Appends `len` bytes copied from `dist` back — byte-at-a-time only when
+/// the regions overlap, chunked otherwise.
+#[inline]
+fn copy_match(out: &mut Vec<u8>, dist: usize, len: usize) {
+    let from = out.len() - dist;
+    if dist >= len {
+        out.extend_from_within(from..from + len);
+        return;
+    }
+    // Overlapping (run-like) copy: doubling via extend_from_within keeps
+    // the byte semantics of the naive loop.
+    let mut remaining = len;
+    let mut avail = dist;
+    while remaining > 0 {
+        let take = avail.min(remaining);
+        out.extend_from_within(from..from + take);
+        remaining -= take;
+        avail += take;
+    }
+}
+
+// --- reference decoder (differential oracle) ----------------------------
+
+/// Naive bit-at-a-time canonical decoder: walks the fixed tree by code
+/// ranges, copies matches byte by byte. Shares no decode tables with
+/// [`decompress`]; the differential suite pins them to identical output
+/// *and* identical errors on every input.
+pub fn huff_reference(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
+    let start = out.len();
+    let mut bitpos = 0usize; // absolute bit index into input
+    let total_bits = input.len() * 8;
+    let mut read_bit = |bitpos: &mut usize| -> Result<u32> {
+        if *bitpos >= total_bits {
+            return Err(CodecError::Truncated);
+        }
+        let b = (input[*bitpos / 8] >> (*bitpos % 8)) & 1;
+        *bitpos += 1;
+        Ok(b as u32)
+    };
+    let read_extra = |bitpos: &mut usize, n: u32, rb: &mut dyn FnMut(&mut usize) -> Result<u32>| -> Result<u32> {
+        let mut v = 0u32;
+        for i in 0..n {
+            v |= rb(bitpos)? << i;
+        }
+        Ok(v)
+    };
+    loop {
+        // Canonical walk: accumulate MSB-first code bits until a range of
+        // the fixed tree matches.
+        let mut code = 0u32;
+        let mut len = 0u8;
+        let sym: usize = loop {
+            code = (code << 1) | read_bit(&mut bitpos)?;
+            len += 1;
+            match (len, code) {
+                (7, c) if c < 24 => break 256 + c as usize,
+                (8, c) if (0x30..=0xBF).contains(&c) => break c as usize - 0x30,
+                (8, c) if (0xC0..=0xC7).contains(&c) => break 280 + (c as usize - 0xC0),
+                (9, c) if (0x190..=0x1FF).contains(&c) => break 144 + (c as usize - 0x190),
+                (9, _) => unreachable!("the fixed litlen tree is complete"),
+                _ => {}
+            }
+        };
+        if sym < 256 {
+            if out.len() - start >= expected_len {
+                return Err(CodecError::Corrupt("output overruns expected length"));
+            }
+            out.push(sym as u8);
+            continue;
+        }
+        if sym == 256 {
+            if out.len() - start != expected_len {
+                return Err(CodecError::Corrupt("block ended before expected length"));
+            }
+            return Ok(());
+        }
+        if sym > 285 {
+            return Err(CodecError::Corrupt("invalid length symbol"));
+        }
+        let lc = sym - 257;
+        let len =
+            LEN_BASE[lc] as usize + read_extra(&mut bitpos, LEN_EXTRA[lc] as u32, &mut read_bit)? as usize;
+        let mut dcode = 0u32;
+        for _ in 0..5 {
+            dcode = (dcode << 1) | read_bit(&mut bitpos)?;
+        }
+        let dsym = dcode as usize;
+        if dsym > 29 {
+            return Err(CodecError::Corrupt("invalid distance symbol"));
+        }
+        let dist = DIST_BASE[dsym] as usize
+            + read_extra(&mut bitpos, DIST_EXTRA[dsym] as u32, &mut read_bit)? as usize;
+        let produced = out.len() - start;
+        if dist > produced {
+            return Err(CodecError::Corrupt("match offset out of range"));
+        }
+        if produced + len > expected_len {
+            return Err(CodecError::Corrupt("match overruns expected length"));
+        }
+        for _ in 0..len {
+            let b = out[out.len() - dist];
+            out.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let mut wire = Vec::new();
+        compress(data, &mut wire);
+        let mut out = Vec::new();
+        decompress(&wire, data.len(), &mut out).unwrap();
+        assert_eq!(out, data);
+        let mut slow = Vec::new();
+        huff_reference(&wire, data.len(), &mut slow).unwrap();
+        assert_eq!(slow, data);
+    }
+
+    #[test]
+    fn fixed_tree_matches_rfc1951() {
+        // Spot-check the canonical assignment against the RFC table
+        // (codes below are MSB-first; ours are stored reversed).
+        assert_eq!(LITLEN_LEN[0], 8);
+        assert_eq!(rev(LITLEN_CODE[0], 8), 0b0011_0000);
+        assert_eq!(LITLEN_LEN[144], 9);
+        assert_eq!(rev(LITLEN_CODE[144], 9), 0b1_1001_0000);
+        assert_eq!(LITLEN_LEN[256], 7);
+        assert_eq!(rev(LITLEN_CODE[256], 7), 0);
+        assert_eq!(LITLEN_LEN[280], 8);
+        assert_eq!(rev(LITLEN_CODE[280], 8), 0b1100_0000);
+    }
+
+    #[test]
+    fn roundtrips_shapes() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"hello hello hello hello hello hello");
+        roundtrip(&vec![0u8; 5000]);
+        roundtrip(&(0..=255u8).cycle().take(10_000).collect::<Vec<_>>());
+        let text = b"the quick brown fox jumps over the lazy dog. ".repeat(200);
+        roundtrip(&text);
+    }
+
+    #[test]
+    fn compresses_text() {
+        let text = b"adaptive compression mitigates shared I/O interference. ".repeat(500);
+        let mut wire = Vec::new();
+        compress(&text, &mut wire);
+        assert!(wire.len() < text.len() / 2, "{} of {}", wire.len(), text.len());
+    }
+
+    #[test]
+    fn scratch_output_is_bit_identical() {
+        let data = b"scratch reuse determinism check, repeated a bit. ".repeat(300);
+        let mut fresh = Vec::new();
+        compress(&data, &mut fresh);
+        let mut scratch = Scratch::new();
+        for _ in 0..3 {
+            let mut reused = Vec::new();
+            compress_with(&mut scratch, &data, &mut reused);
+            assert_eq!(reused, fresh);
+        }
+    }
+
+    #[test]
+    fn truncation_and_damage_yield_typed_errors() {
+        let data = b"truncate me truncate me truncate me".repeat(30);
+        let mut wire = Vec::new();
+        compress(&data, &mut wire);
+        for keep in 0..wire.len() {
+            let mut out = Vec::new();
+            assert!(decompress(&wire[..keep], data.len(), &mut out).is_err(), "cut {keep}");
+        }
+        let mut out = Vec::new();
+        assert_eq!(decompress(&[], 4, &mut out), Err(CodecError::Truncated));
+        // Lone EOB with a nonzero expected length: typed corrupt.
+        let mut out = Vec::new();
+        assert_eq!(
+            decompress(&[0x00], 4, &mut out),
+            Err(CodecError::Corrupt("block ended before expected length"))
+        );
+    }
+
+    #[test]
+    fn match_distance_cannot_escape_output() {
+        // Hand-build: EOB-only stream declaring length 0 decodes cleanly.
+        let mut out = Vec::new();
+        decompress(&[0x00], 0, &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+}

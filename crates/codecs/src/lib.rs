@@ -16,11 +16,28 @@
 //! "each block contains all the information to be decompressed by the
 //! receiver" — including automatic raw fallback when compression would
 //! expand the data.
+//!
+//! Beyond the paper's ladder, the *portfolio* extension adds two more
+//! families selectable per block by content probes (see
+//! `adcomp-core::portfolio`):
+//!
+//! | Id | Name | Family |
+//! |---|---|---|
+//! | 4 `HUFF` | [`huff`] | LZ + fixed-Huffman bitstream (deflate-style) |
+//! | 5 `COLUMNAR` | [`columnar`] | RLE / dictionary / bit-packing cascade |
+//!
+//! Portfolio ids live outside [`CodecId::ALL`] (the paper's ladder) but
+//! inside [`CodecId::REGISTRY`] (every id this build decodes). The wire
+//! format is unchanged — readers dispatch on the frame's codec byte, and
+//! builds that predate an id fail with a typed
+//! [`CodecError::UnknownCodec`], never a panic.
 
 pub mod calibrate;
+pub mod columnar;
 pub mod crc32;
 pub mod frame;
 pub mod heavy;
+pub mod huff;
 pub mod qlz;
 pub mod rangecoder;
 pub mod scratch;
@@ -90,12 +107,28 @@ pub enum CodecId {
     QlzMedium = 2,
     /// Range-coded LZ (LZMA analogue).
     Heavy = 3,
+    /// LZ + fixed-Huffman bitstream (deflate-style). Portfolio member.
+    Huffman = 4,
+    /// Columnar cascade: RLE / dictionary / bit-packing. Portfolio member.
+    Columnar = 5,
 }
 
 impl CodecId {
-    /// All ids, in compression-level order.
+    /// The paper's four-level ladder, in compression-level order. This is
+    /// what [`LevelSet::paper_default`] walks; portfolio members are *not*
+    /// included (they are nominated per block, not per level).
     pub const ALL: [CodecId; 4] =
         [CodecId::Raw, CodecId::QlzLight, CodecId::QlzMedium, CodecId::Heavy];
+
+    /// Every codec id this build can decode — ladder plus portfolio.
+    pub const REGISTRY: [CodecId; 6] = [
+        CodecId::Raw,
+        CodecId::QlzLight,
+        CodecId::QlzMedium,
+        CodecId::Heavy,
+        CodecId::Huffman,
+        CodecId::Columnar,
+    ];
 
     pub fn from_u8(v: u8) -> Result<CodecId> {
         match v {
@@ -103,17 +136,22 @@ impl CodecId {
             1 => Ok(CodecId::QlzLight),
             2 => Ok(CodecId::QlzMedium),
             3 => Ok(CodecId::Heavy),
+            4 => Ok(CodecId::Huffman),
+            5 => Ok(CodecId::Columnar),
             other => Err(CodecError::UnknownCodec(other)),
         }
     }
 
-    /// The paper's level name (NO / LIGHT / MEDIUM / HEAVY).
+    /// The paper's level name (NO / LIGHT / MEDIUM / HEAVY) or the
+    /// portfolio family name.
     pub fn level_name(self) -> &'static str {
         match self {
             CodecId::Raw => "NO",
             CodecId::QlzLight => "LIGHT",
             CodecId::QlzMedium => "MEDIUM",
             CodecId::Heavy => "HEAVY",
+            CodecId::Huffman => "HUFF",
+            CodecId::Columnar => "COLUMNAR",
         }
     }
 }
@@ -257,17 +295,56 @@ impl Codec for HeavyCodec {
     }
 }
 
+/// Portfolio member 4: LZ + fixed-Huffman bitstream.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HuffCodec;
+
+impl Codec for HuffCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Huffman
+    }
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        huff::compress(input, out);
+    }
+    fn compress_with(&self, scratch: &mut Scratch, input: &[u8], out: &mut Vec<u8>) {
+        huff::compress_with(scratch, input, out);
+    }
+    fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
+        huff::decompress(input, expected_len, out)
+    }
+}
+
+/// Portfolio member 5: columnar RLE / dictionary / bit-packing cascade.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ColumnarCodec;
+
+impl Codec for ColumnarCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Columnar
+    }
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        columnar::compress(input, out);
+    }
+    fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
+        columnar::decompress(input, expected_len, out)
+    }
+}
+
 /// Looks up the codec implementation for an id.
 pub fn codec_for(id: CodecId) -> &'static dyn Codec {
     static RAW: RawCodec = RawCodec;
     static LIGHT: QlzLightCodec = QlzLightCodec;
     static MEDIUM: QlzMediumCodec = QlzMediumCodec;
     static HEAVY: HeavyCodec = HeavyCodec;
+    static HUFF: HuffCodec = HuffCodec;
+    static COLUMNAR: ColumnarCodec = ColumnarCodec;
     match id {
         CodecId::Raw => &RAW,
         CodecId::QlzLight => &LIGHT,
         CodecId::QlzMedium => &MEDIUM,
         CodecId::Heavy => &HEAVY,
+        CodecId::Huffman => &HUFF,
+        CodecId::Columnar => &COLUMNAR,
     }
 }
 
@@ -331,10 +408,17 @@ mod tests {
 
     #[test]
     fn codec_id_roundtrip() {
-        for id in CodecId::ALL {
+        for id in CodecId::REGISTRY {
             assert_eq!(CodecId::from_u8(id as u8).unwrap(), id);
         }
         assert!(matches!(CodecId::from_u8(9), Err(CodecError::UnknownCodec(9))));
+    }
+
+    #[test]
+    fn registry_extends_ladder() {
+        assert_eq!(&CodecId::REGISTRY[..4], &CodecId::ALL[..]);
+        assert_eq!(CodecId::Huffman.level_name(), "HUFF");
+        assert_eq!(CodecId::Columnar.level_name(), "COLUMNAR");
     }
 
     #[test]
@@ -362,7 +446,7 @@ mod tests {
     #[test]
     fn all_codecs_roundtrip_via_trait() {
         let data = b"roundtrip through the trait object interface. ".repeat(50);
-        for id in CodecId::ALL {
+        for id in CodecId::REGISTRY {
             let codec = codec_for(id);
             assert_eq!(codec.id(), id);
             let mut c = Vec::new();

@@ -28,9 +28,11 @@ pub struct Scratch {
     /// HEAVY: match-finder tables + probability model (boxed so the common
     /// LIGHT/MEDIUM path does not pay for them).
     pub(crate) heavy: Option<Box<crate::heavy::HeavyScratch>>,
+    /// HUFF: single-probe hash table (`1 << 15` entries once used).
+    pub(crate) huff_table: Vec<u32>,
     /// Last compressed payload size per codec id — used as a capacity hint
     /// for the next block's output.
-    pub(crate) last_out: [usize; 4],
+    pub(crate) last_out: [usize; 6],
 }
 
 impl Scratch {
@@ -40,7 +42,8 @@ impl Scratch {
             med_head: Vec::new(),
             med_prev: Vec::new(),
             heavy: None,
-            last_out: [0; 4],
+            huff_table: Vec::new(),
+            last_out: [0; 6],
         }
     }
 
@@ -67,7 +70,11 @@ impl Scratch {
     /// Bytes of table memory currently held (diagnostics / tests).
     pub fn table_bytes(&self) -> usize {
         let heavy = self.heavy.as_ref().map_or(0, |h| h.table_bytes());
-        (self.light_table.capacity() + self.med_head.capacity() + self.med_prev.capacity()) * 4
+        (self.light_table.capacity()
+            + self.med_head.capacity()
+            + self.med_prev.capacity()
+            + self.huff_table.capacity())
+            * 4
             + heavy
     }
 }

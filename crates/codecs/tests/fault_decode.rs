@@ -19,9 +19,10 @@ use adcomp_codecs::frame::{
 use adcomp_codecs::{codec_for, CodecId};
 use proptest::prelude::*;
 
-/// The four paper codecs (Raw included: the fallback path must be just as
-/// robust as the real compressors).
-const CODECS: [CodecId; 4] = [CodecId::Raw, CodecId::QlzLight, CodecId::QlzMedium, CodecId::Heavy];
+/// The full codec registry — paper ladder plus portfolio members (Raw
+/// included: the fallback path must be just as robust as the real
+/// compressors).
+const CODECS: [CodecId; 6] = CodecId::REGISTRY;
 
 fn encode(codec: CodecId, data: &[u8]) -> Vec<u8> {
     let mut frame = Vec::new();
@@ -118,10 +119,11 @@ proptest! {
         prop_assert!(out.capacity() < forged as usize);
     }
 
-    /// The raw codec decoders (QuickLZ-style and range-coded HEAVY) are
-    /// exposed to arbitrarily damaged compressed payloads below the frame
-    /// layer — no CRC shields them here. Bounds-hardening means: return
-    /// `Err` or a correct-length `Ok`, never panic, never overrun.
+    /// The raw codec decoders (QuickLZ-style, range-coded HEAVY, and the
+    /// portfolio's HUFF/COLUMNAR) are exposed to arbitrarily damaged
+    /// compressed payloads below the frame layer — no CRC shields them
+    /// here. Bounds-hardening means: return `Err` or a correct-length
+    /// `Ok`, never panic, never overrun.
     #[test]
     fn codec_decoders_survive_arbitrary_payload_damage(
         data in proptest::collection::vec(0u8..4, 0..2500),
@@ -130,8 +132,13 @@ proptest! {
         val in any::<u8>(),
         cut in any::<prop::sample::Index>(),
     ) {
-        let codec_id = [CodecId::QlzLight, CodecId::QlzMedium, CodecId::Heavy]
-            [ci.index(3)];
+        let codec_id = [
+            CodecId::QlzLight,
+            CodecId::QlzMedium,
+            CodecId::Heavy,
+            CodecId::Huffman,
+            CodecId::Columnar,
+        ][ci.index(5)];
         let codec = codec_for(codec_id);
         let mut wire = Vec::new();
         codec.compress(&data, &mut wire);

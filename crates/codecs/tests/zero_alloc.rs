@@ -49,8 +49,15 @@ fn steady_state_block_encoding_allocates_nothing() {
         .enumerate()
         .map(|(i, class)| generate(class, BLOCK_LEN, 11 + i as u64))
         .collect();
-    let codecs = [CodecId::QlzLight, CodecId::QlzMedium, CodecId::Heavy, CodecId::Raw]
-        .map(codec_for);
+    let codecs = [
+        CodecId::QlzLight,
+        CodecId::QlzMedium,
+        CodecId::Heavy,
+        CodecId::Huffman,
+        CodecId::Columnar,
+        CodecId::Raw,
+    ]
+    .map(codec_for);
     let mut scratch = Scratch::new();
     let mut out = Vec::new();
 

@@ -47,6 +47,7 @@ pub mod duplex;
 pub mod epoch;
 pub mod model;
 pub mod pipeline;
+pub mod portfolio;
 pub mod retry;
 pub mod seek;
 pub mod stream;

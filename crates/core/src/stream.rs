@@ -29,6 +29,11 @@ pub struct StreamStats {
     pub wire_bytes: u64,
     /// Blocks emitted per compression level.
     pub blocks_per_level: Vec<u64>,
+    /// Blocks emitted per wire codec id (writer side; indexed by
+    /// `CodecId as usize` over the full registry, so portfolio streams
+    /// report their codec mix). Counts the codec actually on the wire —
+    /// raw fallbacks and degrades land on id 0. Empty on the reader.
+    pub blocks_per_codec: Vec<u64>,
     /// Blocks whose compression expanded and fell back to raw.
     pub raw_fallbacks: u64,
     /// Completed decision epochs.
@@ -62,11 +67,15 @@ pub struct AdaptiveWriter<W: Write> {
     buf: Vec<u8>,
     block_len: usize,
     blocks_per_level: Vec<u64>,
+    blocks_per_codec: Vec<u64>,
     raw_fallbacks: u64,
     last_block_ratio: Option<f64>,
     degraded_blocks: u64,
     /// Worker pool for pipelined block compression (`None` = serial).
     pool: Option<CompressPool>,
+    /// Content-aware portfolio mode: each block's codec family is chosen
+    /// by [`crate::portfolio::select`] over the controller's level.
+    portfolio: bool,
     /// Test seam: makes the next block's encode panic, exercising the
     /// degrade-to-raw path without needing a genuinely buggy codec.
     #[cfg(test)]
@@ -105,10 +114,12 @@ impl<W: Write> AdaptiveWriter<W> {
             buf: Vec::with_capacity(block_len),
             block_len,
             blocks_per_level: vec![0; nlevels],
+            blocks_per_codec: vec![0; CodecId::REGISTRY.len()],
             raw_fallbacks: 0,
             last_block_ratio: None,
             degraded_blocks: 0,
             pool: None,
+            portfolio: false,
             #[cfg(test)]
             bomb_next_block: std::cell::Cell::new(false),
         }
@@ -136,6 +147,23 @@ impl<W: Write> AdaptiveWriter<W> {
     /// Active pipeline worker count (1 = serial).
     pub fn pipeline_workers(&self) -> usize {
         self.pool.as_ref().map_or(1, CompressPool::workers)
+    }
+
+    /// Enables per-block content-aware codec selection: each block is
+    /// probed ([`crate::portfolio::probe`]) and the codec family backing
+    /// the controller's current level comes from the nominated ladder
+    /// instead of the fixed [`LevelSet`]. The rate controller still makes
+    /// the online level decision; the wire format is unchanged (every
+    /// frame names its codec). Selection is a pure function of the block
+    /// bytes and runs at submission time, so pipelined portfolio streams
+    /// stay byte-identical to serial ones for any worker count.
+    pub fn set_portfolio(&mut self, portfolio: bool) {
+        self.portfolio = portfolio;
+    }
+
+    /// Whether portfolio selection is active.
+    pub fn portfolio(&self) -> bool {
+        self.portfolio
     }
 
     /// Makes the stream seekable: every emitted frame is recorded in an
@@ -198,6 +226,7 @@ impl<W: Write> AdaptiveWriter<W> {
             app_bytes: self.frames.app_bytes,
             wire_bytes: self.frames.wire_bytes,
             blocks_per_level: self.blocks_per_level.clone(),
+            blocks_per_codec: self.blocks_per_codec.clone(),
             raw_fallbacks: self.raw_fallbacks,
             epochs: self.driver.epochs(),
             recovery: RecoveryStats::default(),
@@ -223,7 +252,12 @@ impl<W: Write> AdaptiveWriter<W> {
         // block raw — level 0 is a plain copy and cannot fail. Transport
         // I/O errors are NOT degraded around: we cannot know how much of a
         // frame already reached the wire, so they stay fail-fast.
-        let codec = self.levels.codec(level);
+        let mut codec_id = if self.portfolio {
+            crate::portfolio::select(&self.buf, level)
+        } else {
+            self.levels.id(level)
+        };
+        let codec = adcomp_codecs::codec_for(codec_id);
         let bomb = self.take_bomb();
         let frames = &mut self.frames;
         let buf = &self.buf;
@@ -248,10 +282,13 @@ impl<W: Write> AdaptiveWriter<W> {
                 }
                 self.driver.force_level(0, now);
                 level = 0;
+                codec_id = CodecId::Raw;
                 self.frames.write_block(self.levels.codec(0), &self.buf)?
             }
         };
         self.blocks_per_level[level] += 1;
+        let wire_codec = if info.raw_fallback { CodecId::Raw } else { codec_id };
+        self.blocks_per_codec[wire_codec as usize] += 1;
         if info.raw_fallback {
             self.raw_fallbacks += 1;
         }
@@ -275,7 +312,14 @@ impl<W: Write> AdaptiveWriter<W> {
     fn emit_block_pipelined(&mut self) -> io::Result<()> {
         let level = self.driver.level();
         let now = self.clock.now();
-        let codec_id = self.levels.id(level);
+        // Portfolio selection happens here, at submission time, on the
+        // block bytes themselves — the same purity argument that makes
+        // level capture sufficient for byte-identity covers the codec id.
+        let codec_id = if self.portfolio {
+            crate::portfolio::select(&self.buf, level)
+        } else {
+            self.levels.id(level)
+        };
         let data = std::mem::take(&mut self.buf);
         let bytes = data.len() as u64;
         let traced = self.driver.trace().enabled();
@@ -326,6 +370,8 @@ impl<W: Write> AdaptiveWriter<W> {
             self.frames.write_frame(requested, &c.frame, c.info, c.compress_ns)?;
             let level = if c.degraded { 0 } else { c.level };
             self.blocks_per_level[level] += 1;
+            let wire_codec = if c.info.raw_fallback { CodecId::Raw } else { requested };
+            self.blocks_per_codec[wire_codec as usize] += 1;
             if c.info.raw_fallback {
                 self.raw_fallbacks += 1;
             }
@@ -457,6 +503,7 @@ impl<R: Read> AdaptiveReader<R> {
             app_bytes: self.frames.app_bytes,
             wire_bytes: self.frames.wire_bytes,
             blocks_per_level: Vec::new(),
+            blocks_per_codec: Vec::new(),
             raw_fallbacks: 0,
             epochs: 0,
             recovery: self.frames.recovery,
@@ -955,6 +1002,126 @@ mod tests {
             let (wire, stats) = run(workers);
             assert_eq!(wire, reference, "workers {workers}: adaptive wire differs");
             assert_eq!(stats.epochs, ref_stats.epochs);
+            assert_eq!(stats.blocks_per_level, ref_stats.blocks_per_level);
+        }
+        let mut out = Vec::new();
+        AdaptiveReader::new(&reference[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    /// Heterogeneous corpus: each 4096-byte block is a different shape, so
+    /// portfolio selection yields a genuinely mixed-codec stream.
+    fn heterogeneous_corpus(blocks: usize) -> Vec<u8> {
+        let mut data = Vec::new();
+        let mut x = 0x2545_F491u32;
+        for b in 0..blocks {
+            match b % 3 {
+                0 => data.extend(std::iter::repeat_n((b % 5) as u8, 4096)),
+                1 => data.extend(
+                    b"text-like content with words and repetition, repetition. "
+                        .iter()
+                        .copied()
+                        .cycle()
+                        .take(4096),
+                ),
+                _ => data.extend((0..4096).map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 17;
+                    x ^= x << 5;
+                    (x >> 24) as u8
+                })),
+            }
+        }
+        data
+    }
+
+    /// Codec ids of every frame in a wire stream, by walking the headers.
+    fn codec_ids(wire: &[u8]) -> Vec<u8> {
+        let mut ids = Vec::new();
+        let mut pos = 0;
+        while pos + 16 <= wire.len() {
+            assert_eq!(&wire[pos..pos + 2], &[0xAD, 0xC2], "frame magic at {pos}");
+            ids.push(wire[pos + 2]);
+            let payload = u32::from_le_bytes(wire[pos + 8..pos + 12].try_into().unwrap());
+            pos += 16 + payload as usize;
+        }
+        assert_eq!(pos, wire.len());
+        ids
+    }
+
+    #[test]
+    fn portfolio_streams_are_mixed_codec_and_worker_count_invariant() {
+        let data = heterogeneous_corpus(12);
+        let run = |workers: usize| -> Vec<u8> {
+            let mut w = AdaptiveWriter::with_params(
+                Vec::new(),
+                levels(),
+                Box::new(StaticModel::new(2, 4)),
+                4096,
+                1.0,
+                Box::new(ManualClock::new()),
+            );
+            w.set_portfolio(true);
+            assert!(w.portfolio());
+            if workers > 1 {
+                w.set_pipeline_workers(workers);
+            }
+            w.write_all(&data).unwrap();
+            w.finish().unwrap().0
+        };
+        let reference = run(1);
+        // The stream genuinely mixes codec families per block content.
+        let distinct: std::collections::BTreeSet<u8> =
+            codec_ids(&reference).into_iter().collect();
+        assert!(
+            distinct.len() >= 3,
+            "expected a mixed-codec stream, got ids {distinct:?}"
+        );
+        assert!(
+            distinct.iter().any(|&id| id >= 4),
+            "expected a portfolio codec in {distinct:?}"
+        );
+        for workers in [2usize, 4, 7] {
+            assert_eq!(run(workers), reference, "workers {workers}: portfolio wire differs");
+        }
+        // Mixed-codec streams decode through the ordinary reader, serial
+        // and pooled alike.
+        for workers in [1usize, 3] {
+            let mut r = AdaptiveReader::new(&reference[..]);
+            r.set_pipeline_workers(workers);
+            let mut out = Vec::new();
+            r.read_to_end(&mut out).unwrap();
+            assert_eq!(out, data, "decode workers {workers}");
+        }
+    }
+
+    #[test]
+    fn portfolio_adaptive_model_stays_deterministic() {
+        let data = heterogeneous_corpus(24);
+        let run = |workers: usize| -> (Vec<u8>, StreamStats) {
+            let clock = ManualClock::new();
+            let mut w = AdaptiveWriter::with_params(
+                Vec::new(),
+                levels(),
+                Box::new(RateBasedModel::paper_default()),
+                4096,
+                0.01,
+                Box::new(clock.clone()),
+            );
+            w.set_portfolio(true);
+            if workers > 1 {
+                w.set_pipeline_workers(workers);
+            }
+            for (i, chunk) in data.chunks(4096).enumerate() {
+                clock.set(i as f64 * 0.004);
+                w.write_all(chunk).unwrap();
+            }
+            w.finish().unwrap()
+        };
+        let (reference, ref_stats) = run(1);
+        for workers in [2usize, 4] {
+            let (wire, stats) = run(workers);
+            assert_eq!(wire, reference, "workers {workers}");
             assert_eq!(stats.blocks_per_level, ref_stats.blocks_per_level);
         }
         let mut out = Vec::new();

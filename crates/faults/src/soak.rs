@@ -25,8 +25,9 @@ use crate::io::{CorruptingWriter, FlakyReader};
 use crate::plan::{FaultPlan, FaultSpec, InjectStats};
 use crate::transport::FaultingTransport;
 use adcomp_codecs::frame::{FrameReader, FrameWriter, RecoveryPolicy, RecoveryStats};
-use adcomp_codecs::LevelSet;
+use adcomp_codecs::{codec_for, LevelSet};
 use adcomp_core::model::StaticModel;
+use adcomp_core::portfolio;
 use adcomp_core::stream::AdaptiveWriter;
 use adcomp_core::{IndexedReader, ManualClock};
 use adcomp_corpus::Prng;
@@ -44,6 +45,11 @@ pub enum SoakLayer {
     /// Seekable `AdaptiveWriter` (index trailer) → corrupting byte stream
     /// → offset-addressed ranged reads through `IndexedReader`.
     Indexed,
+    /// Mixed-codec streams: each block's codec family is chosen by the
+    /// portfolio probe (`adcomp_core::portfolio::select`), so one wire
+    /// stream interleaves ladder and portfolio codecs before the
+    /// corrupting byte stream attacks it.
+    Portfolio,
 }
 
 impl SoakLayer {
@@ -52,6 +58,7 @@ impl SoakLayer {
             SoakLayer::Frame => "frame",
             SoakLayer::Record => "record",
             SoakLayer::Indexed => "indexed",
+            SoakLayer::Portfolio => "portfolio",
         }
     }
 }
@@ -210,10 +217,11 @@ pub fn grid(base_seed: u64, runs: usize) -> Vec<SoakCase> {
     const RATES: [f64; 4] = [0.0, 0.02, 0.08, 0.2];
     (0..runs)
         .map(|i| {
-            let layer = match (i / 4) % 3 {
+            let layer = match (i / 4) % 4 {
                 0 => SoakLayer::Frame,
                 1 => SoakLayer::Record,
-                _ => SoakLayer::Indexed,
+                2 => SoakLayer::Indexed,
+                _ => SoakLayer::Portfolio,
             };
             let rate = RATES[(i / 8) % 4];
             SoakCase {
@@ -222,12 +230,12 @@ pub fn grid(base_seed: u64, runs: usize) -> Vec<SoakCase> {
                 level: i % 4,
                 layer,
                 items: match layer {
-                    SoakLayer::Frame => 48,
+                    SoakLayer::Frame | SoakLayer::Portfolio => 48,
                     SoakLayer::Record => 160,
                     SoakLayer::Indexed => 40,
                 },
                 item_len: match layer {
-                    SoakLayer::Frame => 2048,
+                    SoakLayer::Frame | SoakLayer::Portfolio => 2048,
                     SoakLayer::Record => 280,
                     SoakLayer::Indexed => 1600,
                 },
@@ -252,6 +260,7 @@ pub fn run_case(case: &SoakCase) -> CaseResult {
         SoakLayer::Frame => run_frame_case(&c),
         SoakLayer::Record => run_record_case(&c),
         SoakLayer::Indexed => run_indexed_case(&c),
+        SoakLayer::Portfolio => run_portfolio_case(&c),
     })) {
         Ok(r) => r,
         Err(p) => {
@@ -403,6 +412,49 @@ fn read_frames<R: Read>(
         reader.read_block(&mut out).map(|h| h.map(|_| out))
     });
     (recovered, vf, ov, error, reader.recovery)
+}
+
+/// Portfolio layer: every block's codec family comes from the content
+/// probe, so a single stream interleaves COLUMNAR, HUFF and the ladder
+/// codecs (the three `gen_item` shapes — text, runs, noise — pull the
+/// nomination in different directions). The corrupting byte stream then
+/// attacks the mixed-codec wire: survivors must be byte-accurate and
+/// in order, damage must surface as skip-counted corruption or a typed
+/// error, never a panic — the same contract as the frame layer, now
+/// across codec families.
+fn run_portfolio_case(case: &SoakCase) -> CaseResult {
+    let plan = FaultPlan::new(FaultSpec::from_rate(case.seed, case.rate));
+    let mut cw = CorruptingWriter::new(Vec::new(), plan);
+    {
+        let mut fw = FrameWriter::new(&mut cw);
+        for i in 0..case.items {
+            let item = gen_item(case.seed, i as u64, case.item_len);
+            let codec = codec_for(portfolio::select(&item, case.level));
+            fw.write_block(codec, &item).expect("Vec write cannot fail");
+        }
+    }
+    let injected = cw.stats();
+    let mut wire = cw.into_inner();
+    if case.truncate_permille < 1000 {
+        let keep = wire.len() * case.truncate_permille as usize / 1000;
+        wire.truncate(keep);
+    }
+    let (recovered, verify_failures, order_violations, error, recovery) =
+        read_frames(case, &wire[..], frame_policy(case));
+    CaseResult {
+        seed: case.seed,
+        layer: case.layer,
+        level: case.level,
+        rate: case.rate,
+        outcome: if error.is_some() { Outcome::TypedError } else { Outcome::Recovered },
+        error: error.unwrap_or_default(),
+        items_written: case.items as u64,
+        items_recovered: recovered,
+        verify_failures,
+        order_violations,
+        injected,
+        recovery,
+    }
 }
 
 fn run_record_case(case: &SoakCase) -> CaseResult {
@@ -634,7 +686,9 @@ mod tests {
 
     #[test]
     fn clean_cases_recover_everything() {
-        for layer in [SoakLayer::Frame, SoakLayer::Record, SoakLayer::Indexed] {
+        for layer in
+            [SoakLayer::Frame, SoakLayer::Record, SoakLayer::Indexed, SoakLayer::Portfolio]
+        {
             for level in 0..4 {
                 let case = SoakCase {
                     seed: 1000 + level as u64,
@@ -757,6 +811,40 @@ mod tests {
         // The trailer is gone, so the stream opens as non-indexed and
         // streaming is its normal path — not counted as an index fallback.
         assert_eq!(r.recovery.resyncs, 0, "{}", r.to_json());
+    }
+
+    #[test]
+    fn portfolio_layer_mixes_codecs_and_survives_fire() {
+        // The three gen_item shapes must pull the probe into several codec
+        // families (level 3 ladders converge on HEAVY as the ratio
+        // ceiling, so the spread is widest at level 2).
+        for (level, want) in [(2usize, 3usize), (3, 2)] {
+            let ids: std::collections::BTreeSet<u8> = (0..12u64)
+                .map(|i| {
+                    let item = gen_item(0xBEEF, i, 2048);
+                    portfolio::select(&item, level) as u8
+                })
+                .collect();
+            assert!(ids.len() >= want, "level {level}: portfolio picked only {ids:?}");
+        }
+        // Under moderate fire the mixed-codec stream recovers most items
+        // byte-accurately, like the single-codec frame layer.
+        let case = SoakCase {
+            seed: 43,
+            rate: 0.05,
+            level: 2,
+            layer: SoakLayer::Portfolio,
+            items: 64,
+            item_len: 1500,
+            transient: false,
+            truncate_permille: 1000,
+            fail_fast: false,
+        };
+        let r = run_case(&case);
+        assert_eq!(r.outcome, Outcome::Recovered, "{}", r.error);
+        assert_eq!(r.verify_failures, 0);
+        assert_eq!(r.order_violations, 0);
+        assert!(r.items_recovered >= 48, "only {} of 64 recovered", r.items_recovered);
     }
 
     #[test]

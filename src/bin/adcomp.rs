@@ -66,6 +66,8 @@ struct Options {
     net: bool,
     fault_rate: f64,
     concurrency: usize,
+    // per-block content-aware codec selection
+    portfolio: bool,
     // seekable container / ranged reads
     seekable: bool,
     offset: u64,
@@ -75,7 +77,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: adcomp compress   [-l LEVEL] [-b BLOCK_KB] [-t EPOCH_S] [--seekable] [IN] [OUT]\n\
+        "usage: adcomp compress   [-l LEVEL] [-b BLOCK_KB] [-t EPOCH_S] [--seekable] [--portfolio] [IN] [OUT]\n\
          \x20      adcomp decompress [IN] [OUT]\n\
          \x20      adcomp range      --offset N [--len N] IN [OUT]\n\
          \x20      adcomp probe      [IN]\n\
@@ -98,7 +100,9 @@ fn usage() -> ! {
          --pipeline-workers W (compress/decompress/trace): compression worker\n\
          \x20    threads; 1 = serial (default, or $ADCOMP_THREADS), 0 = auto\n\
          --seekable (compress): append a block index trailer so `adcomp range`\n\
-         \x20    (and served ranged GETs) can decode any byte range in isolation"
+         \x20    (and served ranged GETs) can decode any byte range in isolation\n\
+         --portfolio (compress/put/trace): per-block content probes pick the codec\n\
+         \x20    family (HUFF, COLUMNAR, ladder) backing each compression level"
     );
     std::process::exit(2)
 }
@@ -156,6 +160,7 @@ fn parse_options(args: &[String]) -> Options {
         net: false,
         fault_rate: 0.02,
         concurrency: 4,
+        portfolio: false,
         seekable: false,
         offset: 0,
         len: None,
@@ -222,6 +227,7 @@ fn parse_options(args: &[String]) -> Options {
             "--cases" => opts.cases = true,
             "--net" => opts.net = true,
             "--seekable" => opts.seekable = true,
+            "--portfolio" => opts.portfolio = true,
             "--offset" => {
                 i += 1;
                 opts.offset =
@@ -377,6 +383,9 @@ fn cmd_compress(opts: Options) -> io::Result<()> {
     if opts.seekable {
         writer.set_seekable(true);
     }
+    if opts.portfolio {
+        writer.set_portfolio(true);
+    }
     io::copy(&mut input, &mut writer)?;
     let (mut out, stats) = writer.finish()?;
     out.flush()?;
@@ -388,13 +397,25 @@ fn cmd_compress(opts: Options) -> io::Result<()> {
         .filter(|(_, &c)| c > 0)
         .map(|(l, c)| format!("{}x{}", names[l], c))
         .collect();
+    // In portfolio mode the level mix no longer names the wire codecs, so
+    // report the per-codec-family block counts too.
+    let codec_mix: Vec<String> = stats
+        .blocks_per_codec
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .filter_map(|(id, &c)| {
+            CodecId::from_u8(id as u8).ok().map(|cid| format!("{}x{}", cid.level_name(), c))
+        })
+        .collect();
     eprintln!(
-        "adcomp: {} -> {} bytes (ratio {:.3}), {} epochs, levels {}{}",
+        "adcomp: {} -> {} bytes (ratio {:.3}), {} epochs, levels {}{}{}",
         stats.app_bytes,
         stats.wire_bytes,
         stats.wire_ratio(),
         stats.epochs,
         mix.join(","),
+        if opts.portfolio { format!(", codecs {}", codec_mix.join(",")) } else { String::new() },
         if opts.seekable { " [indexed]" } else { "" }
     );
     Ok(())
@@ -498,7 +519,7 @@ fn cmd_probe(opts: Options) -> io::Result<()> {
         adcomp::corpus::entropy::digram_bits_per_byte(&sample),
         adcomp::corpus::entropy::compressibility_score(&sample),
     );
-    for id in CodecId::ALL {
+    for id in CodecId::REGISTRY {
         if id == CodecId::Raw {
             continue;
         }
@@ -508,12 +529,23 @@ fn cmd_probe(opts: Options) -> io::Result<()> {
         codec.compress(&sample, &mut out);
         let secs = start.elapsed().as_secs_f64();
         println!(
-            "{:<7}: ratio {:.3}, {:7.1} MB/s",
+            "{:<8}: ratio {:.3}, {:7.1} MB/s",
             id.level_name(),
             out.len() as f64 / sample.len() as f64,
             sample.len() as f64 / 1e6 / secs.max(1e-9)
         );
     }
+    // Portfolio view: what the per-block probe sees and which ladder it
+    // nominates for this sample.
+    let p = adcomp::core::portfolio::probe(&sample);
+    let ladder = adcomp::core::portfolio::nominate(&p);
+    println!(
+        "probe         : entropy {:.3} bits/byte, runs {:.3}, distinct {}\nportfolio     : {}",
+        p.entropy_bits,
+        p.run_fraction,
+        p.distinct,
+        ladder.map(|c| c.level_name()).join(" -> "),
+    );
     Ok(())
 }
 
@@ -546,7 +578,8 @@ fn cmd_trace(opts: Options) -> io::Result<()> {
         None => Box::new(RateBasedModel::paper_default()),
     };
     let sink = Arc::new(MemorySink::new());
-    let speed = SpeedModel::paper_fit();
+    let speed =
+        if opts.portfolio { SpeedModel::portfolio_fit() } else { SpeedModel::paper_fit() };
     let out = run_transfer_traced(
         &cfg,
         &speed,
@@ -561,6 +594,7 @@ fn cmd_trace(opts: Options) -> io::Result<()> {
         .coord("scheme", scheme)
         .coord("class", opts.class.name())
         .coord("flows", opts.flows)
+        .coord("portfolio", opts.portfolio)
         .cfg("epoch_secs", opts.epoch_secs)
         .cfg("deterministic", true)
         .volume(cfg.total_bytes);
@@ -709,6 +743,7 @@ fn cmd_put(opts: Options) -> io::Result<()> {
         epoch_secs: opts.epoch_secs,
         workers: opts.pipeline_workers,
         level: opts.level,
+        portfolio: opts.portfolio,
         ..PutOptions::default()
     };
     let report = put(addr, &payload, &put_opts)?;

@@ -79,6 +79,8 @@ pub struct PutOptions {
     pub workers: usize,
     /// Fixed level instead of the adaptive rate-based model.
     pub level: Option<usize>,
+    /// Per-block content-aware codec selection (portfolio mode).
+    pub portfolio: bool,
     /// Trace sink handed to the writer's epoch driver.
     pub trace: TraceHandle,
 }
@@ -94,6 +96,7 @@ impl Default for PutOptions {
             epoch_secs: 2.0,
             workers: 1,
             level: None,
+            portfolio: false,
             trace: TraceHandle::disabled(),
         }
     }
@@ -235,6 +238,9 @@ fn attempt(
     );
     if opts.workers > 1 {
         writer.set_pipeline_workers(opts.workers);
+    }
+    if opts.portfolio {
+        writer.set_portfolio(true);
     }
     if opts.trace.enabled() {
         writer.set_trace(opts.trace.clone());

@@ -119,6 +119,56 @@ fn probe_reports_entropy_and_ratios() {
     let _ = std::fs::remove_file(&input);
 }
 
+/// `--portfolio` end to end: a heterogeneous file compresses into a
+/// mixed-codec stream (the report names a HUFF or COLUMNAR frame), an
+/// unmodified `decompress` restores it byte-for-byte, and `probe` prints
+/// the nominated ladder.
+#[test]
+fn portfolio_compress_roundtrip_and_probe() {
+    let input = tmp("pf-in.bin");
+    let packed = tmp("pf-packed.adc");
+    let output = tmp("pf-out.bin");
+    // Runs, then text, then noise — three content classes in one file.
+    let mut data = vec![7u8; 256 * 1024];
+    data.extend(
+        b"text-like content with words and repetition, repetition. "
+            .iter()
+            .copied()
+            .cycle()
+            .take(256 * 1024),
+    );
+    data.extend(adcomp::corpus::generate(adcomp::corpus::Class::Low, 256 * 1024, 3));
+    std::fs::write(&input, &data).unwrap();
+
+    let out = Command::new(bin())
+        .args(["compress", "-l", "MEDIUM", "-b", "16", "--portfolio"])
+        .arg(&input)
+        .arg(&packed)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let report = String::from_utf8_lossy(&out.stderr);
+    assert!(report.contains("codecs"), "{report}");
+    assert!(
+        report.contains("HUFF") || report.contains("COLUMNAR"),
+        "portfolio report names no portfolio codec: {report}"
+    );
+
+    let status = Command::new(bin()).arg("decompress").arg(&packed).arg(&output).status().unwrap();
+    assert!(status.success());
+    assert_eq!(std::fs::read(&output).unwrap(), data);
+
+    let out = Command::new(bin()).arg("probe").arg(&input).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("portfolio"), "{text}");
+    assert!(text.contains("->"), "{text}");
+
+    for p in [&input, &packed, &output] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     let out = Command::new(bin()).arg("frobnicate").output().unwrap();
